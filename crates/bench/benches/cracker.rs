@@ -1,0 +1,39 @@
+//! Micro-benchmark: packet cracking throughput (Algorithm 2).
+//!
+//! The File Cracker runs on every valuable seed; its cost bounds how cheaply
+//! Peach\* can afford to learn from feedback.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use peachstar::{FileCracker, PuzzleCorpus};
+use peachstar_datamodel::emit::emit_default;
+use peachstar_protocols::TargetId;
+
+fn bench_cracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("file_cracker");
+    group.sample_size(30);
+    for target in [TargetId::Modbus, TargetId::Lib60870, TargetId::Iec61850] {
+        let models = target.create().data_models();
+        let packets: Vec<Vec<u8>> = models
+            .models()
+            .iter()
+            .map(|model| emit_default(model).expect("default packet emits"))
+            .collect();
+        group.bench_function(format!("crack_{}", target.project_name()), |b| {
+            b.iter_batched(
+                || (FileCracker::new(), PuzzleCorpus::new()),
+                |(mut cracker, mut corpus)| {
+                    for packet in &packets {
+                        cracker.crack_into(&models, packet, &mut corpus);
+                    }
+                    corpus.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cracker);
+criterion_main!(benches);

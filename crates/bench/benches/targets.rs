@@ -1,0 +1,37 @@
+//! Micro-benchmark: raw packet-processing throughput of each instrumented
+//! ICS target (the executions-per-second ceiling of a campaign).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use peachstar_coverage::TraceContext;
+use peachstar_datamodel::emit::emit_default;
+use peachstar_protocols::TargetId;
+
+fn bench_targets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("targets");
+    group.sample_size(30);
+    for target_id in TargetId::ALL {
+        let mut target = target_id.create();
+        let packets: Vec<Vec<u8>> = target
+            .data_models()
+            .models()
+            .iter()
+            .map(|model| emit_default(model).expect("default packet emits"))
+            .collect();
+        group.bench_function(format!("process_{}", target_id.project_name()), |b| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for packet in &packets {
+                    let mut ctx = TraceContext::new();
+                    let _ = target.process(packet, &mut ctx);
+                    edges += ctx.trace().edges_hit();
+                }
+                edges
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_targets);
+criterion_main!(benches);

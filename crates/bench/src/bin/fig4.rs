@@ -1,0 +1,77 @@
+//! Regenerates Figure 4 of the paper: average number of paths covered by
+//! Peach and Peach\* over the (simulated) 24-hour budget, for each of the six
+//! ICS protocol targets, plus the final-path-gain summary (the paper's
+//! "8.35 %–36.84 % more paths" claim).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p peachstar-bench --release --bin fig4
+//! PEACHSTAR_EXECUTIONS=5000 PEACHSTAR_REPETITIONS=2 cargo run -p peachstar-bench --release --bin fig4
+//! ```
+//!
+//! One CSV file per target is written to `target/experiments/fig4_<name>.csv`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use peachstar_bench::{compare_target, default_budget, env_or};
+use peachstar_protocols::TargetId;
+
+fn main() {
+    let repetitions = env_or("PEACHSTAR_REPETITIONS", 10);
+    let out_dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    println!("=== Figure 4: average paths covered within the 24h budget ===");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "project", "execs", "Peach", "Peach*", "gain %", "speedup"
+    );
+
+    let mut gains = Vec::new();
+    let mut speedups = Vec::new();
+    for target in TargetId::ALL {
+        let executions = env_or("PEACHSTAR_EXECUTIONS", default_budget(target));
+        let comparison = compare_target(target, executions, repetitions);
+        let gain = comparison.path_gain_percent();
+        let speedup = comparison.speedup();
+        println!(
+            "{:<16} {:>10} {:>12} {:>12} {:>9.2}% {:>10}",
+            target.project_name(),
+            executions,
+            comparison.peach_final_paths(),
+            comparison.peachstar_final_paths(),
+            gain,
+            speedup.map_or_else(|| "n/a".to_string(), |s| format!("{s:.1}x")),
+        );
+        gains.push(gain);
+        if let Some(s) = speedup {
+            speedups.push(s);
+        }
+
+        let file = out_dir.join(format!(
+            "fig4_{}.csv",
+            target.project_name().to_ascii_lowercase()
+        ));
+        fs::write(&file, comparison.to_csv(executions)).expect("write csv");
+    }
+
+    let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+    let max_gain = gains.iter().copied().fold(f64::MIN, f64::max);
+    println!("---");
+    println!(
+        "paper:   +8.35%..+36.84% more paths, average +27.35%; speed 1.2x-25x (avg 5.7x)"
+    );
+    println!(
+        "measured: gain avg {:+.2}% (max {:+.2}%); speedup avg {:.1}x",
+        mean_gain,
+        max_gain,
+        if speedups.is_empty() {
+            0.0
+        } else {
+            speedups.iter().sum::<f64>() / speedups.len() as f64
+        }
+    );
+    println!("CSV series written to {}", out_dir.display());
+}

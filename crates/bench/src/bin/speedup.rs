@@ -1,0 +1,58 @@
+//! Reproduces the headline speed claim: Peach\* reaches the code coverage of
+//! the original Peach at 1.2×–25× speed (average 5.7×).
+//!
+//! For each target, the baseline runs its full budget; the number of
+//! executions each fuzzer needs to first reach the baseline's final path
+//! count is then compared.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p peachstar-bench --release --bin speedup
+//! ```
+
+use peachstar_bench::{compare_target, default_budget, env_or};
+use peachstar_protocols::TargetId;
+
+fn main() {
+    let repetitions = env_or("PEACHSTAR_REPETITIONS", 5);
+    println!("=== Speed to reach the baseline's final coverage ===");
+    println!(
+        "{:<16} {:>12} {:>14} {:>14} {:>9}",
+        "project", "peach paths", "peach execs", "peach* execs", "speedup"
+    );
+
+    let mut speedups = Vec::new();
+    for target in TargetId::ALL {
+        let executions = env_or("PEACHSTAR_EXECUTIONS", default_budget(target));
+        let comparison = compare_target(target, executions, repetitions);
+        let baseline_paths = comparison.peach_final_paths();
+        let baseline_execs = comparison
+            .peach_series
+            .executions_to_reach(baseline_paths)
+            .unwrap_or(executions);
+        let star_execs = comparison.peachstar_executions_to_baseline();
+        let speedup = comparison.speedup();
+        println!(
+            "{:<16} {:>12} {:>14} {:>14} {:>9}",
+            target.project_name(),
+            baseline_paths,
+            baseline_execs,
+            star_execs.map_or_else(|| "never".to_string(), |e| e.to_string()),
+            speedup.map_or_else(|| "n/a".to_string(), |s| format!("{s:.1}x")),
+        );
+        if let Some(s) = speedup {
+            speedups.push(s);
+        }
+    }
+    println!("---");
+    if speedups.is_empty() {
+        println!("measured: Peach* did not reach the baseline coverage on any target");
+    } else {
+        let min = speedups.iter().copied().fold(f64::MAX, f64::min);
+        let max = speedups.iter().copied().fold(f64::MIN, f64::max);
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!("paper:    1.2x - 25x, average 5.7x");
+        println!("measured: {min:.1}x - {max:.1}x, average {avg:.1}x");
+    }
+}

@@ -1,0 +1,431 @@
+//! The campaign runner: executes one fuzzer against one target for a fixed
+//! execution budget, recording coverage growth and unique bugs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use peachstar_coverage::{CoverageMap, TraceContext};
+use peachstar_protocols::{Fault, Outcome, Target};
+
+use crate::seed::SeedPool;
+use crate::stats::{CoverageSeries, SeriesPoint};
+use crate::strategy::{GenerationStrategy, StrategyKind};
+
+/// Configuration of one fuzzing campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Which fuzzer to run.
+    pub strategy: StrategyKind,
+    /// Number of packet executions (the simulated-time axis of Figure 4).
+    pub executions: u64,
+    /// RNG seed; campaigns with the same seed, strategy and target are
+    /// bit-for-bit reproducible.
+    pub rng_seed: u64,
+    /// How often (in executions) a coverage sample is recorded.
+    pub sample_interval: u64,
+    /// Reset the target's session state every this many executions
+    /// (0 disables resets).
+    pub reset_interval: u64,
+}
+
+impl CampaignConfig {
+    /// Creates a configuration with defaults suitable for tests: 10 000
+    /// executions, samples every 250 executions, target reset every 2 000
+    /// executions.
+    #[must_use]
+    pub fn new(strategy: StrategyKind) -> Self {
+        Self {
+            strategy,
+            executions: 10_000,
+            rng_seed: 1,
+            sample_interval: 250,
+            reset_interval: 2_000,
+        }
+    }
+
+    /// Sets the execution budget.
+    #[must_use]
+    pub fn executions(mut self, executions: u64) -> Self {
+        self.executions = executions;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Sets the sampling interval.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: u64) -> Self {
+        self.sample_interval = interval.max(1);
+        self
+    }
+
+    /// Sets the target reset interval (0 disables resets).
+    #[must_use]
+    pub fn reset_interval(mut self, interval: u64) -> Self {
+        self.reset_interval = interval;
+        self
+    }
+}
+
+/// A unique bug found during a campaign: the fault plus the execution index
+/// and packet that first triggered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugRecord {
+    /// The fault as reported by the target.
+    pub fault: Fault,
+    /// Execution index (1-based) at which the fault first fired.
+    pub first_execution: u64,
+    /// The packet that first triggered the fault.
+    pub packet: Vec<u8>,
+    /// Data model the packet was generated from.
+    pub model: String,
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Name of the fuzzed target.
+    pub target: String,
+    /// Which fuzzer produced this report.
+    pub strategy: StrategyKind,
+    /// Total executions performed.
+    pub executions: u64,
+    /// Coverage growth curve.
+    pub series: CoverageSeries,
+    /// Unique bugs, deduplicated by fault site.
+    pub bugs: Vec<BugRecord>,
+    /// Valuable seeds retained (empty for the baseline, which discards them).
+    pub valuable_seeds: usize,
+    /// Final puzzle-corpus size (0 for the baseline).
+    pub corpus_size: usize,
+    /// Outcome tally: how many packets were answered, rejected or faulted.
+    pub responses: u64,
+    /// Number of packets rejected by protocol validation.
+    pub protocol_errors: u64,
+    /// Number of packets that hit a fault (including duplicates).
+    pub fault_hits: u64,
+}
+
+impl CampaignReport {
+    /// Final number of distinct paths covered.
+    #[must_use]
+    pub fn final_paths(&self) -> usize {
+        self.series.final_paths()
+    }
+
+    /// Number of unique bugs found.
+    #[must_use]
+    pub fn unique_bugs(&self) -> usize {
+        self.bugs.len()
+    }
+
+    /// Fraction of executed packets that were accepted by the target.
+    #[must_use]
+    pub fn validity_ratio(&self) -> f64 {
+        if self.executions == 0 {
+            return 0.0;
+        }
+        self.responses as f64 / self.executions as f64
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} execs, {} paths, {} unique bugs, validity {:.1}%",
+            self.strategy.label(),
+            self.target,
+            self.executions,
+            self.final_paths(),
+            self.unique_bugs(),
+            self.validity_ratio() * 100.0
+        )
+    }
+}
+
+/// One fuzzing campaign: a strategy, a target and an execution budget.
+pub struct Campaign {
+    target: Box<dyn Target>,
+    config: CampaignConfig,
+    strategy: Box<dyn GenerationStrategy>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("target", &self.target.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign with the strategy named in the configuration.
+    #[must_use]
+    pub fn new(target: Box<dyn Target>, config: CampaignConfig) -> Self {
+        Self {
+            strategy: config.strategy.create(),
+            target,
+            config,
+        }
+    }
+
+    /// Creates a campaign with an explicit (possibly customised) strategy.
+    #[must_use]
+    pub fn with_strategy(
+        target: Box<dyn Target>,
+        config: CampaignConfig,
+        strategy: Box<dyn GenerationStrategy>,
+    ) -> Self {
+        Self {
+            target,
+            config,
+            strategy,
+        }
+    }
+
+    /// Runs the campaign to completion and returns the report.
+    #[must_use]
+    pub fn run(mut self) -> CampaignReport {
+        let models = self.target.data_models();
+        let mut rng = SmallRng::seed_from_u64(self.config.rng_seed);
+        let mut coverage = CoverageMap::new();
+        let mut series = CoverageSeries::new();
+        let mut pool = SeedPool::new();
+        let mut bugs: Vec<BugRecord> = Vec::new();
+        let mut seen_sites: HashMap<&'static str, usize> = HashMap::new();
+        let mut responses = 0u64;
+        let mut protocol_errors = 0u64;
+        let mut fault_hits = 0u64;
+
+        for execution in 1..=self.config.executions {
+            if self.config.reset_interval > 0 && execution % self.config.reset_interval == 0 {
+                self.target.reset();
+            }
+            let packet = self.strategy.next_packet(&models, &mut rng);
+            let mut ctx = TraceContext::new();
+            let outcome = self.target.process(&packet.bytes, &mut ctx);
+            match &outcome {
+                Outcome::Response(_) => responses += 1,
+                Outcome::ProtocolError(_) => protocol_errors += 1,
+                Outcome::Fault(fault) => {
+                    fault_hits += 1;
+                    if !seen_sites.contains_key(fault.site) {
+                        seen_sites.insert(fault.site, bugs.len());
+                        bugs.push(BugRecord {
+                            fault: *fault,
+                            first_execution: execution,
+                            packet: packet.bytes.clone(),
+                            model: packet.model.clone(),
+                        });
+                    }
+                    // A fault leaves the session in an undefined state; the
+                    // fuzzer restarts the target, as the paper's harness
+                    // restarts the crashed server.
+                    self.target.reset();
+                }
+            }
+            let merge = coverage.merge(ctx.trace());
+            let valuable = merge.is_interesting();
+            if valuable {
+                pool.push(packet.clone(), merge.path_id, merge.new_edges);
+            }
+            self.strategy.observe(&packet, valuable, &models);
+
+            if execution % self.config.sample_interval == 0
+                || execution == self.config.executions
+            {
+                series.push(SeriesPoint {
+                    executions: execution,
+                    paths: coverage.paths_covered(),
+                    edges: coverage.edges_covered(),
+                    faults: bugs.len(),
+                });
+            }
+        }
+
+        CampaignReport {
+            target: self.target.name().to_string(),
+            strategy: self.config.strategy,
+            executions: self.config.executions,
+            series,
+            bugs,
+            valuable_seeds: pool.len(),
+            corpus_size: self.strategy.corpus_size(),
+            responses,
+            protocol_errors,
+            fault_hits,
+        }
+    }
+}
+
+/// Runs `repetitions` campaigns with different RNG seeds and returns the
+/// point-wise averaged coverage series plus every report — the "average of
+/// 10 repetitions" protocol of the paper's evaluation.
+#[must_use]
+pub fn run_repetitions(
+    make_target: impl Fn() -> Box<dyn Target>,
+    config: CampaignConfig,
+    repetitions: u64,
+) -> (CoverageSeries, Vec<CampaignReport>) {
+    let mut reports = Vec::with_capacity(repetitions as usize);
+    for repetition in 0..repetitions {
+        let run_config = config.rng_seed(config.rng_seed + repetition);
+        reports.push(Campaign::new(make_target(), run_config).run());
+    }
+    let series: Vec<CoverageSeries> = reports.iter().map(|r| r.series.clone()).collect();
+    (CoverageSeries::average(&series), reports)
+}
+
+/// Measures how many executions each fuzzer needs to reach the final path
+/// count the baseline achieves — the "same code coverage at 1.2X–25X speed"
+/// comparison of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedComparison {
+    /// Paths the baseline reached with the full budget.
+    pub baseline_paths: usize,
+    /// Executions the baseline needed to first reach that count.
+    pub baseline_executions: u64,
+    /// Executions Peach\* needed to reach the same count (`None` when it
+    /// never did within the budget).
+    pub peachstar_executions: Option<u64>,
+}
+
+impl SpeedComparison {
+    /// The speed-up factor (baseline executions / Peach\* executions).
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        self.peachstar_executions
+            .map(|execs| self.baseline_executions as f64 / execs.max(1) as f64)
+    }
+}
+
+/// Runs both fuzzers against fresh instances of the same target and compares
+/// how quickly they reach the baseline's final coverage.
+#[must_use]
+pub fn speed_to_coverage(
+    make_target: impl Fn() -> Box<dyn Target>,
+    config: CampaignConfig,
+) -> SpeedComparison {
+    let baseline_report = Campaign::new(
+        make_target(),
+        CampaignConfig {
+            strategy: StrategyKind::Peach,
+            ..config
+        },
+    )
+    .run();
+    let peachstar_report = Campaign::new(
+        make_target(),
+        CampaignConfig {
+            strategy: StrategyKind::PeachStar,
+            ..config
+        },
+    )
+    .run();
+
+    let baseline_paths = baseline_report.final_paths();
+    SpeedComparison {
+        baseline_paths,
+        baseline_executions: baseline_report
+            .series
+            .executions_to_reach(baseline_paths)
+            .unwrap_or(config.executions),
+        peachstar_executions: peachstar_report.series.executions_to_reach(baseline_paths),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachstar_protocols::TargetId;
+
+    fn small_config(strategy: StrategyKind) -> CampaignConfig {
+        CampaignConfig::new(strategy)
+            .executions(3_000)
+            .sample_interval(200)
+            .rng_seed(3)
+    }
+
+    #[test]
+    fn campaign_is_reproducible_for_a_fixed_seed() {
+        let run = || {
+            Campaign::new(TargetId::Modbus.create(), small_config(StrategyKind::PeachStar)).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_paths(), b.final_paths());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.unique_bugs(), b.unique_bugs());
+    }
+
+    #[test]
+    fn campaign_covers_paths_and_records_series() {
+        let report =
+            Campaign::new(TargetId::Modbus.create(), small_config(StrategyKind::Peach)).run();
+        assert!(report.final_paths() > 5);
+        assert!(!report.series.is_empty());
+        assert_eq!(report.executions, 3_000);
+        assert!(report.responses + report.protocol_errors + report.fault_hits == 3_000);
+        assert_eq!(report.corpus_size, 0, "baseline keeps no corpus");
+        // Monotone non-decreasing path counts.
+        let mut last = 0;
+        for point in report.series.points() {
+            assert!(point.paths >= last);
+            last = point.paths;
+        }
+    }
+
+    #[test]
+    fn peachstar_builds_a_corpus_and_valuable_seeds() {
+        let report = Campaign::new(
+            TargetId::Iec104.create(),
+            small_config(StrategyKind::PeachStar),
+        )
+        .run();
+        assert!(report.valuable_seeds > 0);
+        assert!(report.corpus_size > 0);
+    }
+
+    #[test]
+    fn run_repetitions_averages_series() {
+        let (series, reports) = run_repetitions(
+            || TargetId::Modbus.create(),
+            small_config(StrategyKind::Peach).executions(1_000),
+            3,
+        );
+        assert_eq!(reports.len(), 3);
+        assert!(!series.is_empty());
+    }
+
+    #[test]
+    fn speed_comparison_reports_a_speedup() {
+        let comparison = speed_to_coverage(
+            || TargetId::Modbus.create(),
+            small_config(StrategyKind::Peach).executions(4_000),
+        );
+        assert!(comparison.baseline_paths > 0);
+        assert!(comparison.baseline_executions > 0);
+        if let Some(speedup) = comparison.speedup() {
+            assert!(speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_mentions_strategy_and_target() {
+        let report =
+            Campaign::new(TargetId::Modbus.create(), small_config(StrategyKind::Peach).executions(500)).run();
+        let text = report.to_string();
+        assert!(text.contains("Peach"));
+        assert!(text.contains("libmodbus"));
+    }
+}

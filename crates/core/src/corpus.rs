@@ -1,0 +1,199 @@
+//! The puzzle corpus: rule-indexed storage of cracked packet pieces.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use peachstar_datamodel::{Puzzle, RuleId};
+
+/// The corpus of puzzles produced by the File Cracker.
+///
+/// Puzzles are indexed by the [`RuleId`] of the chunk they were cracked from,
+/// because that is how the semantic-aware generator looks donors up (the
+/// `GETDONOR(Rule, Corpus)` step of Algorithm 3). Duplicate contents per rule
+/// are discarded, and each rule keeps at most `capacity_per_rule` distinct
+/// puzzles (newest kept) so that the corpus cannot grow without bound on long
+/// campaigns.
+#[derive(Debug, Clone)]
+pub struct PuzzleCorpus {
+    by_rule: HashMap<RuleId, Vec<Vec<u8>>>,
+    capacity_per_rule: usize,
+    inserted: u64,
+    rejected_duplicates: u64,
+}
+
+impl PuzzleCorpus {
+    /// Default number of distinct puzzles kept per construction rule.
+    pub const DEFAULT_CAPACITY_PER_RULE: usize = 64;
+
+    /// Creates an empty corpus with the default per-rule capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity_per_rule(Self::DEFAULT_CAPACITY_PER_RULE)
+    }
+
+    /// Creates an empty corpus keeping at most `capacity` puzzles per rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity_per_rule(capacity: usize) -> Self {
+        assert!(capacity > 0, "per-rule capacity must be positive");
+        Self {
+            by_rule: HashMap::new(),
+            capacity_per_rule: capacity,
+            inserted: 0,
+            rejected_duplicates: 0,
+        }
+    }
+
+    /// Inserts one puzzle; returns `true` when it was new for its rule.
+    pub fn insert(&mut self, puzzle: Puzzle) -> bool {
+        let entry = self.by_rule.entry(puzzle.rule).or_default();
+        if entry.iter().any(|existing| *existing == puzzle.content) {
+            self.rejected_duplicates += 1;
+            return false;
+        }
+        if entry.len() == self.capacity_per_rule {
+            entry.remove(0);
+        }
+        entry.push(puzzle.content);
+        self.inserted += 1;
+        true
+    }
+
+    /// Inserts every puzzle of an iterator, returning how many were new.
+    pub fn insert_all<I: IntoIterator<Item = Puzzle>>(&mut self, puzzles: I) -> usize {
+        puzzles
+            .into_iter()
+            .filter(|puzzle| !puzzle.is_empty())
+            .map(|puzzle| usize::from(self.insert(puzzle)))
+            .sum()
+    }
+
+    /// The donors stored for `rule` (the `Candidates` set of Algorithm 3).
+    #[must_use]
+    pub fn donors(&self, rule: RuleId) -> &[Vec<u8>] {
+        self.by_rule.get(&rule).map_or(&[], Vec::as_slice)
+    }
+
+    /// `true` when at least one donor exists for `rule`.
+    #[must_use]
+    pub fn has_donor(&self, rule: RuleId) -> bool {
+        self.by_rule.get(&rule).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Number of distinct rules with at least one donor.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.by_rule.len()
+    }
+
+    /// Total number of stored puzzles across all rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_rule.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the corpus holds no puzzles (the state in which Peach\*
+    /// behaves exactly like the baseline).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_rule.is_empty()
+    }
+
+    /// Number of successful inserts so far.
+    #[must_use]
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of inserts rejected as duplicates.
+    #[must_use]
+    pub fn rejected_duplicates(&self) -> u64 {
+        self.rejected_duplicates
+    }
+}
+
+impl Default for PuzzleCorpus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for PuzzleCorpus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "puzzle corpus: {} puzzles across {} rules",
+            self.len(),
+            self.rule_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn puzzle(rule: u64, content: &[u8]) -> Puzzle {
+        Puzzle::new(RuleId::from_raw(rule), "test", content.to_vec())
+    }
+
+    #[test]
+    fn insert_and_lookup_by_rule() {
+        let mut corpus = PuzzleCorpus::new();
+        assert!(corpus.is_empty());
+        assert!(corpus.insert(puzzle(1, &[0xAA])));
+        assert!(corpus.insert(puzzle(1, &[0xBB])));
+        assert!(corpus.insert(puzzle(2, &[0xCC])));
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.rule_count(), 2);
+        assert_eq!(corpus.donors(RuleId::from_raw(1)).len(), 2);
+        assert!(corpus.has_donor(RuleId::from_raw(2)));
+        assert!(!corpus.has_donor(RuleId::from_raw(3)));
+        assert!(corpus.donors(RuleId::from_raw(3)).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut corpus = PuzzleCorpus::new();
+        assert!(corpus.insert(puzzle(1, &[0xAA])));
+        assert!(!corpus.insert(puzzle(1, &[0xAA])));
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.rejected_duplicates(), 1);
+        assert_eq!(corpus.inserted(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut corpus = PuzzleCorpus::with_capacity_per_rule(2);
+        corpus.insert(puzzle(1, &[1]));
+        corpus.insert(puzzle(1, &[2]));
+        corpus.insert(puzzle(1, &[3]));
+        let donors = corpus.donors(RuleId::from_raw(1));
+        assert_eq!(donors.len(), 2);
+        assert_eq!(donors, &[vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn insert_all_skips_empty_puzzles() {
+        let mut corpus = PuzzleCorpus::new();
+        let added = corpus.insert_all(vec![puzzle(1, &[1]), puzzle(2, &[]), puzzle(1, &[1])]);
+        assert_eq!(added, 1);
+        assert_eq!(corpus.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = PuzzleCorpus::with_capacity_per_rule(0);
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let mut corpus = PuzzleCorpus::new();
+        corpus.insert(puzzle(1, &[1]));
+        assert!(corpus.to_string().contains("1 puzzles across 1 rules"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The File Cracker (Algorithm 2): splitting valuable seeds into puzzles.
+
+use peachstar_datamodel::crack::{crack_with, CrackOptions};
+use peachstar_datamodel::{DataModelSet, InsTree, Puzzle};
+
+use crate::corpus::PuzzleCorpus;
+
+/// The File Cracker of Peach\*.
+///
+/// Given the format specification (a [`DataModelSet`]) and a valuable seed,
+/// it tries to parse the seed with every data model, collects the
+/// instantiation trees of the models that match and extracts every sub-tree
+/// puzzle (Algorithm 2 of the paper). The puzzles feed the
+/// [`PuzzleCorpus`] consumed by semantic-aware generation.
+#[derive(Debug, Clone)]
+pub struct FileCracker {
+    options: CrackOptions,
+    /// When `true`, only leaf-chunk puzzles are collected (the
+    /// `leaves_only` ablation discussed in DESIGN.md).
+    leaves_only: bool,
+    cracked_seeds: u64,
+    failed_seeds: u64,
+}
+
+impl FileCracker {
+    /// Creates a cracker with lenient options (checksums are not verified,
+    /// as fuzzer-generated packets often carry deliberately broken ones).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            options: CrackOptions::default(),
+            leaves_only: false,
+            cracked_seeds: 0,
+            failed_seeds: 0,
+        }
+    }
+
+    /// Restricts puzzle extraction to leaf chunks.
+    #[must_use]
+    pub fn leaves_only(mut self, leaves_only: bool) -> Self {
+        self.leaves_only = leaves_only;
+        self
+    }
+
+    /// Number of seeds successfully cracked by at least one model.
+    #[must_use]
+    pub fn cracked_seeds(&self) -> u64 {
+        self.cracked_seeds
+    }
+
+    /// Number of seeds no model could parse.
+    #[must_use]
+    pub fn failed_seeds(&self) -> u64 {
+        self.failed_seeds
+    }
+
+    /// Cracks `seed` against every model of `models` and returns the puzzles
+    /// of every legal instantiation tree.
+    pub fn crack(&mut self, models: &DataModelSet, seed: &[u8]) -> Vec<Puzzle> {
+        let trees: Vec<InsTree> = models
+            .models()
+            .iter()
+            .filter_map(|model| crack_with(model, seed, self.options).ok())
+            .collect();
+        if trees.is_empty() {
+            self.failed_seeds += 1;
+            return Vec::new();
+        }
+        self.cracked_seeds += 1;
+        trees
+            .iter()
+            .flat_map(|tree| {
+                if self.leaves_only {
+                    tree.leaf_puzzles()
+                } else {
+                    tree.puzzles()
+                }
+            })
+            .collect()
+    }
+
+    /// Cracks `seed` and inserts the resulting puzzles into `corpus`,
+    /// returning how many were new.
+    pub fn crack_into(
+        &mut self,
+        models: &DataModelSet,
+        seed: &[u8],
+        corpus: &mut PuzzleCorpus,
+    ) -> usize {
+        let puzzles = self.crack(models, seed);
+        corpus.insert_all(puzzles)
+    }
+}
+
+impl Default for FileCracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachstar_datamodel::emit::emit_default;
+    use peachstar_datamodel::examples::toy_protocol;
+
+    #[test]
+    fn cracking_a_default_packet_yields_puzzles() {
+        let models = toy_protocol();
+        let mut cracker = FileCracker::new();
+        let packet = emit_default(models.find("echo").unwrap()).unwrap();
+        let puzzles = cracker.crack(&models, &packet);
+        assert!(!puzzles.is_empty());
+        assert_eq!(cracker.cracked_seeds(), 1);
+        assert_eq!(cracker.failed_seeds(), 0);
+    }
+
+    #[test]
+    fn garbage_cannot_be_cracked() {
+        let models = toy_protocol();
+        let mut cracker = FileCracker::new();
+        let puzzles = cracker.crack(&models, &[0xFF; 3]);
+        assert!(puzzles.is_empty());
+        assert_eq!(cracker.failed_seeds(), 1);
+    }
+
+    #[test]
+    fn leaves_only_yields_fewer_puzzles() {
+        let models = toy_protocol();
+        let packet = emit_default(models.find("echo").unwrap()).unwrap();
+        let all = FileCracker::new().crack(&models, &packet).len();
+        let leaves = FileCracker::new()
+            .leaves_only(true)
+            .crack(&models, &packet)
+            .len();
+        assert!(leaves < all, "leaves {leaves} < all {all}");
+        assert!(leaves > 0);
+    }
+
+    #[test]
+    fn crack_into_populates_the_corpus_with_shared_rules() {
+        let models = toy_protocol();
+        let mut cracker = FileCracker::new();
+        let mut corpus = PuzzleCorpus::new();
+        let echo_packet = emit_default(models.find("echo").unwrap()).unwrap();
+        let added = cracker.crack_into(&models, &echo_packet, &mut corpus);
+        assert!(added > 0);
+        // The cracked echo packet provides a donor for the shared
+        // `device-address` rule used by the read and write models.
+        let read_device_rule = models
+            .find("read")
+            .unwrap()
+            .find("device")
+            .unwrap()
+            .rule_id();
+        assert!(corpus.has_donor(read_device_rule));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the fuzzer crate.
+
+use std::error::Error;
+use std::fmt;
+
+use peachstar_datamodel::ModelError;
+
+/// Error returned by fuzzer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FuzzError {
+    /// The target exposes no data models, so nothing can be generated.
+    NoDataModels {
+        /// Name of the target.
+        target: String,
+    },
+    /// An underlying data-model operation failed.
+    Model(ModelError),
+    /// The campaign configuration is invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::NoDataModels { target } => {
+                write!(f, "target `{target}` exposes no data models")
+            }
+            FuzzError::Model(err) => write!(f, "data model error: {err}"),
+            FuzzError::InvalidConfig { message } => {
+                write!(f, "invalid campaign configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for FuzzError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FuzzError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FuzzError {
+    fn from(err: ModelError) -> Self {
+        FuzzError::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = FuzzError::NoDataModels {
+            target: "libmodbus".into(),
+        };
+        assert!(err.to_string().contains("libmodbus"));
+        assert!(err.source().is_none());
+
+        let wrapped = FuzzError::from(ModelError::TrailingBytes { remaining: 2 });
+        assert!(wrapped.to_string().contains("data model"));
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<FuzzError>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Campaign statistics: coverage growth series and report summaries.
+
+use std::fmt;
+
+/// One sample of the coverage growth curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Number of executions performed when the sample was taken.
+    pub executions: u64,
+    /// Distinct execution paths observed so far (the Figure 4 metric).
+    pub paths: usize,
+    /// Distinct coverage-map edges observed so far.
+    pub edges: usize,
+    /// Unique faults discovered so far.
+    pub faults: usize,
+}
+
+/// The path-coverage growth curve of one campaign, sampled at a fixed
+/// execution interval — the data behind one line of the paper's Figure 4.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageSeries {
+    points: Vec<SeriesPoint>,
+}
+
+impl CoverageSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, point: SeriesPoint) {
+        self.points.push(point);
+    }
+
+    /// The recorded samples in execution order.
+    #[must_use]
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no sample was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final number of paths (0 when empty).
+    #[must_use]
+    pub fn final_paths(&self) -> usize {
+        self.points.last().map_or(0, |p| p.paths)
+    }
+
+    /// Number of executions needed to first reach `paths` distinct paths,
+    /// if the series ever did.
+    #[must_use]
+    pub fn executions_to_reach(&self, paths: usize) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|point| point.paths >= paths)
+            .map(|point| point.executions)
+    }
+
+    /// Renders the series as CSV with the given column prefix
+    /// (`executions,<prefix>_paths,<prefix>_edges,<prefix>_faults`).
+    #[must_use]
+    pub fn to_csv(&self, prefix: &str) -> String {
+        let mut out = format!("executions,{prefix}_paths,{prefix}_edges,{prefix}_faults\n");
+        for point in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                point.executions, point.paths, point.edges, point.faults
+            ));
+        }
+        out
+    }
+
+    /// Averages several series point-wise (they must have been sampled at
+    /// the same execution interval). Used for the "average of 10
+    /// repetitions" curves of Figure 4.
+    #[must_use]
+    pub fn average(series: &[CoverageSeries]) -> CoverageSeries {
+        let Some(first) = series.first() else {
+            return CoverageSeries::new();
+        };
+        let samples = series
+            .iter()
+            .map(|s| s.points.len())
+            .min()
+            .unwrap_or(first.points.len());
+        let mut averaged = CoverageSeries::new();
+        for index in 0..samples {
+            let executions = first.points[index].executions;
+            let mean = |f: fn(&SeriesPoint) -> usize| -> usize {
+                let total: usize = series.iter().map(|s| f(&s.points[index])).sum();
+                total / series.len()
+            };
+            averaged.push(SeriesPoint {
+                executions,
+                paths: mean(|p| p.paths),
+                edges: mean(|p| p.edges),
+                faults: mean(|p| p.faults),
+            });
+        }
+        averaged
+    }
+}
+
+impl fmt::Display for CoverageSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coverage series: {} samples, final paths {}",
+            self.len(),
+            self.final_paths()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(executions: u64, paths: usize) -> SeriesPoint {
+        SeriesPoint {
+            executions,
+            paths,
+            edges: paths * 2,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut series = CoverageSeries::new();
+        assert!(series.is_empty());
+        series.push(point(100, 5));
+        series.push(point(200, 9));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.final_paths(), 9);
+        assert_eq!(series.points()[0].executions, 100);
+    }
+
+    #[test]
+    fn executions_to_reach_finds_first_crossing() {
+        let mut series = CoverageSeries::new();
+        series.push(point(100, 5));
+        series.push(point(200, 9));
+        series.push(point(300, 12));
+        assert_eq!(series.executions_to_reach(9), Some(200));
+        assert_eq!(series.executions_to_reach(1), Some(100));
+        assert_eq!(series.executions_to_reach(100), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut series = CoverageSeries::new();
+        series.push(point(100, 5));
+        let csv = series.to_csv("peach");
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "executions,peach_paths,peach_edges,peach_faults");
+        assert_eq!(lines.next().unwrap(), "100,5,10,0");
+    }
+
+    #[test]
+    fn average_of_repetitions() {
+        let mut a = CoverageSeries::new();
+        a.push(point(100, 4));
+        a.push(point(200, 8));
+        let mut b = CoverageSeries::new();
+        b.push(point(100, 6));
+        b.push(point(200, 10));
+        b.push(point(300, 12));
+        let mean = CoverageSeries::average(&[a, b]);
+        assert_eq!(mean.len(), 2, "truncated to the shortest series");
+        assert_eq!(mean.points()[0].paths, 5);
+        assert_eq!(mean.points()[1].paths, 9);
+        assert!(CoverageSeries::average(&[]).is_empty());
+    }
+}

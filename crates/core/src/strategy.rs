@@ -1,0 +1,475 @@
+//! Generation strategies: the baseline model instantiation of Peach
+//! (Algorithm 1) and the semantic-aware generation of Peach\* (Algorithm 3).
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use peachstar_datamodel::emit::{emit_values, ValueAssignment};
+use peachstar_datamodel::{DataModel, DataModelSet};
+
+use crate::corpus::PuzzleCorpus;
+use crate::cracker::FileCracker;
+use crate::mutator;
+use crate::seed::Seed;
+
+/// Which of the two fuzzers a campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// The baseline generation-based fuzzer (Peach).
+    Peach,
+    /// The coverage-guided packet crack and generation fuzzer (Peach\*).
+    PeachStar,
+}
+
+impl StrategyKind {
+    /// Human-readable name matching the paper's terminology.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Peach => "Peach",
+            StrategyKind::PeachStar => "Peach*",
+        }
+    }
+
+    /// Instantiates the strategy with default settings.
+    #[must_use]
+    pub fn create(self) -> Box<dyn GenerationStrategy> {
+        match self {
+            StrategyKind::Peach => Box::new(RandomGenerationStrategy::new()),
+            StrategyKind::PeachStar => {
+                Box::new(SemanticAwareStrategy::new(SemanticAwareConfig::default()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A packet produced by a strategy, before execution.
+pub type GeneratedPacket = Seed;
+
+/// A test-case generation strategy plugged into the campaign loop.
+pub trait GenerationStrategy {
+    /// Short display name ("Peach", "Peach*", …).
+    fn name(&self) -> &'static str;
+
+    /// Produces the next packet to execute.
+    fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket;
+
+    /// Observes the execution result of a previously generated packet.
+    /// `valuable` is `true` when the packet triggered new coverage.
+    fn observe(&mut self, packet: &GeneratedPacket, valuable: bool, models: &DataModelSet);
+
+    /// Number of puzzles currently available to the strategy (0 for
+    /// feedback-free strategies).
+    fn corpus_size(&self) -> usize {
+        0
+    }
+}
+
+/// Instantiates `model` by generating every leaf with the type mutators and
+/// emitting with relations and fixups repaired — one iteration of
+/// Algorithm 1.
+fn instantiate_randomly(model: &DataModel, rng: &mut SmallRng, repair: bool) -> Vec<u8> {
+    let linear = model.linear();
+    let mut assignment = ValueAssignment::new();
+    for (index, leaf) in linear.iter().enumerate() {
+        // Keep the default value sometimes; otherwise run the mutator.
+        if rng.gen_bool(0.15) {
+            continue;
+        }
+        assignment.set(index, mutator::generate_leaf(leaf.chunk, rng));
+    }
+    emit_values(model, &assignment, repair).unwrap_or_default()
+}
+
+/// The baseline Peach strategy: random, feedback-free model instantiation.
+#[derive(Debug, Default)]
+pub struct RandomGenerationStrategy {
+    generated: u64,
+}
+
+impl RandomGenerationStrategy {
+    /// Creates the baseline strategy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of packets generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+impl GenerationStrategy for RandomGenerationStrategy {
+    fn name(&self) -> &'static str {
+        "Peach"
+    }
+
+    fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
+        self.generated += 1;
+        let index = rng.gen_range(0..models.len().max(1));
+        let model = &models.models()[index.min(models.len() - 1)];
+        let bytes = instantiate_randomly(model, rng, true);
+        Seed::new(bytes, model.name(), false)
+    }
+
+    fn observe(&mut self, _packet: &GeneratedPacket, _valuable: bool, _models: &DataModelSet) {
+        // The baseline discards valuable seeds — exactly the limitation the
+        // paper's introduction calls out.
+    }
+}
+
+/// Tunables of the semantic-aware strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemanticAwareConfig {
+    /// Maximum donors tried per field position when expanding the
+    /// combinatorial construction of Algorithm 3 (the paper's p × q grows
+    /// quickly; this cap bounds the batch produced per valuable seed).
+    pub max_donors_per_field: usize,
+    /// Maximum number of packets queued from one construction pass.
+    pub max_batch: usize,
+    /// Probability of using a donor when one is available (1.0 reproduces
+    /// Algorithm 3 exactly; lower values blend in fresh random content).
+    pub donor_probability: f64,
+    /// Whether the File Fixup pass repairs sizes and checksums after
+    /// donor splicing (disabling this is the `repair` ablation).
+    pub repair: bool,
+    /// Whether the File Cracker collects only leaf puzzles (ablation).
+    pub leaves_only: bool,
+}
+
+impl Default for SemanticAwareConfig {
+    fn default() -> Self {
+        Self {
+            max_donors_per_field: 2,
+            max_batch: 8,
+            donor_probability: 0.7,
+            repair: true,
+            leaves_only: false,
+        }
+    }
+}
+
+/// The Peach\* strategy: coverage-guided packet crack and generation.
+///
+/// Until the first valuable seed appears the strategy behaves exactly like
+/// the baseline. Once the puzzle corpus is non-empty, new packets are
+/// assembled by donating puzzles to chunks that share their construction
+/// rule (Algorithm 3), followed by the File Fixup pass.
+pub struct SemanticAwareStrategy {
+    config: SemanticAwareConfig,
+    corpus: PuzzleCorpus,
+    cracker: FileCracker,
+    queue: VecDeque<Seed>,
+    semantic_generated: u64,
+    random_generated: u64,
+}
+
+impl std::fmt::Debug for SemanticAwareStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticAwareStrategy")
+            .field("corpus", &self.corpus.len())
+            .field("queued", &self.queue.len())
+            .field("semantic_generated", &self.semantic_generated)
+            .field("random_generated", &self.random_generated)
+            .finish()
+    }
+}
+
+impl SemanticAwareStrategy {
+    /// Creates the strategy with the given configuration.
+    #[must_use]
+    pub fn new(config: SemanticAwareConfig) -> Self {
+        Self {
+            config,
+            corpus: PuzzleCorpus::new(),
+            cracker: FileCracker::new().leaves_only(config.leaves_only),
+            queue: VecDeque::new(),
+            semantic_generated: 0,
+            random_generated: 0,
+        }
+    }
+
+    /// The current puzzle corpus.
+    #[must_use]
+    pub fn corpus(&self) -> &PuzzleCorpus {
+        &self.corpus
+    }
+
+    /// Number of packets produced by donor-based construction.
+    #[must_use]
+    pub fn semantic_generated(&self) -> u64 {
+        self.semantic_generated
+    }
+
+    /// Number of packets produced by plain model instantiation.
+    #[must_use]
+    pub fn random_generated(&self) -> u64 {
+        self.random_generated
+    }
+
+    /// Recursive construction of Algorithm 3, generalised over the chunk
+    /// tree: a chunk with a donor in the corpus is initialised from one of
+    /// the donors; otherwise leaves fall back to the mutators and blocks
+    /// recurse into their children.
+    ///
+    /// Returns the leaf-value assignments (one per generated packet).
+    fn construct(&self, model: &DataModel, rng: &mut SmallRng) -> Vec<ValueAssignment> {
+        let linear = model.linear();
+        // Candidate content per leaf position.
+        let mut per_position: Vec<Vec<Vec<u8>>> = Vec::with_capacity(linear.len());
+        let mut block_donations: Vec<Option<Vec<Vec<u8>>>> = Vec::new();
+        let _ = &mut block_donations;
+        for leaf in linear.iter() {
+            let rule = leaf.chunk.rule_id();
+            let donors = self.corpus.donors(rule);
+            let mut candidates: Vec<Vec<u8>> = Vec::new();
+            if !donors.is_empty() && rng.gen_bool(self.config.donor_probability) {
+                let take = donors.len().min(self.config.max_donors_per_field);
+                // Sample without replacement from the donor list.
+                let mut indices: Vec<usize> = (0..donors.len()).collect();
+                for _ in 0..take {
+                    let pick = rng.gen_range(0..indices.len());
+                    let donor_index = indices.swap_remove(pick);
+                    candidates.push(donors[donor_index].clone());
+                }
+            }
+            if candidates.is_empty() {
+                candidates.push(mutator::generate_leaf(leaf.chunk, rng));
+            }
+            per_position.push(candidates);
+        }
+
+        // Expand the cross product, capped at max_batch packets.
+        let mut assignments = vec![ValueAssignment::new()];
+        for (position, candidates) in per_position.iter().enumerate() {
+            let mut expanded = Vec::with_capacity(assignments.len() * candidates.len());
+            'outer: for assignment in &assignments {
+                for candidate in candidates {
+                    let mut next = assignment.clone();
+                    next.set(position, candidate.clone());
+                    expanded.push(next);
+                    if expanded.len() >= self.config.max_batch {
+                        break 'outer;
+                    }
+                }
+            }
+            assignments = expanded;
+        }
+        assignments
+    }
+
+    /// Queues a batch of donor-built packets for every data model. Called
+    /// right after a valuable seed was cracked, mirroring the paper's flow:
+    /// the semantic-aware strategy is employed in the iteration following a
+    /// valuable-seed detection, and the puzzles of one packet type are
+    /// donated to the models of the other packet types.
+    fn refill_queue(&mut self, models: &DataModelSet, rng: &mut SmallRng) {
+        const MAX_QUEUE: usize = 256;
+        for model in models.models() {
+            if self.queue.len() >= MAX_QUEUE {
+                break;
+            }
+            let assignments = self.construct(model, rng);
+            for assignment in assignments {
+                if let Ok(bytes) = emit_values(model, &assignment, self.config.repair) {
+                    self.queue.push_back(Seed::new(bytes, model.name(), true));
+                }
+            }
+        }
+    }
+}
+
+impl GenerationStrategy for SemanticAwareStrategy {
+    fn name(&self) -> &'static str {
+        "Peach*"
+    }
+
+    fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
+        // Drain the batch queued after the last valuable seed first; fall
+        // back to the inherent (random) generation strategy otherwise —
+        // exactly the control flow described in §IV-A of the paper.
+        if let Some(seed) = self.queue.pop_front() {
+            self.semantic_generated += 1;
+            return seed;
+        }
+        self.random_generated += 1;
+        let index = rng.gen_range(0..models.len().max(1));
+        let model = &models.models()[index.min(models.len() - 1)];
+        let bytes = instantiate_randomly(model, rng, true);
+        Seed::new(bytes, model.name(), false)
+    }
+
+    fn observe(&mut self, packet: &GeneratedPacket, valuable: bool, models: &DataModelSet) {
+        if !valuable {
+            return;
+        }
+        // Algorithm 2: crack the valuable seed into puzzles for the corpus,
+        // then queue the semantic-aware batch for the following iterations.
+        let added = self
+            .cracker
+            .crack_into(models, &packet.bytes, &mut self.corpus);
+        if added > 0 {
+            let mut rng = SmallRng::seed_from_u64(
+                self.corpus.inserted() ^ (packet.bytes.len() as u64) << 32,
+            );
+            self.refill_queue(models, &mut rng);
+        }
+    }
+
+    fn corpus_size(&self) -> usize {
+        self.corpus.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachstar_datamodel::emit::emit_default;
+    use peachstar_datamodel::examples::toy_protocol;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn baseline_generates_packets_for_every_model() {
+        let models = toy_protocol();
+        let mut strategy = RandomGenerationStrategy::new();
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let packet = strategy.next_packet(&models, &mut rng);
+            seen.insert(packet.model.clone());
+            assert!(!packet.semantic);
+        }
+        assert_eq!(seen.len(), models.len(), "all packet types get generated");
+        assert_eq!(strategy.generated(), 100);
+        assert_eq!(strategy.corpus_size(), 0);
+    }
+
+    #[test]
+    fn baseline_ignores_feedback() {
+        let models = toy_protocol();
+        let mut strategy = RandomGenerationStrategy::new();
+        let mut rng = rng();
+        let packet = strategy.next_packet(&models, &mut rng);
+        strategy.observe(&packet, true, &models);
+        assert_eq!(strategy.corpus_size(), 0);
+    }
+
+    #[test]
+    fn semantic_strategy_behaves_like_baseline_until_first_valuable_seed() {
+        let models = toy_protocol();
+        let mut strategy = SemanticAwareStrategy::new(SemanticAwareConfig::default());
+        let mut rng = rng();
+        for _ in 0..20 {
+            let packet = strategy.next_packet(&models, &mut rng);
+            assert!(!packet.semantic, "no corpus yet, so no semantic packets");
+        }
+        assert_eq!(strategy.semantic_generated(), 0);
+    }
+
+    #[test]
+    fn valuable_seed_populates_corpus_and_enables_semantic_generation() {
+        let models = toy_protocol();
+        let mut strategy = SemanticAwareStrategy::new(SemanticAwareConfig::default());
+        let mut rng = rng();
+        // Pretend the default echo packet was valuable.
+        let valuable = Seed::new(
+            emit_default(models.find("echo").unwrap()).unwrap(),
+            "echo",
+            false,
+        );
+        strategy.observe(&valuable, true, &models);
+        assert!(strategy.corpus_size() > 0);
+
+        let mut semantic_seen = false;
+        for _ in 0..50 {
+            let packet = strategy.next_packet(&models, &mut rng);
+            if packet.semantic {
+                semantic_seen = true;
+                assert!(!packet.bytes.is_empty());
+            }
+        }
+        assert!(semantic_seen, "semantic packets should appear once the corpus is populated");
+        assert!(strategy.semantic_generated() > 0);
+    }
+
+    #[test]
+    fn non_valuable_seeds_are_not_cracked() {
+        let models = toy_protocol();
+        let mut strategy = SemanticAwareStrategy::new(SemanticAwareConfig::default());
+        let valuable = Seed::new(
+            emit_default(models.find("echo").unwrap()).unwrap(),
+            "echo",
+            false,
+        );
+        strategy.observe(&valuable, false, &models);
+        assert_eq!(strategy.corpus_size(), 0);
+    }
+
+    #[test]
+    fn construct_honours_the_batch_cap() {
+        let models = toy_protocol();
+        let config = SemanticAwareConfig {
+            max_batch: 4,
+            ..SemanticAwareConfig::default()
+        };
+        let mut strategy = SemanticAwareStrategy::new(config);
+        let valuable = Seed::new(
+            emit_default(models.find("echo").unwrap()).unwrap(),
+            "echo",
+            false,
+        );
+        strategy.observe(&valuable, true, &models);
+        let assignments = strategy.construct(models.find("echo").unwrap(), &mut rng());
+        assert!(assignments.len() <= 4);
+        assert!(!assignments.is_empty());
+    }
+
+    #[test]
+    fn donated_packets_reuse_cracked_content() {
+        let models = toy_protocol();
+        let mut strategy = SemanticAwareStrategy::new(SemanticAwareConfig {
+            donor_probability: 1.0,
+            ..SemanticAwareConfig::default()
+        });
+        // Crack an echo packet with a distinctive device address.
+        let echo = models.find("echo").unwrap();
+        let mut assignment = ValueAssignment::new();
+        assignment.set(1, vec![0xBE, 0xEF]); // device field
+        let packet = emit_values(echo, &assignment, true).unwrap();
+        strategy.observe(&Seed::new(packet, "echo", false), true, &models);
+
+        // Generated read/write packets should frequently carry 0xBEEF in
+        // their shared device-address field.
+        let mut rng = rng();
+        let mut reused = false;
+        for _ in 0..200 {
+            let packet = strategy.next_packet(&models, &mut rng);
+            if packet.semantic && packet.bytes.windows(2).any(|w| w == [0xBE, 0xEF]) {
+                reused = true;
+                break;
+            }
+        }
+        assert!(reused, "donated device address should reappear in new packets");
+    }
+
+    #[test]
+    fn strategy_kind_factory() {
+        assert_eq!(StrategyKind::Peach.create().name(), "Peach");
+        assert_eq!(StrategyKind::PeachStar.create().name(), "Peach*");
+        assert_eq!(StrategyKind::PeachStar.to_string(), "Peach*");
+    }
+}

@@ -1,0 +1,316 @@
+//! The persistent, campaign-global coverage map.
+
+use std::fmt;
+
+use crate::stats::{bucket_for, CoverageStats, HitBucket};
+use crate::trace::{PathId, TraceMap};
+
+/// Number of slots in the coverage bitmap (64 KiB, the classic AFL size).
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// Outcome of merging one execution's [`TraceMap`] into the global map.
+///
+/// The fuzzer labels the seed that produced the trace *valuable* when the
+/// outcome [`is_interesting`](MergeOutcome::is_interesting): valuable seeds
+/// are retained and cracked into puzzles (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Number of map slots never hit by any previous execution.
+    pub new_edges: usize,
+    /// Number of slots whose hit-count bucket grew (e.g. 1 hit → many hits).
+    pub new_buckets: usize,
+    /// Whether the whole execution path (edge set + buckets) was new.
+    pub new_path: bool,
+    /// Stable identifier of the execution path.
+    pub path_id: PathId,
+}
+
+impl MergeOutcome {
+    /// `true` when the execution uncovered a map slot never seen before.
+    #[must_use]
+    pub fn has_new_edges(&self) -> bool {
+        self.new_edges > 0
+    }
+
+    /// `true` when the execution should be treated as a valuable seed
+    /// (new edge or new hit-count bucket).
+    #[must_use]
+    pub fn is_interesting(&self) -> bool {
+        self.new_edges > 0 || self.new_buckets > 0
+    }
+}
+
+/// Campaign-global accumulation of edge coverage.
+///
+/// This is the fuzzer-side view of the `shared_mem[]` region: per slot it
+/// remembers the union of hit-count buckets observed so far, plus the set of
+/// distinct path ids, so it can answer both "new edge?" and "new path?".
+///
+/// ```
+/// use peachstar_coverage::{CoverageMap, TraceContext, EdgeId};
+///
+/// let mut map = CoverageMap::new();
+/// let mut ctx = TraceContext::new();
+/// ctx.edge(EdgeId::new(77));
+/// let outcome = map.merge(ctx.trace());
+/// assert!(outcome.has_new_edges());
+/// assert_eq!(map.edges_covered(), 1);
+/// assert_eq!(map.paths_covered(), 1);
+/// ```
+#[derive(Clone)]
+pub struct CoverageMap {
+    /// Bitmask of observed [`HitBucket`]s per slot.
+    buckets: Box<[u8; MAP_SIZE]>,
+    edges_covered: usize,
+    paths: std::collections::HashSet<PathId>,
+    executions: u64,
+}
+
+impl CoverageMap {
+    /// Creates an empty global coverage map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0u8; MAP_SIZE]),
+            edges_covered: 0,
+            paths: std::collections::HashSet::new(),
+            executions: 0,
+        }
+    }
+
+    /// Merges a single execution's trace, returning what (if anything) it
+    /// added to global coverage.
+    pub fn merge(&mut self, trace: &TraceMap) -> MergeOutcome {
+        self.executions += 1;
+        let mut new_edges = 0;
+        let mut new_buckets = 0;
+        for (slot, count) in trace.iter_hits() {
+            let bucket_bit = 1u8 << (bucket_for(count) as u8);
+            let seen = self.buckets[slot];
+            if seen == 0 {
+                new_edges += 1;
+                self.edges_covered += 1;
+            } else if seen & bucket_bit == 0 {
+                new_buckets += 1;
+            }
+            self.buckets[slot] = seen | bucket_bit;
+        }
+        let path_id = trace.path_id();
+        let new_path = !trace.is_empty() && self.paths.insert(path_id);
+        MergeOutcome {
+            new_edges,
+            new_buckets,
+            new_path,
+            path_id,
+        }
+    }
+
+    /// Checks what a trace *would* add, without updating the map.
+    #[must_use]
+    pub fn peek(&self, trace: &TraceMap) -> MergeOutcome {
+        let mut new_edges = 0;
+        let mut new_buckets = 0;
+        for (slot, count) in trace.iter_hits() {
+            let bucket_bit = 1u8 << (bucket_for(count) as u8);
+            let seen = self.buckets[slot];
+            if seen == 0 {
+                new_edges += 1;
+            } else if seen & bucket_bit == 0 {
+                new_buckets += 1;
+            }
+        }
+        let path_id = trace.path_id();
+        MergeOutcome {
+            new_edges,
+            new_buckets,
+            new_path: !trace.is_empty() && !self.paths.contains(&path_id),
+            path_id,
+        }
+    }
+
+    /// Number of distinct map slots covered so far.
+    #[must_use]
+    pub fn edges_covered(&self) -> usize {
+        self.edges_covered
+    }
+
+    /// Number of distinct execution paths observed so far.
+    ///
+    /// This is the metric plotted in Figure 4 of the paper.
+    #[must_use]
+    pub fn paths_covered(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total number of traces merged.
+    #[must_use]
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Whether slot `slot` has ever been hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MAP_SIZE`.
+    #[must_use]
+    pub fn is_covered(&self, slot: usize) -> bool {
+        self.buckets[slot] != 0
+    }
+
+    /// Buckets observed for slot `slot`, as an iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MAP_SIZE`.
+    pub fn buckets_for(&self, slot: usize) -> impl Iterator<Item = HitBucket> + '_ {
+        let mask = self.buckets[slot];
+        HitBucket::ALL
+            .iter()
+            .copied()
+            .filter(move |bucket| mask & (1u8 << (*bucket as u8)) != 0)
+    }
+
+    /// Summary statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CoverageStats {
+        CoverageStats {
+            edges_covered: self.edges_covered,
+            paths_covered: self.paths.len(),
+            executions: self.executions,
+            map_density: self.edges_covered as f64 / MAP_SIZE as f64,
+        }
+    }
+
+    /// Resets the map to the empty state.
+    pub fn clear(&mut self) {
+        self.buckets = Box::new([0u8; MAP_SIZE]);
+        self.edges_covered = 0;
+        self.paths.clear();
+        self.executions = 0;
+    }
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoverageMap")
+            .field("edges_covered", &self.edges_covered)
+            .field("paths_covered", &self.paths.len())
+            .field("executions", &self.executions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EdgeId, TraceContext};
+
+    fn trace_of(ids: &[u32]) -> TraceMap {
+        let mut ctx = TraceContext::new();
+        for &id in ids {
+            ctx.edge(EdgeId::new(id));
+        }
+        ctx.into_trace()
+    }
+
+    #[test]
+    fn first_merge_is_interesting() {
+        let mut map = CoverageMap::new();
+        let outcome = map.merge(&trace_of(&[1, 2, 3]));
+        assert!(outcome.is_interesting());
+        assert!(outcome.new_path);
+        assert_eq!(map.paths_covered(), 1);
+    }
+
+    #[test]
+    fn duplicate_merge_is_not_interesting() {
+        let mut map = CoverageMap::new();
+        map.merge(&trace_of(&[1, 2, 3]));
+        let outcome = map.merge(&trace_of(&[1, 2, 3]));
+        assert!(!outcome.is_interesting());
+        assert!(!outcome.new_path);
+        assert_eq!(map.paths_covered(), 1);
+        assert_eq!(map.executions(), 2);
+    }
+
+    #[test]
+    fn new_subset_path_without_new_edges() {
+        let mut map = CoverageMap::new();
+        map.merge(&trace_of(&[1, 2, 3]));
+        // Prefix of the earlier trace: no new edges, but a distinct path.
+        let outcome = map.merge(&trace_of(&[1, 2]));
+        assert_eq!(outcome.new_edges, 0);
+        assert!(outcome.new_path);
+        assert_eq!(map.paths_covered(), 2);
+    }
+
+    #[test]
+    fn bucket_growth_is_interesting() {
+        let looped = |iterations: usize| {
+            let mut ctx = TraceContext::new();
+            for _ in 0..iterations {
+                ctx.edge(EdgeId::new(9));
+            }
+            ctx.into_trace()
+        };
+        let mut map = CoverageMap::new();
+        // Covers both map slots the loop can touch, each with a low count.
+        map.merge(&looped(2));
+        // Same slots but one of them is now hit ~40 times → new hit bucket.
+        let outcome = map.merge(&looped(40));
+        assert_eq!(outcome.new_edges, 0);
+        assert!(outcome.new_buckets > 0);
+        assert!(outcome.is_interesting());
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut map = CoverageMap::new();
+        map.merge(&trace_of(&[4, 5]));
+        let trace = trace_of(&[6]);
+        let peeked = map.peek(&trace);
+        assert!(peeked.has_new_edges());
+        assert_eq!(map.edges_covered(), 2);
+        assert_eq!(map.paths_covered(), 1);
+        // Now actually merge and observe the same verdict.
+        let merged = map.merge(&trace);
+        assert_eq!(peeked.new_edges, merged.new_edges);
+    }
+
+    #[test]
+    fn empty_trace_is_not_a_path() {
+        let mut map = CoverageMap::new();
+        let outcome = map.merge(&TraceMap::new());
+        assert!(!outcome.new_path);
+        assert_eq!(map.paths_covered(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut map = CoverageMap::new();
+        map.merge(&trace_of(&[1, 2, 3]));
+        map.clear();
+        assert_eq!(map.edges_covered(), 0);
+        assert_eq!(map.paths_covered(), 0);
+        assert_eq!(map.executions(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let mut map = CoverageMap::new();
+        map.merge(&trace_of(&[1, 2, 3]));
+        let stats = map.stats();
+        assert_eq!(stats.edges_covered, map.edges_covered());
+        assert!(stats.edges_covered >= 2);
+        assert_eq!(stats.paths_covered, 1);
+        assert_eq!(stats.executions, 1);
+        assert!(stats.map_density > 0.0);
+    }
+}

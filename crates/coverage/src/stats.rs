@@ -1,0 +1,165 @@
+//! Hit-count bucketing and coverage summary statistics.
+
+use std::fmt;
+
+/// AFL-style hit-count buckets.
+///
+/// Raw hit counts are too fine-grained to use as feedback: looping one more
+/// time is rarely interesting. Counts are therefore coarsened into eight
+/// buckets; an execution is considered to add coverage when an edge moves
+/// into a bucket never observed before.
+///
+/// ```
+/// use peachstar_coverage::{bucket_for, HitBucket};
+/// assert_eq!(bucket_for(1), HitBucket::One);
+/// assert_eq!(bucket_for(2), HitBucket::Two);
+/// assert_eq!(bucket_for(200), HitBucket::Lots);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum HitBucket {
+    /// Exactly one hit.
+    One = 0,
+    /// Exactly two hits.
+    Two = 1,
+    /// Three hits.
+    Three = 2,
+    /// Four to seven hits.
+    Few = 3,
+    /// Eight to fifteen hits.
+    Several = 4,
+    /// Sixteen to thirty-one hits.
+    Many = 5,
+    /// Thirty-two to one hundred and twenty-seven hits.
+    VeryMany = 6,
+    /// One hundred and twenty-eight or more hits.
+    Lots = 7,
+}
+
+impl HitBucket {
+    /// All buckets in ascending order.
+    pub const ALL: [HitBucket; 8] = [
+        HitBucket::One,
+        HitBucket::Two,
+        HitBucket::Three,
+        HitBucket::Few,
+        HitBucket::Several,
+        HitBucket::Many,
+        HitBucket::VeryMany,
+        HitBucket::Lots,
+    ];
+}
+
+impl fmt::Display for HitBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            HitBucket::One => "1",
+            HitBucket::Two => "2",
+            HitBucket::Three => "3",
+            HitBucket::Few => "4-7",
+            HitBucket::Several => "8-15",
+            HitBucket::Many => "16-31",
+            HitBucket::VeryMany => "32-127",
+            HitBucket::Lots => "128+",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Maps a raw hit count to its [`HitBucket`].
+///
+/// # Panics
+///
+/// Never panics; a count of zero is mapped to [`HitBucket::One`] (callers
+/// only bucket counts of slots that were actually hit).
+#[must_use]
+pub fn bucket_for(count: u8) -> HitBucket {
+    match count {
+        0 | 1 => HitBucket::One,
+        2 => HitBucket::Two,
+        3 => HitBucket::Three,
+        4..=7 => HitBucket::Few,
+        8..=15 => HitBucket::Several,
+        16..=31 => HitBucket::Many,
+        32..=127 => HitBucket::VeryMany,
+        _ => HitBucket::Lots,
+    }
+}
+
+/// Point-in-time summary of a [`CoverageMap`](crate::CoverageMap).
+///
+/// ```
+/// use peachstar_coverage::CoverageMap;
+/// let stats = CoverageMap::new().stats();
+/// assert_eq!(stats.paths_covered, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStats {
+    /// Distinct covered map slots.
+    pub edges_covered: usize,
+    /// Distinct execution paths.
+    pub paths_covered: usize,
+    /// Number of merged executions.
+    pub executions: u64,
+    /// Fraction of the map that is covered (0.0–1.0).
+    pub map_density: f64,
+}
+
+impl fmt::Display for CoverageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edges={} paths={} execs={} density={:.4}%",
+            self.edges_covered,
+            self.paths_covered,
+            self.executions,
+            self.map_density * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut last = bucket_for(1);
+        for count in 2..=255u8 {
+            let bucket = bucket_for(count);
+            assert!(bucket >= last, "bucket regressed at count {count}");
+            last = bucket;
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_for(0), HitBucket::One);
+        assert_eq!(bucket_for(3), HitBucket::Three);
+        assert_eq!(bucket_for(4), HitBucket::Few);
+        assert_eq!(bucket_for(7), HitBucket::Few);
+        assert_eq!(bucket_for(8), HitBucket::Several);
+        assert_eq!(bucket_for(15), HitBucket::Several);
+        assert_eq!(bucket_for(16), HitBucket::Many);
+        assert_eq!(bucket_for(31), HitBucket::Many);
+        assert_eq!(bucket_for(32), HitBucket::VeryMany);
+        assert_eq!(bucket_for(127), HitBucket::VeryMany);
+        assert_eq!(bucket_for(128), HitBucket::Lots);
+        assert_eq!(bucket_for(255), HitBucket::Lots);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(HitBucket::One.to_string(), "1");
+        assert_eq!(HitBucket::Lots.to_string(), "128+");
+    }
+
+    #[test]
+    fn all_contains_every_variant_once() {
+        let mut seen = std::collections::HashSet::new();
+        for bucket in HitBucket::ALL {
+            assert!(seen.insert(bucket as u8));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-execution trace recording: [`EdgeId`], [`TraceContext`] and [`TraceMap`].
+
+use std::fmt;
+
+use crate::map::MAP_SIZE;
+
+/// Identifier of a basic block / instrumentation site in the target.
+///
+/// Plays the role of the compile-time random `cur_location` value the paper's
+/// instrumentation pass assigns to each basic block. Only the low bits that
+/// index the trace map matter; the full 32-bit value is kept so that
+/// diagnostics can refer to the original site.
+///
+/// ```
+/// use peachstar_coverage::EdgeId;
+/// let id = EdgeId::new(0xdead_beef);
+/// assert_eq!(id.raw(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an identifier from a raw 32-bit value.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw 32-bit value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Index of this block in the coverage bitmap.
+    #[must_use]
+    pub(crate) const fn slot(self) -> usize {
+        (self.0 as usize) & (MAP_SIZE - 1)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge:{:08x}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(raw: u32) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// Stable identifier of a whole execution *path*.
+///
+/// Two executions that hit the same set of (edge, hit-bucket) pairs get the
+/// same `PathId`. The fuzzer uses distinct path ids as its "paths covered"
+/// metric — the quantity plotted on the Y axis of Figure 4 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(u64);
+
+impl PathId {
+    /// Creates a path identifier from its raw hash value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw 64-bit hash value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path:{:016x}", self.0)
+    }
+}
+
+/// Coverage bitmap produced by a single execution of the target.
+///
+/// Each byte counts how many times the corresponding edge hash was traversed,
+/// exactly like the `shared_mem[]` array in the paper's instrumentation
+/// snippet (saturating instead of wrapping so that loops cannot erase
+/// evidence of having run).
+#[derive(Clone)]
+pub struct TraceMap {
+    bytes: Box<[u8; MAP_SIZE]>,
+    edges_hit: usize,
+}
+
+impl TraceMap {
+    /// Creates an empty (all-zero) trace map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bytes: Box::new([0u8; MAP_SIZE]),
+            edges_hit: 0,
+        }
+    }
+
+    /// Number of distinct map slots hit at least once during the execution.
+    #[must_use]
+    pub fn edges_hit(&self) -> usize {
+        self.edges_hit
+    }
+
+    /// Returns `true` if no edge was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges_hit == 0
+    }
+
+    /// Raw view of the bitmap bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..]
+    }
+
+    /// Hit count for map slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAP_SIZE`.
+    #[must_use]
+    pub fn hit_count(&self, index: usize) -> u8 {
+        self.bytes[index]
+    }
+
+    /// Iterator over `(slot, hit_count)` pairs for slots hit at least once.
+    pub fn iter_hits(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(slot, &count)| (slot, count))
+    }
+
+    /// Computes the stable identifier of this execution path.
+    ///
+    /// The hash covers every hit slot together with its bucketed hit count,
+    /// so two executions with the same branches but very different loop
+    /// counts map to different paths, while small loop-count jitter does not.
+    #[must_use]
+    pub fn path_id(&self) -> PathId {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (slot, count) in self.iter_hits() {
+            let bucket = crate::stats::bucket_for(count) as u8;
+            for byte in (slot as u32)
+                .to_le_bytes()
+                .into_iter()
+                .chain(std::iter::once(bucket))
+            {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        PathId::new(hash)
+    }
+
+    pub(crate) fn record(&mut self, slot: usize) {
+        let byte = &mut self.bytes[slot];
+        if *byte == 0 {
+            self.edges_hit += 1;
+        }
+        *byte = byte.saturating_add(1);
+    }
+}
+
+impl Default for TraceMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for TraceMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceMap")
+            .field("edges_hit", &self.edges_hit)
+            .field("path_id", &self.path_id())
+            .finish()
+    }
+}
+
+/// Execution context threaded through an instrumented target.
+///
+/// Holds the `prev_location` register and the per-execution [`TraceMap`]. One
+/// context corresponds to one packet fed to the target; the fuzzer creates a
+/// fresh context per execution (or calls [`TraceContext::reset`]).
+///
+/// ```
+/// use peachstar_coverage::{EdgeId, TraceContext};
+///
+/// let mut ctx = TraceContext::new();
+/// ctx.edge(EdgeId::new(1));
+/// ctx.edge(EdgeId::new(2));
+/// assert_eq!(ctx.trace().edges_hit(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    prev_location: u32,
+    trace: TraceMap,
+}
+
+impl TraceContext {
+    /// Creates a fresh context with an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            prev_location: 0,
+            trace: TraceMap::new(),
+        }
+    }
+
+    /// Records traversal of the instrumentation site `id`.
+    ///
+    /// Implements the paper's hashing scheme: the map slot is
+    /// `cur ^ prev`, and `prev` is then set to `cur >> 1` so that the
+    /// direction of an edge (A→B vs B→A) and tight self-loops remain
+    /// distinguishable.
+    pub fn edge<I: Into<EdgeId>>(&mut self, id: I) {
+        let id = id.into();
+        let cur = id.slot() as u32;
+        let slot = (cur ^ self.prev_location) as usize & (MAP_SIZE - 1);
+        self.trace.record(slot);
+        self.prev_location = cur >> 1;
+    }
+
+    /// Read access to the per-execution trace.
+    #[must_use]
+    pub fn trace(&self) -> &TraceMap {
+        &self.trace
+    }
+
+    /// Consumes the context and returns the trace.
+    #[must_use]
+    pub fn into_trace(self) -> TraceMap {
+        self.trace
+    }
+
+    /// Clears the trace and the previous-location register so the context can
+    /// be reused for another execution.
+    pub fn reset(&mut self) {
+        self.prev_location = 0;
+        self.trace = TraceMap::new();
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let trace = TraceMap::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.edges_hit(), 0);
+        assert_eq!(trace.iter_hits().count(), 0);
+    }
+
+    #[test]
+    fn edge_direction_matters() {
+        let mut ab = TraceContext::new();
+        ab.edge(EdgeId::new(0x10));
+        ab.edge(EdgeId::new(0x20));
+
+        let mut ba = TraceContext::new();
+        ba.edge(EdgeId::new(0x20));
+        ba.edge(EdgeId::new(0x10));
+
+        assert_ne!(ab.trace().path_id(), ba.trace().path_id());
+    }
+
+    #[test]
+    fn repeated_edges_saturate() {
+        let mut ctx = TraceContext::new();
+        for _ in 0..1000 {
+            ctx.edge(EdgeId::new(0x7));
+            ctx.edge(EdgeId::new(0x8));
+        }
+        // The steady-state slots are hit ~1000 times and must saturate
+        // instead of wrapping back to small counts.
+        let max = ctx.trace().iter_hits().map(|(_, c)| c).max().unwrap();
+        assert_eq!(max, u8::MAX);
+    }
+
+    #[test]
+    fn same_sequence_same_path_id() {
+        let run = || {
+            let mut ctx = TraceContext::new();
+            for id in [1u32, 5, 9, 5, 1] {
+                ctx.edge(EdgeId::new(id));
+            }
+            ctx.into_trace().path_id()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ctx = TraceContext::new();
+        ctx.edge(EdgeId::new(3));
+        ctx.reset();
+        assert!(ctx.trace().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EdgeId::new(0xab).to_string(), "edge:000000ab");
+        assert_eq!(PathId::new(0x1).to_string(), "path:0000000000000001");
+    }
+}

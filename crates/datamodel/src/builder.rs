@@ -1,0 +1,288 @@
+//! Fluent builders for constructing [`DataModel`]s programmatically.
+
+use crate::chunk::{BytesSpec, Chunk, NumberSpec, StrSpec};
+use crate::error::ModelError;
+use crate::model::DataModel;
+
+/// Builder for a block of chunks (the body of a model or of a nested block).
+///
+/// ```
+/// use peachstar_datamodel::{BlockBuilder, NumberSpec};
+///
+/// let block = BlockBuilder::new("header")
+///     .number("length", NumberSpec::u16_be())
+///     .number("unit", NumberSpec::u8().default_value(1))
+///     .build();
+/// assert_eq!(block.children().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    name: String,
+    rule: Option<String>,
+    children: Vec<Chunk>,
+}
+
+impl BlockBuilder {
+    /// Starts a block named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            rule: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Assigns an explicit construction-rule name to the block itself.
+    #[must_use]
+    pub fn rule(mut self, rule: impl Into<String>) -> Self {
+        self.rule = Some(rule.into());
+        self
+    }
+
+    /// Appends a numeric chunk.
+    #[must_use]
+    pub fn number(mut self, name: impl Into<String>, spec: NumberSpec) -> Self {
+        self.children.push(Chunk::number(name, spec));
+        self
+    }
+
+    /// Appends a numeric chunk carrying an explicit rule name.
+    #[must_use]
+    pub fn number_with_rule(
+        mut self,
+        name: impl Into<String>,
+        spec: NumberSpec,
+        rule: impl Into<String>,
+    ) -> Self {
+        self.children.push(Chunk::number(name, spec).with_rule(rule));
+        self
+    }
+
+    /// Appends a raw-bytes chunk.
+    #[must_use]
+    pub fn bytes(mut self, name: impl Into<String>, spec: BytesSpec) -> Self {
+        self.children.push(Chunk::bytes(name, spec));
+        self
+    }
+
+    /// Appends a raw-bytes chunk carrying an explicit rule name.
+    #[must_use]
+    pub fn bytes_with_rule(
+        mut self,
+        name: impl Into<String>,
+        spec: BytesSpec,
+        rule: impl Into<String>,
+    ) -> Self {
+        self.children.push(Chunk::bytes(name, spec).with_rule(rule));
+        self
+    }
+
+    /// Appends a string chunk.
+    #[must_use]
+    pub fn str(mut self, name: impl Into<String>, spec: StrSpec) -> Self {
+        self.children.push(Chunk::str(name, spec));
+        self
+    }
+
+    /// Appends a nested block.
+    #[must_use]
+    pub fn block(mut self, block: BlockBuilder) -> Self {
+        self.children.push(block.build());
+        self
+    }
+
+    /// Appends an already-constructed chunk.
+    #[must_use]
+    pub fn chunk(mut self, chunk: Chunk) -> Self {
+        self.children.push(chunk);
+        self
+    }
+
+    /// Appends a choice chunk built from the given options.
+    #[must_use]
+    pub fn choice(mut self, name: impl Into<String>, options: Vec<Chunk>) -> Self {
+        self.children.push(Chunk::choice(name, options));
+        self
+    }
+
+    /// Finishes the block.
+    #[must_use]
+    pub fn build(self) -> Chunk {
+        let mut chunk = Chunk::block(self.name, self.children);
+        if let Some(rule) = self.rule {
+            chunk = chunk.with_rule(rule);
+        }
+        chunk
+    }
+}
+
+/// Builder for a whole [`DataModel`].
+///
+/// ```
+/// use peachstar_datamodel::{DataModelBuilder, NumberSpec, Relation, Fixup};
+///
+/// let model = DataModelBuilder::new("read_request")
+///     .number("function", NumberSpec::u8().fixed_value(0x03))
+///     .number("start", NumberSpec::u16_be())
+///     .number("count", NumberSpec::u16_be().default_value(1))
+///     .build()?;
+/// assert_eq!(model.name(), "read_request");
+/// # Ok::<(), peachstar_datamodel::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataModelBuilder {
+    name: String,
+    body: BlockBuilder,
+}
+
+impl DataModelBuilder {
+    /// Starts a model named `name`; the implicit root block is named
+    /// `<name>_packet`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let root_name = format!("{name}_packet");
+        Self {
+            name,
+            body: BlockBuilder::new(root_name),
+        }
+    }
+
+    /// Appends a numeric chunk to the root block.
+    #[must_use]
+    pub fn number(mut self, name: impl Into<String>, spec: NumberSpec) -> Self {
+        self.body = self.body.number(name, spec);
+        self
+    }
+
+    /// Appends a numeric chunk with an explicit rule name to the root block.
+    #[must_use]
+    pub fn number_with_rule(
+        mut self,
+        name: impl Into<String>,
+        spec: NumberSpec,
+        rule: impl Into<String>,
+    ) -> Self {
+        self.body = self.body.number_with_rule(name, spec, rule);
+        self
+    }
+
+    /// Appends a raw-bytes chunk to the root block.
+    #[must_use]
+    pub fn bytes(mut self, name: impl Into<String>, spec: BytesSpec) -> Self {
+        self.body = self.body.bytes(name, spec);
+        self
+    }
+
+    /// Appends a raw-bytes chunk with an explicit rule name to the root block.
+    #[must_use]
+    pub fn bytes_with_rule(
+        mut self,
+        name: impl Into<String>,
+        spec: BytesSpec,
+        rule: impl Into<String>,
+    ) -> Self {
+        self.body = self.body.bytes_with_rule(name, spec, rule);
+        self
+    }
+
+    /// Appends a string chunk to the root block.
+    #[must_use]
+    pub fn str(mut self, name: impl Into<String>, spec: StrSpec) -> Self {
+        self.body = self.body.str(name, spec);
+        self
+    }
+
+    /// Appends a nested block to the root block.
+    #[must_use]
+    pub fn block(mut self, block: BlockBuilder) -> Self {
+        self.body = self.body.block(block);
+        self
+    }
+
+    /// Appends an already-constructed chunk to the root block.
+    #[must_use]
+    pub fn chunk(mut self, chunk: Chunk) -> Self {
+        self.body = self.body.chunk(chunk);
+        self
+    }
+
+    /// Appends a choice chunk to the root block.
+    #[must_use]
+    pub fn choice(mut self, name: impl Into<String>, options: Vec<Chunk>) -> Self {
+        self.body = self.body.choice(name, options);
+        self
+    }
+
+    /// Finishes and validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`DataModel::new`].
+    pub fn build(self) -> Result<DataModel, ModelError> {
+        DataModel::new(self.name, self.body.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Fixup, Relation};
+
+    #[test]
+    fn builder_constructs_nested_model() {
+        let model = DataModelBuilder::new("request")
+            .number("transaction", NumberSpec::u16_be().default_value(1))
+            .number(
+                "length",
+                NumberSpec::u16_be().relation(Relation::size_of("pdu")),
+            )
+            .block(
+                BlockBuilder::new("pdu")
+                    .number("function", NumberSpec::u8().fixed_value(0x03))
+                    .number("start", NumberSpec::u16_be())
+                    .number("count", NumberSpec::u16_be().default_value(1)),
+            )
+            .build()
+            .expect("valid model");
+
+        assert_eq!(model.name(), "request");
+        let names: Vec<&str> = model.linear().iter().map(|l| l.chunk.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["transaction", "length", "function", "start", "count"]
+        );
+    }
+
+    #[test]
+    fn builder_propagates_validation_errors() {
+        let result = DataModelBuilder::new("bad")
+            .number(
+                "crc",
+                NumberSpec::u32_be().fixup(Fixup::crc32("missing_field")),
+            )
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn explicit_rules_via_builder() {
+        let model = DataModelBuilder::new("rules")
+            .number_with_rule("addr", NumberSpec::u16_be(), "ioa")
+            .bytes_with_rule("payload", crate::chunk::BytesSpec::remainder(), "asdu-body")
+            .build()
+            .unwrap();
+        let addr = model.find("addr").unwrap();
+        assert_eq!(addr.rule_id(), crate::chunk::RuleId::named("ioa"));
+    }
+
+    #[test]
+    fn block_rule_applies_to_block_chunk() {
+        let block = BlockBuilder::new("asdu")
+            .rule("asdu")
+            .number("type", NumberSpec::u8())
+            .build();
+        assert_eq!(block.rule_id(), crate::chunk::RuleId::named("asdu"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Packet cracking: parsing concrete bytes against a [`DataModel`] into an
+//! [`InsTree`] (the `PARSE` step of Algorithm 2 in the paper).
+
+use std::collections::HashMap;
+
+use crate::chunk::{Chunk, ChunkKind};
+use crate::error::ModelError;
+use crate::instree::{InsNode, InsTree};
+use crate::model::{DataModel, DataModelSet};
+use crate::types::LengthSpec;
+
+/// Options controlling how strictly packets are cracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrackOptions {
+    /// Reject packets whose fixup fields do not match the recomputed
+    /// checksum. Disabled by default: the File Cracker should accept
+    /// packets the fuzzer itself generated with deliberately broken
+    /// checksums, as long as the structure matches.
+    pub verify_checksums: bool,
+    /// Reject packets with bytes left over after the model matched.
+    /// Enabled by default so that the first matching model is a structural
+    /// fit, not a prefix match.
+    pub reject_trailing: bool,
+}
+
+impl Default for CrackOptions {
+    fn default() -> Self {
+        Self {
+            verify_checksums: false,
+            reject_trailing: true,
+        }
+    }
+}
+
+/// Cracks `packet` against `model` with default [`CrackOptions`].
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] when the packet does not structurally match the
+/// model (truncated fields, illegal constrained values, trailing bytes, …).
+///
+/// ```
+/// use peachstar_datamodel::{crack::crack, examples};
+/// use peachstar_datamodel::emit::emit_default;
+///
+/// let model = examples::figure1_model();
+/// let packet = emit_default(&model)?;
+/// let tree = crack(&model, &packet)?;
+/// assert_eq!(tree.bytes(), &packet[..]);
+/// # Ok::<(), peachstar_datamodel::ModelError>(())
+/// ```
+pub fn crack(model: &DataModel, packet: &[u8]) -> Result<InsTree, ModelError> {
+    crack_with(model, packet, CrackOptions::default())
+}
+
+/// Cracks `packet` against `model` with explicit options.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] when the packet does not match the model under
+/// the given options.
+pub fn crack_with(
+    model: &DataModel,
+    packet: &[u8],
+    options: CrackOptions,
+) -> Result<InsTree, ModelError> {
+    let mut cracker = Cracker {
+        packet,
+        cursor: 0,
+        values: HashMap::new(),
+    };
+    let root = cracker.parse_chunk(model.root(), packet.len())?;
+    if options.reject_trailing && cracker.cursor != packet.len() {
+        return Err(ModelError::TrailingBytes {
+            remaining: packet.len() - cracker.cursor,
+        });
+    }
+    if options.verify_checksums {
+        verify_checksums(model, &root)?;
+    }
+    Ok(InsTree::new(model.name(), root))
+}
+
+/// Cracks `packet` against every model of `set`, returning the trees of all
+/// models that match (the paper's Algorithm 2 tries every data model and
+/// keeps the legal instantiation trees).
+#[must_use]
+pub fn crack_against_set(set: &DataModelSet, packet: &[u8]) -> Vec<InsTree> {
+    set.models()
+        .iter()
+        .filter_map(|model| crack(model, packet).ok())
+        .collect()
+}
+
+struct Cracker<'packet> {
+    packet: &'packet [u8],
+    cursor: usize,
+    /// Values of already-parsed number fields, used to resolve
+    /// [`LengthSpec::FromField`] lengths.
+    values: HashMap<String, u64>,
+}
+
+impl<'packet> Cracker<'packet> {
+    fn remaining(&self) -> usize {
+        self.packet.len() - self.cursor
+    }
+
+    fn take(&mut self, field: &str, len: usize) -> Result<&'packet [u8], ModelError> {
+        if len > self.remaining() {
+            return Err(ModelError::UnexpectedEnd {
+                field: field.to_string(),
+                needed: len,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.packet[self.cursor..self.cursor + len];
+        self.cursor += len;
+        Ok(slice)
+    }
+
+    /// Parses one chunk. `scope_end` is the absolute offset this chunk's
+    /// enclosing scope ends at, bounding [`LengthSpec::Remainder`] chunks.
+    fn parse_chunk(&mut self, chunk: &Chunk, scope_end: usize) -> Result<InsNode, ModelError> {
+        match &chunk.kind {
+            ChunkKind::Number(spec) => {
+                let bytes = self.take(&chunk.name, spec.width.bytes())?;
+                let value = spec
+                    .decode(bytes)
+                    .expect("take() returned exactly width bytes");
+                if let Some(allowed) = &spec.allowed {
+                    if !allowed.contains(&value) {
+                        return Err(ModelError::IllegalValue {
+                            field: chunk.name.clone(),
+                            found: value,
+                        });
+                    }
+                }
+                self.values.insert(chunk.name.clone(), value);
+                Ok(InsNode::leaf(&chunk.name, chunk.rule_id(), bytes.to_vec()))
+            }
+            ChunkKind::Bytes(spec) => {
+                let len = self.resolve_length(&chunk.name, &spec.length, scope_end)?;
+                let bytes = self.take(&chunk.name, len)?;
+                Ok(InsNode::leaf(&chunk.name, chunk.rule_id(), bytes.to_vec()))
+            }
+            ChunkKind::Str(spec) => {
+                let len = self.resolve_length(&chunk.name, &spec.length, scope_end)?;
+                let bytes = self.take(&chunk.name, len)?;
+                if spec.ascii_only
+                    && !bytes.iter().all(|&b| b.is_ascii_graphic() || b == b' ')
+                {
+                    return Err(ModelError::IllegalValue {
+                        field: chunk.name.clone(),
+                        found: u64::from(*bytes.iter().find(|b| !b.is_ascii_graphic()).unwrap_or(&0)),
+                    });
+                }
+                Ok(InsNode::leaf(&chunk.name, chunk.rule_id(), bytes.to_vec()))
+            }
+            ChunkKind::Block(children) => {
+                let mut nodes = Vec::with_capacity(children.len());
+                for child in children {
+                    nodes.push(self.parse_chunk(child, scope_end)?);
+                }
+                Ok(InsNode::internal(&chunk.name, chunk.rule_id(), nodes))
+            }
+            ChunkKind::Choice(options) => {
+                for option in options {
+                    let checkpoint_cursor = self.cursor;
+                    let checkpoint_values = self.values.clone();
+                    match self.parse_chunk(option, scope_end) {
+                        Ok(node) => {
+                            return Ok(InsNode::internal(
+                                &chunk.name,
+                                chunk.rule_id(),
+                                vec![node],
+                            ));
+                        }
+                        Err(_) => {
+                            self.cursor = checkpoint_cursor;
+                            self.values = checkpoint_values;
+                        }
+                    }
+                }
+                Err(ModelError::NoChoiceMatched {
+                    field: chunk.name.clone(),
+                })
+            }
+        }
+    }
+
+    fn resolve_length(
+        &self,
+        field: &str,
+        spec: &LengthSpec,
+        scope_end: usize,
+    ) -> Result<usize, ModelError> {
+        match spec {
+            LengthSpec::Fixed(n) => Ok(*n),
+            LengthSpec::Remainder => Ok(scope_end.saturating_sub(self.cursor)),
+            LengthSpec::FromField(reference) => {
+                let value = self.values.get(reference.name()).copied().ok_or_else(|| {
+                    ModelError::UnknownField {
+                        field: reference.name().to_string(),
+                    }
+                })?;
+                let len = usize::try_from(value).map_err(|_| ModelError::LengthOutOfRange {
+                    field: field.to_string(),
+                    length: usize::MAX,
+                })?;
+                if len > self.packet.len() {
+                    return Err(ModelError::LengthOutOfRange {
+                        field: field.to_string(),
+                        length: len,
+                    });
+                }
+                Ok(len)
+            }
+        }
+    }
+}
+
+fn verify_checksums(model: &DataModel, root: &InsNode) -> Result<(), ModelError> {
+    for chunk in model.root().iter() {
+        let ChunkKind::Number(spec) = &chunk.kind else {
+            continue;
+        };
+        let Some(fixup) = &spec.fixup else { continue };
+        let Some(node) = root.find(&chunk.name) else {
+            continue;
+        };
+        let Some(found) = spec.decode(&node.content) else {
+            continue;
+        };
+        let mut covered = Vec::new();
+        for target in &fixup.over {
+            if let Some(target_node) = root.find(target.name()) {
+                covered.extend_from_slice(&target_node.content);
+            }
+        }
+        let expected = fixup.kind.compute(&covered);
+        if expected != found {
+            return Err(ModelError::ChecksumMismatch {
+                field: chunk.name.clone(),
+                found,
+                expected,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BlockBuilder, DataModelBuilder};
+    use crate::chunk::{BytesSpec, NumberSpec};
+    use crate::types::{Fixup, Relation};
+
+    fn length_prefixed_model() -> DataModel {
+        DataModelBuilder::new("length_prefixed")
+            .number("magic", NumberSpec::u8().fixed_value(0xAA))
+            .number(
+                "len",
+                NumberSpec::u16_be().relation(Relation::size_of("payload")),
+            )
+            .bytes("payload", BytesSpec::length_from("len"))
+            .number("crc", NumberSpec::u32_be().fixup(Fixup::crc32("payload")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cracks_well_formed_packet() {
+        let model = length_prefixed_model();
+        let payload = [0x01u8, 0x02, 0x03];
+        let crc = crate::checksum::crc32(&payload);
+        let mut packet = vec![0xAA, 0x00, 0x03];
+        packet.extend_from_slice(&payload);
+        packet.extend_from_slice(&crc.to_be_bytes());
+
+        let tree = crack(&model, &packet).expect("packet matches model");
+        assert_eq!(tree.find("payload").unwrap().content, payload);
+        assert_eq!(tree.find("len").unwrap().content, vec![0x00, 0x03]);
+        assert_eq!(tree.bytes(), &packet[..]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let model = length_prefixed_model();
+        let packet = vec![0xBB, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
+        assert!(matches!(
+            crack(&model, &packet),
+            Err(ModelError::IllegalValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_packet() {
+        let model = length_prefixed_model();
+        // Claims 16 payload bytes but provides none.
+        let packet = vec![0xAA, 0x00, 0x10];
+        assert!(matches!(
+            crack(&model, &packet),
+            Err(ModelError::UnexpectedEnd { .. } | ModelError::LengthOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_by_default() {
+        let model = DataModelBuilder::new("short")
+            .number("a", NumberSpec::u8())
+            .build()
+            .unwrap();
+        let err = crack(&model, &[0x01, 0x02]).unwrap_err();
+        assert_eq!(err, ModelError::TrailingBytes { remaining: 1 });
+
+        let relaxed = crack_with(
+            &model,
+            &[0x01, 0x02],
+            CrackOptions {
+                reject_trailing: false,
+                ..CrackOptions::default()
+            },
+        );
+        assert!(relaxed.is_ok());
+    }
+
+    #[test]
+    fn checksum_verification_is_optional() {
+        let model = length_prefixed_model();
+        let mut packet = vec![0xAA, 0x00, 0x01, 0x55];
+        packet.extend_from_slice(&[0, 0, 0, 0]); // wrong CRC
+
+        assert!(crack(&model, &packet).is_ok(), "lenient by default");
+        let strict = crack_with(
+            &model,
+            &packet,
+            CrackOptions {
+                verify_checksums: true,
+                ..CrackOptions::default()
+            },
+        );
+        assert!(matches!(strict, Err(ModelError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn remainder_consumes_rest_of_packet() {
+        let model = DataModelBuilder::new("rest")
+            .number("tag", NumberSpec::u8())
+            .bytes("body", BytesSpec::remainder())
+            .build()
+            .unwrap();
+        let tree = crack(&model, &[0x09, 0x01, 0x02, 0x03]).unwrap();
+        assert_eq!(tree.find("body").unwrap().content, vec![0x01, 0x02, 0x03]);
+    }
+
+    #[test]
+    fn choice_selects_matching_option() {
+        let read = BlockBuilder::new("read")
+            .number("fc_read", NumberSpec::u8().fixed_value(0x01))
+            .number("addr_r", NumberSpec::u16_be())
+            .build();
+        let write = BlockBuilder::new("write")
+            .number("fc_write", NumberSpec::u8().fixed_value(0x02))
+            .number("addr_w", NumberSpec::u16_be())
+            .build();
+        let model = DataModelBuilder::new("choice_model")
+            .choice("body", vec![read, write])
+            .build()
+            .unwrap();
+
+        let tree = crack(&model, &[0x02, 0x00, 0x10]).unwrap();
+        assert!(tree.find("write").is_some());
+        assert!(tree.find("read").is_none());
+
+        let err = crack(&model, &[0x07, 0x00, 0x10]).unwrap_err();
+        assert!(matches!(err, ModelError::NoChoiceMatched { .. }));
+    }
+
+    #[test]
+    fn crack_against_set_returns_all_matches() {
+        let generic = DataModelBuilder::new("generic")
+            .number("first", NumberSpec::u8())
+            .bytes("rest", BytesSpec::remainder())
+            .build()
+            .unwrap();
+        let strict = DataModelBuilder::new("strict")
+            .number("first", NumberSpec::u8().fixed_value(0x01))
+            .bytes("rest", BytesSpec::remainder())
+            .build()
+            .unwrap();
+        let set: DataModelSet = vec![generic, strict].into_iter().collect();
+
+        let both = crack_against_set(&set, &[0x01, 0xff]);
+        assert_eq!(both.len(), 2);
+        let one = crack_against_set(&set, &[0x02, 0xff]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].model, "generic");
+    }
+
+    #[test]
+    fn cracked_tree_has_puzzles_for_blocks() {
+        let model = DataModelBuilder::new("blocky")
+            .number("hdr", NumberSpec::u8().fixed_value(0x01))
+            .block(
+                BlockBuilder::new("body")
+                    .number("x", NumberSpec::u16_be())
+                    .number("y", NumberSpec::u16_be()),
+            )
+            .build()
+            .unwrap();
+        let tree = crack(&model, &[0x01, 0x00, 0x02, 0x00, 0x03]).unwrap();
+        let puzzles = tree.puzzles();
+        // x, y, body, hdr, root → 5 puzzles.
+        assert_eq!(puzzles.len(), 5);
+        let body = puzzles.iter().find(|p| p.origin == "body").unwrap();
+        assert_eq!(body.content, vec![0x00, 0x02, 0x00, 0x03]);
+    }
+}

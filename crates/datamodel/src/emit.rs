@@ -1,0 +1,393 @@
+//! Packet emission: serialising a data model's instantiation to bytes and
+//! re-establishing integrity constraints (the "File Fixup" of the paper).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::chunk::{Chunk, ChunkKind};
+use crate::error::ModelError;
+use crate::instree::{InsNode, InsTree};
+use crate::model::DataModel;
+
+/// A leaf-value assignment for emission: raw bytes per leaf position of the
+/// model's [`LinearModel`](crate::LinearModel), in packet order.
+///
+/// Missing positions fall back to the leaf's default value; number values of
+/// the wrong width are left-truncated or zero-padded to the field width.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValueAssignment {
+    values: HashMap<usize, Vec<u8>>,
+}
+
+impl ValueAssignment {
+    /// Creates an empty assignment (all defaults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bytes for the leaf at linear position `index`.
+    pub fn set(&mut self, index: usize, bytes: Vec<u8>) {
+        self.values.insert(index, bytes);
+    }
+
+    /// Returns the bytes assigned to position `index`, if any.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&[u8]> {
+        self.values.get(&index).map(Vec::as_slice)
+    }
+
+    /// Number of explicitly assigned positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing has been assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl FromIterator<(usize, Vec<u8>)> for ValueAssignment {
+    fn from_iter<T: IntoIterator<Item = (usize, Vec<u8>)>>(iter: T) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Emits the model's default instantiation with all relations and fixups
+/// applied.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ValueIndexOutOfRange`] only if the model is
+/// internally inconsistent (cannot happen for validated models).
+///
+/// ```
+/// use peachstar_datamodel::{examples, emit::emit_default};
+/// let packet = emit_default(&examples::figure1_model())?;
+/// assert!(!packet.is_empty());
+/// # Ok::<(), peachstar_datamodel::ModelError>(())
+/// ```
+pub fn emit_default(model: &DataModel) -> Result<Vec<u8>, ModelError> {
+    emit_values(model, &ValueAssignment::new(), true)
+}
+
+/// Emits the model with the given leaf-value assignment.
+///
+/// When `repair` is `true`, relation fields (sizes, counts) and fixup fields
+/// (checksums) are recomputed after the raw bytes are laid out — this is the
+/// File Fixup module of Peach\*. When `false`, the assigned/default bytes are
+/// emitted verbatim, which is how the ablation without repair is run.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ValueIndexOutOfRange`] when the assignment refers to
+/// a position beyond the linear model.
+pub fn emit_values(
+    model: &DataModel,
+    assignment: &ValueAssignment,
+    repair: bool,
+) -> Result<Vec<u8>, ModelError> {
+    let linear = model.linear();
+    let leaves = linear.len();
+    if let Some(&bad) = assignment
+        .values
+        .keys()
+        .find(|&&index| index >= leaves)
+    {
+        return Err(ModelError::ValueIndexOutOfRange {
+            index: bad,
+            leaves,
+        });
+    }
+
+    let mut emitter = Emitter::default();
+    let mut leaf_index = 0usize;
+    emitter.emit_chunk(model.root(), assignment, &mut leaf_index);
+    let Emitter { mut bytes, spans } = emitter;
+    if repair {
+        repair_in_place(model, &spans, &mut bytes);
+    }
+    Ok(bytes)
+}
+
+/// Re-emits an instantiation tree, optionally repairing relations and fixups.
+///
+/// The tree's leaf bytes are used as the assignment; structural nodes are
+/// ignored (their content is recomputed by concatenation). This is used by
+/// the fuzzer to repair a packet assembled from donated puzzles.
+///
+/// # Errors
+///
+/// Returns an error if the tree does not structurally correspond to the
+/// model (e.g. it was cracked against a different model).
+pub fn emit_tree(model: &DataModel, tree: &InsTree, repair: bool) -> Result<Vec<u8>, ModelError> {
+    let linear = model.linear();
+    let mut assignment = ValueAssignment::new();
+    let mut flat = Vec::new();
+    flatten_leaves(&tree.root, &mut flat);
+    for (index, leaf) in linear.iter().enumerate() {
+        if let Some(node) = flat.iter().find(|node| node.name == leaf.chunk.name) {
+            assignment.set(index, node.content.clone());
+        }
+    }
+    emit_values(model, &assignment, repair)
+}
+
+fn flatten_leaves<'tree>(node: &'tree InsNode, out: &mut Vec<&'tree InsNode>) {
+    if node.is_leaf() {
+        out.push(node);
+    } else {
+        for child in &node.children {
+            flatten_leaves(child, out);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Emitter {
+    bytes: Vec<u8>,
+    /// Emitted byte range of every named chunk (leaves and blocks).
+    spans: HashMap<String, Range<usize>>,
+}
+
+impl Emitter {
+    fn emit_chunk(&mut self, chunk: &Chunk, assignment: &ValueAssignment, leaf_index: &mut usize) {
+        let start = self.bytes.len();
+        match &chunk.kind {
+            ChunkKind::Number(spec) => {
+                let provided = assignment.get(*leaf_index).map(<[u8]>::to_vec);
+                *leaf_index += 1;
+                let width = spec.width.bytes();
+                let value_bytes = match provided {
+                    Some(mut bytes) => {
+                        // Normalise to the field width: left-pad or truncate
+                        // keeping the least significant bytes (big-endian
+                        // reading of the provided content).
+                        if bytes.len() > width {
+                            bytes = bytes[bytes.len() - width..].to_vec();
+                        } else if bytes.len() < width {
+                            let mut padded = vec![0u8; width - bytes.len()];
+                            padded.extend_from_slice(&bytes);
+                            bytes = padded;
+                        }
+                        match spec.endian {
+                            crate::types::Endianness::Big => bytes,
+                            crate::types::Endianness::Little => {
+                                bytes.iter().rev().copied().collect()
+                            }
+                        }
+                    }
+                    None => spec.encode(spec.default),
+                };
+                self.bytes.extend_from_slice(&value_bytes);
+            }
+            ChunkKind::Bytes(spec) => {
+                let provided = assignment.get(*leaf_index).map(<[u8]>::to_vec);
+                *leaf_index += 1;
+                let mut content = provided.unwrap_or_else(|| spec.default.clone());
+                if let crate::types::LengthSpec::Fixed(len) = spec.length {
+                    content.resize(len, 0);
+                }
+                self.bytes.extend_from_slice(&content);
+            }
+            ChunkKind::Str(spec) => {
+                let provided = assignment.get(*leaf_index).map(<[u8]>::to_vec);
+                *leaf_index += 1;
+                let mut content = provided.unwrap_or_else(|| spec.default.clone().into_bytes());
+                if let crate::types::LengthSpec::Fixed(len) = spec.length {
+                    content.resize(len, b' ');
+                }
+                self.bytes.extend_from_slice(&content);
+            }
+            ChunkKind::Block(children) => {
+                for child in children {
+                    self.emit_chunk(child, assignment, leaf_index);
+                }
+            }
+            ChunkKind::Choice(options) => {
+                if let Some(first) = options.first() {
+                    self.emit_chunk(first, assignment, leaf_index);
+                }
+            }
+        }
+        self.spans.insert(chunk.name.clone(), start..self.bytes.len());
+    }
+}
+
+/// Recomputes relation fields first and fixup fields second, overwriting
+/// their emitted bytes in place.
+fn repair_in_place(model: &DataModel, spans: &HashMap<String, Range<usize>>, bytes: &mut [u8]) {
+    // Pass 1: relations (sizes and counts).
+    for chunk in model.root().iter() {
+        let ChunkKind::Number(spec) = &chunk.kind else {
+            continue;
+        };
+        let Some(relation) = &spec.relation else {
+            continue;
+        };
+        let (Some(own), Some(target)) = (
+            spans.get(&chunk.name),
+            spans.get(relation.target().name()),
+        ) else {
+            continue;
+        };
+        let value = relation.value_for_size(target.len());
+        let encoded = spec.encode(value & spec.width.max_value());
+        bytes[own.clone()].copy_from_slice(&encoded);
+    }
+    // Pass 2: fixups (checksums), computed over the repaired bytes.
+    for chunk in model.root().iter() {
+        let ChunkKind::Number(spec) = &chunk.kind else {
+            continue;
+        };
+        let Some(fixup) = &spec.fixup else { continue };
+        let Some(own) = spans.get(&chunk.name) else {
+            continue;
+        };
+        let mut covered = Vec::new();
+        for target in &fixup.over {
+            if let Some(span) = spans.get(target.name()) {
+                covered.extend_from_slice(&bytes[span.clone()]);
+            }
+        }
+        let value = fixup.kind.compute(&covered);
+        let encoded = spec.encode(value & spec.width.max_value());
+        bytes[own.clone()].copy_from_slice(&encoded);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataModelBuilder;
+    use crate::chunk::{BytesSpec, NumberSpec};
+    use crate::crack::crack;
+    use crate::types::{Endianness, Fixup, Relation};
+
+    fn framed_model() -> DataModel {
+        DataModelBuilder::new("framed")
+            .number("magic", NumberSpec::u8().fixed_value(0x7e))
+            .number(
+                "len",
+                NumberSpec::u16_be().relation(Relation::size_of("payload")),
+            )
+            .bytes("payload", BytesSpec::length_from("len").default_content(vec![1, 2, 3]))
+            .number("crc", NumberSpec::u32_be().fixup(Fixup::crc32("payload")))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_emission_is_consistent() {
+        let model = framed_model();
+        let packet = emit_default(&model).unwrap();
+        // magic, len(=3), payload(3), crc.
+        assert_eq!(packet.len(), 1 + 2 + 3 + 4);
+        assert_eq!(packet[0], 0x7e);
+        assert_eq!(&packet[1..3], &[0x00, 0x03]);
+        let crc = crate::checksum::crc32(&[1, 2, 3]);
+        assert_eq!(&packet[6..10], &crc.to_be_bytes());
+    }
+
+    #[test]
+    fn emission_then_crack_roundtrips() {
+        let model = framed_model();
+        let packet = emit_default(&model).unwrap();
+        let tree = crack(&model, &packet).unwrap();
+        assert_eq!(tree.bytes(), &packet[..]);
+        let re_emitted = emit_tree(&model, &tree, true).unwrap();
+        assert_eq!(re_emitted, packet);
+    }
+
+    #[test]
+    fn repair_recomputes_length_after_payload_change() {
+        let model = framed_model();
+        let mut assignment = ValueAssignment::new();
+        // Linear order: magic(0), len(1), payload(2), crc(3).
+        assignment.set(2, vec![0xAB; 10]);
+        let packet = emit_values(&model, &assignment, true).unwrap();
+        assert_eq!(&packet[1..3], &[0x00, 0x0A], "length repaired to 10");
+        let crc = crate::checksum::crc32(&[0xAB; 10]);
+        assert_eq!(&packet[13..17], &crc.to_be_bytes());
+    }
+
+    #[test]
+    fn without_repair_constraints_stay_broken() {
+        let model = framed_model();
+        let mut assignment = ValueAssignment::new();
+        assignment.set(1, vec![0xFF, 0xFF]); // bogus length
+        assignment.set(2, vec![0x01]);
+        let packet = emit_values(&model, &assignment, false).unwrap();
+        assert_eq!(&packet[1..3], &[0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn number_values_are_normalised_to_width() {
+        let model = DataModelBuilder::new("norm")
+            .number("wide", NumberSpec::u32_be())
+            .number("narrow", NumberSpec::u8())
+            .number("little", NumberSpec::u16_be().endian(Endianness::Little))
+            .build()
+            .unwrap();
+        let mut assignment = ValueAssignment::new();
+        assignment.set(0, vec![0x12]); // too short → zero-padded
+        assignment.set(1, vec![0xAA, 0xBB]); // too long → least-significant kept
+        assignment.set(2, vec![0x12, 0x34]); // reversed for little endian
+        let packet = emit_values(&model, &assignment, false).unwrap();
+        assert_eq!(&packet[0..4], &[0x00, 0x00, 0x00, 0x12]);
+        assert_eq!(packet[4], 0xBB);
+        assert_eq!(&packet[5..7], &[0x34, 0x12]);
+    }
+
+    #[test]
+    fn fixed_blob_is_padded_or_truncated() {
+        let model = DataModelBuilder::new("fixed")
+            .bytes("body", BytesSpec::fixed(4))
+            .build()
+            .unwrap();
+        let mut short = ValueAssignment::new();
+        short.set(0, vec![0x01]);
+        assert_eq!(emit_values(&model, &short, false).unwrap(), vec![0x01, 0, 0, 0]);
+
+        let mut long = ValueAssignment::new();
+        long.set(0, vec![9; 10]);
+        assert_eq!(emit_values(&model, &long, false).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn out_of_range_assignment_is_rejected() {
+        let model = DataModelBuilder::new("tiny")
+            .number("only", NumberSpec::u8())
+            .build()
+            .unwrap();
+        let mut assignment = ValueAssignment::new();
+        assignment.set(5, vec![0x01]);
+        assert!(matches!(
+            emit_values(&model, &assignment, true),
+            Err(ModelError::ValueIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_field_fixup_covers_all_targets() {
+        let model = DataModelBuilder::new("multi")
+            .number("a", NumberSpec::u8().default_value(0x11))
+            .number("b", NumberSpec::u8().default_value(0x22))
+            .number(
+                "sum",
+                NumberSpec::u8().fixup(Fixup::new(
+                    crate::types::ChecksumKind::Sum8,
+                    vec!["a".into(), "b".into()],
+                )),
+            )
+            .build()
+            .unwrap();
+        let packet = emit_default(&model).unwrap();
+        assert_eq!(packet[2], 0x33);
+    }
+}

@@ -1,0 +1,147 @@
+//! Ready-made example models used in documentation, tests and the
+//! quickstart example: the paper's Figure 1 model and a couple of small toy
+//! protocols.
+
+use crate::builder::{BlockBuilder, DataModelBuilder};
+use crate::chunk::{BytesSpec, NumberSpec};
+use crate::model::{DataModel, DataModelSet};
+use crate::types::{Fixup, Relation};
+
+/// The data model of Figure 1 in the paper: `ID`, `Size`, a `Data` block with
+/// `CompressionCode`, `SampleRate` and `ExtraData`, and a trailing `CRC`,
+/// where `Size = sizeof(Data)` and `CRC = Crc32Fixup(Data)`.
+///
+/// ```
+/// use peachstar_datamodel::examples::figure1_model;
+/// let model = figure1_model();
+/// assert_eq!(model.linear().len(), 6);
+/// ```
+#[must_use]
+pub fn figure1_model() -> DataModel {
+    DataModelBuilder::new("figure1")
+        .number("id", NumberSpec::u16_be().default_value(0x5249))
+        .number(
+            "size",
+            NumberSpec::u16_be().relation(Relation::size_of("data")),
+        )
+        .block(
+            BlockBuilder::new("data")
+                .number("compression_code", NumberSpec::u8().default_value(0x01))
+                .number("sample_rate", NumberSpec::u16_be().default_value(44_100))
+                .bytes(
+                    "extra_data",
+                    BytesSpec::fixed(4).default_content(vec![0xde, 0xad, 0xbe, 0xef]),
+                ),
+        )
+        .number("crc", NumberSpec::u32_be().fixup(Fixup::crc32("data")))
+        .build()
+        .expect("figure1 model is statically valid")
+}
+
+/// A toy request/response protocol with three packet types sharing address
+/// and length rules, used by unit tests and the `custom_protocol` example.
+///
+/// The three models (`echo`, `read`, `write`) deliberately share
+/// construction rules (`device-address`, `payload-length`) so that puzzles
+/// cracked from one packet type can be donated to the others — a miniature
+/// version of the Figure 2 insight.
+#[must_use]
+pub fn toy_protocol() -> DataModelSet {
+    let mut set = DataModelSet::new("toy");
+
+    set.push(
+        DataModelBuilder::new("echo")
+            .number("opcode", NumberSpec::u8().fixed_value(0x01))
+            .number_with_rule("device", NumberSpec::u16_be().default_value(1), "device-address")
+            .number_with_rule(
+                "length",
+                NumberSpec::u16_be().relation(Relation::size_of("payload")),
+                "payload-length",
+            )
+            .bytes("payload", BytesSpec::length_from("length").default_content(vec![0x41; 4]))
+            .number("checksum", NumberSpec::u16_be().fixup(Fixup::new(
+                crate::types::ChecksumKind::Sum16,
+                vec!["payload".into()],
+            )))
+            .build()
+            .expect("echo model is statically valid"),
+    );
+
+    set.push(
+        DataModelBuilder::new("read")
+            .number("opcode", NumberSpec::u8().fixed_value(0x02))
+            .number_with_rule("device", NumberSpec::u16_be().default_value(1), "device-address")
+            .number("register", NumberSpec::u16_be())
+            .number("count", NumberSpec::u16_be().default_value(1))
+            .build()
+            .expect("read model is statically valid"),
+    );
+
+    set.push(
+        DataModelBuilder::new("write")
+            .number("opcode", NumberSpec::u8().fixed_value(0x03))
+            .number_with_rule("device", NumberSpec::u16_be().default_value(1), "device-address")
+            .number("register_w", NumberSpec::u16_be())
+            .number_with_rule(
+                "length_w",
+                NumberSpec::u16_be().relation(Relation::size_of("values")),
+                "payload-length",
+            )
+            .bytes("values", BytesSpec::length_from("length_w").default_content(vec![0x00, 0x2a]))
+            .build()
+            .expect("write model is statically valid"),
+    );
+
+    set
+}
+
+/// A minimal single-model set wrapping [`figure1_model`], convenient for
+/// doc-tests that need a [`DataModelSet`].
+#[must_use]
+pub fn figure1_set() -> DataModelSet {
+    let mut set = DataModelSet::new("figure1");
+    set.push(figure1_model());
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crack::crack;
+    use crate::emit::emit_default;
+
+    #[test]
+    fn figure1_default_packet_is_self_consistent() {
+        let model = figure1_model();
+        let packet = emit_default(&model).unwrap();
+        // id(2) + size(2) + data(1 + 2 + 4) + crc(4)
+        assert_eq!(packet.len(), 15);
+        assert_eq!(&packet[2..4], &[0x00, 0x07], "size counts the data block");
+        let crc = crate::checksum::crc32(&packet[4..11]);
+        assert_eq!(&packet[11..15], &crc.to_be_bytes());
+        // And it cracks back against its own model.
+        let tree = crack(&model, &packet).unwrap();
+        assert_eq!(tree.find("data").unwrap().content.len(), 7);
+    }
+
+    #[test]
+    fn toy_protocol_shares_rules_across_models() {
+        let set = toy_protocol();
+        assert_eq!(set.len(), 3);
+        assert!(set.rule_overlap() > 0.0);
+        let echo_device = set.find("echo").unwrap().find("device").unwrap().rule_id();
+        let read_device = set.find("read").unwrap().find("device").unwrap().rule_id();
+        assert_eq!(echo_device, read_device);
+    }
+
+    #[test]
+    fn toy_models_emit_and_crack() {
+        let set = toy_protocol();
+        for model in set.models() {
+            let packet = emit_default(model).unwrap();
+            let tree = crack(model, &packet)
+                .unwrap_or_else(|e| panic!("{} default packet should crack: {e}", model.name()));
+            assert_eq!(tree.bytes(), &packet[..]);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The *Instantiation Tree* (paper Definition 1) and *puzzle* extraction
+//! (paper Definition 2 and Algorithm 2).
+
+use std::fmt;
+
+use crate::chunk::RuleId;
+
+/// One node of an [`InsTree`]: the instantiation of a chunk's construction
+/// rule, i.e. concrete bytes plus the rule they were built by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsNode {
+    /// Field name of the chunk this node instantiates.
+    pub name: String,
+    /// Construction rule of that chunk.
+    pub rule: RuleId,
+    /// Concrete bytes of this node (for internal nodes, the concatenation of
+    /// the children's bytes in declaration order).
+    pub content: Vec<u8>,
+    /// Child nodes (empty for leaves).
+    pub children: Vec<InsNode>,
+}
+
+impl InsNode {
+    /// Creates a leaf node.
+    #[must_use]
+    pub fn leaf(name: impl Into<String>, rule: RuleId, content: Vec<u8>) -> Self {
+        Self {
+            name: name.into(),
+            rule,
+            content,
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node from its children; the node's content is the
+    /// in-order concatenation of the children's content.
+    #[must_use]
+    pub fn internal(name: impl Into<String>, rule: RuleId, children: Vec<InsNode>) -> Self {
+        let content = children
+            .iter()
+            .flat_map(|child| child.content.iter().copied())
+            .collect();
+        Self {
+            name: name.into(),
+            rule,
+            content,
+            children,
+        }
+    }
+
+    /// `true` when the node has no children.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Total number of nodes in this subtree (including `self`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(InsNode::node_count).sum::<usize>()
+    }
+
+    /// Looks up a descendant (or `self`) by field name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&InsNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|child| child.find(name))
+    }
+}
+
+impl fmt::Display for InsNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} bytes]", self.name, self.content.len())
+    }
+}
+
+/// A *puzzle*: the in-order byte content of one sub-tree of an instantiation
+/// tree, tagged with the construction rule of the sub-tree's root so that it
+/// can later be donated to chunks sharing that rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Puzzle {
+    /// Construction rule of the sub-tree root this puzzle came from.
+    pub rule: RuleId,
+    /// Field name of the sub-tree root (diagnostic only).
+    pub origin: String,
+    /// The puzzle bytes.
+    pub content: Vec<u8>,
+}
+
+impl Puzzle {
+    /// Creates a puzzle.
+    #[must_use]
+    pub fn new(rule: RuleId, origin: impl Into<String>, content: Vec<u8>) -> Self {
+        Self {
+            rule,
+            origin: origin.into(),
+            content,
+        }
+    }
+
+    /// Length of the puzzle bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.content.len()
+    }
+
+    /// `true` when the puzzle carries no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.content.is_empty()
+    }
+}
+
+impl fmt::Display for Puzzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "puzzle<{}> from {} ({} bytes)", self.rule, self.origin, self.len())
+    }
+}
+
+/// The instantiation tree of a packet cracked against a data model.
+///
+/// It has the same shape as the model tree, but every node carries the
+/// concrete bytes that instantiate the corresponding construction rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsTree {
+    /// Name of the data model the packet was cracked against.
+    pub model: String,
+    /// Root node.
+    pub root: InsNode,
+}
+
+impl InsTree {
+    /// Creates a tree from its root node.
+    #[must_use]
+    pub fn new(model: impl Into<String>, root: InsNode) -> Self {
+        Self {
+            model: model.into(),
+            root,
+        }
+    }
+
+    /// The packet bytes this tree instantiates.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.root.content
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// Looks up a node by field name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&InsNode> {
+        self.root.find(name)
+    }
+
+    /// Extracts every puzzle of the tree, following Algorithm 2 of the
+    /// paper: a depth-first traversal in which each sub-tree contributes the
+    /// in-order combination of its leaves as one puzzle.
+    ///
+    /// Leaves contribute their own content; internal nodes contribute the
+    /// concatenation of their children. Empty puzzles are skipped.
+    #[must_use]
+    pub fn puzzles(&self) -> Vec<Puzzle> {
+        let mut corpus = Vec::new();
+        Self::dfs(&self.root, &mut corpus);
+        corpus
+    }
+
+    /// Extracts only the puzzles of leaf chunks (the `leaves_only` ablation
+    /// of the File Cracker).
+    #[must_use]
+    pub fn leaf_puzzles(&self) -> Vec<Puzzle> {
+        self.puzzles_filtered(true)
+    }
+
+    fn puzzles_filtered(&self, leaves_only: bool) -> Vec<Puzzle> {
+        self.puzzles()
+            .into_iter()
+            .filter(|puzzle| {
+                if !leaves_only {
+                    return true;
+                }
+                self.find(&puzzle.origin)
+                    .map(InsNode::is_leaf)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    // Returns the puzzle content of `node`, pushing every sub-tree puzzle to
+    // `corpus` along the way (post-order, mirroring Algorithm 2's DFS).
+    fn dfs(node: &InsNode, corpus: &mut Vec<Puzzle>) -> Vec<u8> {
+        let content = if node.is_leaf() {
+            node.content.clone()
+        } else {
+            let mut combined = Vec::new();
+            for child in &node.children {
+                combined.extend(Self::dfs(child, corpus));
+            }
+            combined
+        };
+        if !content.is_empty() {
+            corpus.push(Puzzle::new(node.rule, node.name.clone(), content.clone()));
+        }
+        content
+    }
+}
+
+impl fmt::Display for InsTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instree of {} ({} bytes)", self.model, self.bytes().len())?;
+        fn render(node: &InsNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            writeln!(f, "{:indent$}{}", "", node, indent = depth * 2)?;
+            for child in &node.children {
+                render(child, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        render(&self.root, 1, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(n: u64) -> RuleId {
+        RuleId::from_raw(n)
+    }
+
+    /// Mirrors the paper's Figure 1 as an instantiation tree:
+    /// root { ID, Size, Data { CompressionCode, SampleRate, ExtraData }, CRC }.
+    fn figure1_tree() -> InsTree {
+        let data = InsNode::internal(
+            "Data",
+            rule(30),
+            vec![
+                InsNode::leaf("CompressionCode", rule(31), vec![0x01]),
+                InsNode::leaf("SampleRate", rule(32), vec![0xAC, 0x44]),
+                InsNode::leaf("ExtraData", rule(33), vec![0xde, 0xad, 0xbe, 0xef]),
+            ],
+        );
+        let root = InsNode::internal(
+            "TheDataModel",
+            rule(1),
+            vec![
+                InsNode::leaf("ID", rule(10), vec![0x52, 0x49]),
+                InsNode::leaf("Size", rule(20), vec![0x00, 0x07]),
+                data,
+                InsNode::leaf("CRC", rule(40), vec![0x11, 0x22, 0x33, 0x44]),
+            ],
+        );
+        InsTree::new("figure1", root)
+    }
+
+    #[test]
+    fn internal_node_content_is_concatenation() {
+        let tree = figure1_tree();
+        let data = tree.find("Data").unwrap();
+        assert_eq!(data.content, vec![0x01, 0xAC, 0x44, 0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(tree.bytes().len(), 2 + 2 + 7 + 4);
+    }
+
+    #[test]
+    fn puzzles_cover_every_subtree() {
+        let tree = figure1_tree();
+        let puzzles = tree.puzzles();
+        // 8 nodes, all non-empty → 8 puzzles.
+        assert_eq!(puzzles.len(), tree.node_count());
+
+        // Definition 2 examples: ID and Size are puzzles on their own...
+        assert!(puzzles
+            .iter()
+            .any(|p| p.origin == "ID" && p.content == vec![0x52, 0x49]));
+        // ...and the combination of Data's three children, in order, is one.
+        assert!(puzzles
+            .iter()
+            .any(|p| p.origin == "Data"
+                && p.content == vec![0x01, 0xAC, 0x44, 0xde, 0xad, 0xbe, 0xef]));
+    }
+
+    #[test]
+    fn leaf_puzzles_exclude_internal_nodes() {
+        let tree = figure1_tree();
+        let leaves = tree.leaf_puzzles();
+        assert_eq!(leaves.len(), 6);
+        assert!(leaves.iter().all(|p| p.origin != "Data"));
+        assert!(leaves.iter().all(|p| p.origin != "TheDataModel"));
+    }
+
+    #[test]
+    fn puzzles_keep_rule_tags() {
+        let tree = figure1_tree();
+        let puzzles = tree.puzzles();
+        let size = puzzles.iter().find(|p| p.origin == "Size").unwrap();
+        assert_eq!(size.rule, rule(20));
+    }
+
+    #[test]
+    fn empty_leaf_produces_no_puzzle() {
+        let root = InsNode::internal(
+            "root",
+            rule(1),
+            vec![
+                InsNode::leaf("a", rule(2), vec![0x01]),
+                InsNode::leaf("empty", rule(3), vec![]),
+            ],
+        );
+        let tree = InsTree::new("m", root);
+        let puzzles = tree.puzzles();
+        assert!(puzzles.iter().all(|p| p.origin != "empty"));
+        assert!(!puzzles.iter().any(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn find_descends_the_tree() {
+        let tree = figure1_tree();
+        assert!(tree.find("SampleRate").is_some());
+        assert!(tree.find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn display_renders_all_nodes() {
+        let text = figure1_tree().to_string();
+        for name in ["TheDataModel", "ID", "Size", "Data", "CRC", "SampleRate"] {
+            assert!(text.contains(name), "missing {name} in display output");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Peach-pit style data models, packet cracking and file fixup for the
+//! `peachstar` ICS protocol fuzzer.
+//!
+//! Generation-based protocol fuzzers such as Peach describe the packets of a
+//! protocol with a *data model*: a tree whose leaves are typed chunks
+//! (numbers, strings, blobs) and whose internal nodes group chunks into
+//! blocks, together with *relations* (e.g. a length field carrying the size
+//! of another field) and *fixups* (e.g. a CRC-32 computed over part of the
+//! packet). This crate is the from-scratch Rust equivalent of that machinery,
+//! providing everything the DAC 2020 Peach\* reproduction needs:
+//!
+//! * [`DataModel`], [`Chunk`] and the fluent [`DataModelBuilder`] for
+//!   describing packet formats programmatically;
+//! * the [`pit`] module, a small text DSL (our stand-in for Peach Pit XML)
+//!   for describing the same models in external files;
+//! * [`checksum`] — CRC-32, CRC-16/Modbus, LRC and summation checksums
+//!   implemented from scratch;
+//! * [`Relation`] and [`Fixup`] — integrity constraints and how to
+//!   re-establish them ("File Fixup" in the paper);
+//! * [`crack`] — parsing concrete packet bytes against a model into an
+//!   [`InsTree`] (*Instantiation Tree*, Definition 1 of the paper);
+//! * [`InsTree::puzzles`] — the sub-tree *puzzle* extraction of
+//!   Algorithm 2 (File Cracker);
+//! * [`emit`] — serialising an instantiation tree back to bytes, with or
+//!   without repairing relations and fixups.
+//!
+//! # Example: the Figure 1 model
+//!
+//! The paper's Figure 1 shows a simple model with `ID`, `Size`, `Data`
+//! (three sub-chunks) and a `CRC`, where `Size = sizeof(Data)` and
+//! `CRC = crc32(...)`. The same model, its emission and its cracking:
+//!
+//! ```
+//! use peachstar_datamodel::{examples, crack::crack, emit::emit_default};
+//!
+//! let model = examples::figure1_model();
+//! // Emit the model's default instantiation (all constraints repaired).
+//! let packet = emit_default(&model)?;
+//! // Crack the bytes back into an instantiation tree and collect puzzles.
+//! let tree = crack(&model, &packet)?;
+//! let puzzles = tree.puzzles();
+//! assert!(puzzles.len() >= 4, "every sub-tree yields a puzzle");
+//! # Ok::<(), peachstar_datamodel::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod chunk;
+pub mod crack;
+pub mod emit;
+pub mod error;
+pub mod examples;
+pub mod instree;
+pub mod model;
+pub mod pit;
+pub mod types;
+
+pub use builder::{BlockBuilder, DataModelBuilder};
+pub use chunk::{BytesSpec, Chunk, ChunkKind, NumberSpec, RuleId, StrSpec};
+pub use error::ModelError;
+pub use instree::{InsNode, InsTree, Puzzle};
+pub use model::{DataModel, DataModelSet, LinearChunk, LinearModel};
+pub use types::{ChecksumKind, Endianness, FieldRef, Fixup, LengthSpec, NumberWidth, Relation};

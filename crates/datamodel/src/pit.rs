@@ -1,0 +1,537 @@
+//! The Pit DSL: a small, indentation-based text format for describing data
+//! models in external files.
+//!
+//! Peach reads its format specifications from "Pit" XML files. This module
+//! provides the equivalent for `peachstar`, with a deliberately small,
+//! line-oriented syntax:
+//!
+//! ```text
+//! # Comments start with '#'. Indentation (2 spaces per level) nests blocks.
+//! model read_holding_registers
+//!   number transaction width=2 endian=be default=1
+//!   number protocol width=2 endian=be value=0
+//!   number length width=2 endian=be sizeof=body adjust=1
+//!   number unit width=1 default=1
+//!   block body
+//!     number function width=1 value=3
+//!     number start width=2 endian=be rule=register-address
+//!     number quantity width=2 endian=be default=1
+//! ```
+//!
+//! A document may contain several `model` definitions; [`parse_pit`] returns
+//! them as a [`DataModelSet`].
+//!
+//! # Supported directives
+//!
+//! | keyword  | attributes |
+//! |----------|------------|
+//! | `model NAME` | starts a new data model |
+//! | `block NAME` | nested block; children are the more-indented lines below |
+//! | `choice NAME` | nested choice; each child is one option |
+//! | `number NAME` | `width=1|2|4|8`, `endian=be|le`, `default=N`, `value=N` (fixed), `values=N,M,…` (allowed set), `sizeof=FIELD`, `countof=FIELD`, `elemsize=N`, `adjust=N`, `scale=N`, `crc32=FIELD[,FIELD…]`, `crc16modbus=…`, `crc16dnp=…`, `lrc8=…`, `sum8=…`, `sum16=…`, `internet16=…`, `rule=NAME` |
+//! | `bytes NAME` | `length=N`, `lengthfrom=FIELD`, `remainder`, `default=hex`, `rule=NAME` |
+//! | `string NAME` | `length=N`, `lengthfrom=FIELD`, `remainder`, `default=text`, `ascii`, `rule=NAME` |
+//!
+//! Numeric attribute values accept decimal or `0x`-prefixed hexadecimal.
+
+use crate::chunk::{BytesSpec, Chunk, NumberSpec, StrSpec};
+use crate::error::ModelError;
+use crate::model::{DataModel, DataModelSet};
+use crate::types::{ChecksumKind, Endianness, Fixup, NumberWidth, Relation};
+
+/// Parses a Pit document into a set of data models.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Pit`] with the offending line number for syntax
+/// errors, and model-validation errors (duplicate fields, dangling
+/// references) for structurally invalid models.
+///
+/// ```
+/// let pit = "\
+/// model ping
+///   number opcode width=1 value=1
+///   number cookie width=4 endian=be
+/// ";
+/// let set = peachstar_datamodel::pit::parse_pit("toy", pit)?;
+/// assert_eq!(set.len(), 1);
+/// assert_eq!(set.find("ping").unwrap().linear().len(), 2);
+/// # Ok::<(), peachstar_datamodel::ModelError>(())
+/// ```
+pub fn parse_pit(protocol: &str, source: &str) -> Result<DataModelSet, ModelError> {
+    let mut set = DataModelSet::new(protocol);
+    let lines = tokenize(source)?;
+    let mut cursor = 0usize;
+    while cursor < lines.len() {
+        let line = &lines[cursor];
+        if line.indent != 0 || line.keyword != "model" {
+            return Err(ModelError::Pit {
+                line: line.number,
+                message: format!("expected `model NAME` at top level, found `{}`", line.keyword),
+            });
+        }
+        let model_name = line.name.clone();
+        cursor += 1;
+        let (children, next) = parse_children(&lines, cursor, 1)?;
+        if children.is_empty() {
+            return Err(ModelError::Pit {
+                line: line.number,
+                message: format!("model `{model_name}` has no chunks"),
+            });
+        }
+        cursor = next;
+        let root = Chunk::block(format!("{model_name}_packet"), children);
+        set.push(DataModel::new(model_name, root)?);
+    }
+    Ok(set)
+}
+
+/// Convenience wrapper: parses a Pit document that must contain exactly one
+/// model and returns it.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Pit`] when the document does not contain exactly one
+/// model, plus all errors of [`parse_pit`].
+pub fn parse_single_model(source: &str) -> Result<DataModel, ModelError> {
+    let set = parse_pit("single", source)?;
+    match set.models() {
+        [only] => Ok(only.clone()),
+        models => Err(ModelError::Pit {
+            line: 0,
+            message: format!("expected exactly one model, found {}", models.len()),
+        }),
+    }
+}
+
+struct Line {
+    number: usize,
+    indent: usize,
+    keyword: String,
+    name: String,
+    attrs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+fn tokenize(source: &str) -> Result<Vec<Line>, ModelError> {
+    let mut lines = Vec::new();
+    for (index, raw) in source.lines().enumerate() {
+        let number = index + 1;
+        let without_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if without_comment.trim().is_empty() {
+            continue;
+        }
+        let stripped = without_comment.trim_start();
+        let leading = without_comment.len() - stripped.len();
+        if leading % 2 != 0 {
+            return Err(ModelError::Pit {
+                line: number,
+                message: "indentation must be a multiple of two spaces".to_string(),
+            });
+        }
+        let indent = leading / 2;
+        let mut parts = stripped.split_whitespace();
+        let keyword = parts
+            .next()
+            .expect("non-empty line has a first token")
+            .to_string();
+        let name = match keyword.as_str() {
+            "model" | "block" | "choice" | "number" | "bytes" | "string" => {
+                parts.next().map(str::to_string).ok_or(ModelError::Pit {
+                    line: number,
+                    message: format!("`{keyword}` requires a name"),
+                })?
+            }
+            other => {
+                return Err(ModelError::Pit {
+                    line: number,
+                    message: format!("unknown keyword `{other}`"),
+                })
+            }
+        };
+        let mut attrs = Vec::new();
+        let mut flags = Vec::new();
+        for token in parts {
+            match token.split_once('=') {
+                Some((key, value)) => attrs.push((key.to_string(), value.to_string())),
+                None => flags.push(token.to_string()),
+            }
+        }
+        lines.push(Line {
+            number,
+            indent,
+            keyword,
+            name,
+            attrs,
+            flags,
+        });
+    }
+    Ok(lines)
+}
+
+/// Parses consecutive lines at exactly `indent`, recursing for deeper lines.
+/// Returns the chunks and the index of the first unconsumed line.
+fn parse_children(
+    lines: &[Line],
+    mut cursor: usize,
+    indent: usize,
+) -> Result<(Vec<Chunk>, usize), ModelError> {
+    let mut children = Vec::new();
+    while cursor < lines.len() {
+        let line = &lines[cursor];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(ModelError::Pit {
+                line: line.number,
+                message: "unexpected indentation".to_string(),
+            });
+        }
+        match line.keyword.as_str() {
+            "model" => break,
+            "block" | "choice" => {
+                let (nested, next) = parse_children(lines, cursor + 1, indent + 1)?;
+                if nested.is_empty() {
+                    return Err(ModelError::Pit {
+                        line: line.number,
+                        message: format!("`{}` `{}` has no children", line.keyword, line.name),
+                    });
+                }
+                let mut chunk = if line.keyword == "block" {
+                    Chunk::block(&line.name, nested)
+                } else {
+                    Chunk::choice(&line.name, nested)
+                };
+                if let Some(rule) = attr(line, "rule") {
+                    chunk = chunk.with_rule(rule);
+                }
+                children.push(chunk);
+                cursor = next;
+            }
+            "number" => {
+                children.push(parse_number(line)?);
+                cursor += 1;
+            }
+            "bytes" => {
+                children.push(parse_bytes(line)?);
+                cursor += 1;
+            }
+            "string" => {
+                children.push(parse_string(line)?);
+                cursor += 1;
+            }
+            other => {
+                return Err(ModelError::Pit {
+                    line: line.number,
+                    message: format!("unexpected keyword `{other}`"),
+                })
+            }
+        }
+    }
+    Ok((children, cursor))
+}
+
+fn attr<'line>(line: &'line Line, key: &str) -> Option<&'line str> {
+    line.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn has_flag(line: &Line, flag: &str) -> bool {
+    line.flags.iter().any(|f| f == flag)
+}
+
+fn parse_u64(line: &Line, value: &str) -> Result<u64, ModelError> {
+    let parsed = if let Some(hex) = value.strip_prefix("0x").or_else(|| value.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        value.parse()
+    };
+    parsed.map_err(|_| ModelError::Pit {
+        line: line.number,
+        message: format!("invalid number `{value}`"),
+    })
+}
+
+fn parse_i64(line: &Line, value: &str) -> Result<i64, ModelError> {
+    value.parse().map_err(|_| ModelError::Pit {
+        line: line.number,
+        message: format!("invalid integer `{value}`"),
+    })
+}
+
+fn parse_number(line: &Line) -> Result<Chunk, ModelError> {
+    let width_bytes = match attr(line, "width") {
+        Some(value) => parse_u64(line, value)? as usize,
+        None => 1,
+    };
+    let width = NumberWidth::from_bytes(width_bytes).ok_or(ModelError::Pit {
+        line: line.number,
+        message: format!("unsupported width {width_bytes}; use 1, 2, 4 or 8"),
+    })?;
+    let mut spec = NumberSpec::new(width);
+
+    if let Some(endian) = attr(line, "endian") {
+        spec = spec.endian(match endian {
+            "be" => Endianness::Big,
+            "le" => Endianness::Little,
+            other => {
+                return Err(ModelError::Pit {
+                    line: line.number,
+                    message: format!("unknown endianness `{other}`"),
+                })
+            }
+        });
+    }
+    if let Some(default) = attr(line, "default") {
+        spec = spec.default_value(parse_u64(line, default)?);
+    }
+    if let Some(value) = attr(line, "value") {
+        spec = spec.fixed_value(parse_u64(line, value)?);
+    }
+    if let Some(values) = attr(line, "values") {
+        let parsed: Result<Vec<u64>, ModelError> =
+            values.split(',').map(|v| parse_u64(line, v)).collect();
+        spec = spec.allowed_values(parsed?);
+    }
+
+    let adjust = match attr(line, "adjust") {
+        Some(value) => parse_i64(line, value)?,
+        None => 0,
+    };
+    let scale = match attr(line, "scale") {
+        Some(value) => parse_i64(line, value)?,
+        None => 1,
+    };
+    if let Some(target) = attr(line, "sizeof") {
+        spec = spec.relation(Relation::SizeOf {
+            of: target.into(),
+            adjust,
+            scale,
+        });
+    } else if let Some(target) = attr(line, "countof") {
+        let element_size = match attr(line, "elemsize") {
+            Some(value) => parse_u64(line, value)? as usize,
+            None => 1,
+        };
+        spec = spec.relation(Relation::CountOf {
+            of: target.into(),
+            element_size,
+        });
+    }
+
+    let checksum_kinds = [
+        ("crc32", ChecksumKind::Crc32),
+        ("crc16modbus", ChecksumKind::Crc16Modbus),
+        ("crc16dnp", ChecksumKind::Crc16Dnp),
+        ("lrc8", ChecksumKind::Lrc8),
+        ("sum8", ChecksumKind::Sum8),
+        ("sum16", ChecksumKind::Sum16),
+        ("internet16", ChecksumKind::Internet16),
+    ];
+    for (key, kind) in checksum_kinds {
+        if let Some(targets) = attr(line, key) {
+            let over = targets.split(',').map(Into::into).collect();
+            spec = spec.fixup(Fixup::new(kind, over));
+        }
+    }
+
+    let mut chunk = Chunk::number(&line.name, spec);
+    if let Some(rule) = attr(line, "rule") {
+        chunk = chunk.with_rule(rule);
+    }
+    Ok(chunk)
+}
+
+fn parse_hex_default(line: &Line, value: &str) -> Result<Vec<u8>, ModelError> {
+    let cleaned: String = value.chars().filter(|c| !c.is_whitespace()).collect();
+    if cleaned.len() % 2 != 0 {
+        return Err(ModelError::Pit {
+            line: line.number,
+            message: "hex default must have an even number of digits".to_string(),
+        });
+    }
+    (0..cleaned.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&cleaned[i..i + 2], 16).map_err(|_| ModelError::Pit {
+                line: line.number,
+                message: format!("invalid hex byte `{}`", &cleaned[i..i + 2]),
+            })
+        })
+        .collect()
+}
+
+fn parse_bytes(line: &Line) -> Result<Chunk, ModelError> {
+    let mut spec = if let Some(len) = attr(line, "length") {
+        BytesSpec::fixed(parse_u64(line, len)? as usize)
+    } else if let Some(field) = attr(line, "lengthfrom") {
+        BytesSpec::length_from(field)
+    } else if has_flag(line, "remainder") {
+        BytesSpec::remainder()
+    } else {
+        BytesSpec::remainder()
+    };
+    if let Some(default) = attr(line, "default") {
+        spec = spec.default_content(parse_hex_default(line, default)?);
+    }
+    let mut chunk = Chunk::bytes(&line.name, spec);
+    if let Some(rule) = attr(line, "rule") {
+        chunk = chunk.with_rule(rule);
+    }
+    Ok(chunk)
+}
+
+fn parse_string(line: &Line) -> Result<Chunk, ModelError> {
+    let mut spec = if let Some(len) = attr(line, "length") {
+        StrSpec::fixed(parse_u64(line, len)? as usize)
+    } else if let Some(field) = attr(line, "lengthfrom") {
+        StrSpec::length_from(field)
+    } else {
+        StrSpec::remainder()
+    };
+    if let Some(default) = attr(line, "default") {
+        spec = spec.default_content(default);
+    }
+    if has_flag(line, "ascii") {
+        spec = spec.ascii();
+    }
+    let mut chunk = Chunk::str(&line.name, spec);
+    if let Some(rule) = attr(line, "rule") {
+        chunk = chunk.with_rule(rule);
+    }
+    Ok(chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::emit_default;
+
+    const MODBUS_PIT: &str = "\
+# Modbus/TCP read holding registers
+model read_holding_registers
+  number transaction width=2 endian=be default=1
+  number protocol width=2 endian=be value=0
+  number length width=2 endian=be sizeof=body adjust=1
+  number unit width=1 default=1
+  block body
+    number function width=1 value=3
+    number start width=2 endian=be rule=register-address
+    number quantity width=2 endian=be default=1
+
+model write_single_register
+  number transaction width=2 endian=be default=1
+  number protocol width=2 endian=be value=0
+  number length width=2 endian=be sizeof=body adjust=1
+  number unit width=1 default=1
+  block body
+    number function width=1 value=6
+    number address width=2 endian=be rule=register-address
+    number value width=2 endian=be
+";
+
+    #[test]
+    fn parses_multiple_models() {
+        let set = parse_pit("modbus", MODBUS_PIT).unwrap();
+        assert_eq!(set.len(), 2);
+        let read = set.find("read_holding_registers").unwrap();
+        assert_eq!(read.linear().len(), 7);
+        let write = set.find("write_single_register").unwrap();
+        assert_eq!(write.linear().len(), 7);
+    }
+
+    #[test]
+    fn explicit_rules_link_models() {
+        let set = parse_pit("modbus", MODBUS_PIT).unwrap();
+        let read = set.find("read_holding_registers").unwrap();
+        let write = set.find("write_single_register").unwrap();
+        assert_eq!(
+            read.find("start").unwrap().rule_id(),
+            write.find("address").unwrap().rule_id()
+        );
+        assert!(set.rule_overlap() > 0.5);
+    }
+
+    #[test]
+    fn parsed_model_emits_consistent_packet() {
+        let set = parse_pit("modbus", MODBUS_PIT).unwrap();
+        let model = set.find("read_holding_registers").unwrap();
+        let packet = emit_default(model).unwrap();
+        // MBAP(7) + PDU(5): transaction 2 + protocol 2 + length 2 + unit 1 + fc 1 + start 2 + qty 2
+        assert_eq!(packet.len(), 12);
+        // length field must count PDU bytes + unit? Our sizeof=body adjust=1 → 5+1=6.
+        assert_eq!(&packet[4..6], &[0x00, 0x06]);
+        assert_eq!(packet[7], 0x03);
+    }
+
+    #[test]
+    fn choice_and_string_and_bytes_directives() {
+        let source = "\
+model mixed
+  number kind width=1 values=1,2
+  choice body
+    block read
+      number r width=1 value=1
+    block write
+      number w width=1 value=2
+  string name length=4 default=ABCD ascii
+  bytes tail remainder default=cafe
+";
+        let set = parse_pit("mixed", source).unwrap();
+        let model = set.find("mixed").unwrap();
+        assert!(model.find("body").is_some());
+        let packet = emit_default(model).unwrap();
+        assert_eq!(&packet[2..6], b"ABCD");
+        assert_eq!(&packet[6..], &[0xca, 0xfe]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad_keyword = "model m\n  banana x width=1\n";
+        let err = parse_pit("p", bad_keyword).unwrap_err();
+        assert!(matches!(err, ModelError::Pit { line: 2, .. }));
+
+        let bad_width = "model m\n  number x width=3\n";
+        let err = parse_pit("p", bad_width).unwrap_err();
+        assert!(matches!(err, ModelError::Pit { line: 2, .. }));
+
+        let bad_indent = "model m\n   number x width=1\n";
+        let err = parse_pit("p", bad_indent).unwrap_err();
+        assert!(matches!(err, ModelError::Pit { line: 2, .. }));
+
+        let missing_name = "model\n";
+        assert!(parse_pit("p", missing_name).is_err());
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        let err = parse_pit("p", "model nothing\n").unwrap_err();
+        assert!(matches!(err, ModelError::Pit { .. }));
+    }
+
+    #[test]
+    fn single_model_helper() {
+        assert!(parse_single_model("model a\n  number x width=1\n").is_ok());
+        assert!(parse_single_model(MODBUS_PIT).is_err());
+    }
+
+    #[test]
+    fn hex_and_decimal_values() {
+        let source = "model m\n  number x width=2 endian=be default=0x1F4\n";
+        let model = parse_single_model(source).unwrap();
+        let packet = emit_default(&model).unwrap();
+        assert_eq!(packet, vec![0x01, 0xF4]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let source = "\n# leading comment\nmodel m\n\n  # nested comment\n  number x width=1\n\n";
+        assert!(parse_single_model(source).is_ok());
+    }
+}

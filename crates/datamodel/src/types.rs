@@ -1,0 +1,437 @@
+//! Shared value-level types: endianness, number widths, length specifications,
+//! field references, relations and fixups.
+
+use std::fmt;
+
+/// Byte order of a multi-byte number chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endianness {
+    /// Most significant byte first (network order, the common case for ICS
+    /// protocols such as Modbus/TCP and IEC 60870).
+    #[default]
+    Big,
+    /// Least significant byte first (used e.g. by DNP3 link-layer fields).
+    Little,
+}
+
+impl fmt::Display for Endianness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endianness::Big => f.write_str("be"),
+            Endianness::Little => f.write_str("le"),
+        }
+    }
+}
+
+/// Width in bytes of a number chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NumberWidth {
+    /// One byte.
+    U8,
+    /// Two bytes.
+    U16,
+    /// Four bytes.
+    U32,
+    /// Eight bytes.
+    U64,
+}
+
+impl NumberWidth {
+    /// Width in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        match self {
+            NumberWidth::U8 => 1,
+            NumberWidth::U16 => 2,
+            NumberWidth::U32 => 4,
+            NumberWidth::U64 => 8,
+        }
+    }
+
+    /// Largest value representable at this width.
+    #[must_use]
+    pub const fn max_value(self) -> u64 {
+        match self {
+            NumberWidth::U8 => u8::MAX as u64,
+            NumberWidth::U16 => u16::MAX as u64,
+            NumberWidth::U32 => u32::MAX as u64,
+            NumberWidth::U64 => u64::MAX,
+        }
+    }
+
+    /// Constructs a width from a byte count.
+    ///
+    /// Returns `None` for widths other than 1, 2, 4 or 8.
+    #[must_use]
+    pub const fn from_bytes(bytes: usize) -> Option<Self> {
+        match bytes {
+            1 => Some(NumberWidth::U8),
+            2 => Some(NumberWidth::U16),
+            4 => Some(NumberWidth::U32),
+            8 => Some(NumberWidth::U64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NumberWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.bytes() * 8)
+    }
+}
+
+/// Reference to another chunk in the same [`DataModel`](crate::DataModel),
+/// by its unique field name.
+///
+/// ```
+/// use peachstar_datamodel::FieldRef;
+/// let r = FieldRef::new("payload");
+/// assert_eq!(r.name(), "payload");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldRef(String);
+
+impl FieldRef {
+    /// Creates a reference to the chunk named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The referenced field name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for FieldRef {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+impl From<String> for FieldRef {
+    fn from(name: String) -> Self {
+        Self::new(name)
+    }
+}
+
+/// How the byte length of a blob/string chunk is determined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LengthSpec {
+    /// Exactly `n` bytes.
+    Fixed(usize),
+    /// The length is carried by another (numeric) field, as in a classic
+    /// length-prefixed payload. The referenced field is typically annotated
+    /// with the inverse [`Relation::SizeOf`].
+    FromField(FieldRef),
+    /// The chunk consumes whatever bytes remain in its enclosing scope.
+    Remainder,
+}
+
+impl fmt::Display for LengthSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LengthSpec::Fixed(n) => write!(f, "fixed({n})"),
+            LengthSpec::FromField(field) => write!(f, "from({field})"),
+            LengthSpec::Remainder => f.write_str("remainder"),
+        }
+    }
+}
+
+/// Integrity relation attached to a number chunk: its value is derived from
+/// another part of the packet rather than chosen freely.
+///
+/// This corresponds to the `Relation` mechanism of Peach (Figure 1 of the
+/// paper uses `sizeof`). Relations are re-established by the File Fixup step
+/// after semantic-aware generation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// The field carries the emitted size in bytes of the referenced chunk,
+    /// multiplied by `scale` and offset by `adjust`.
+    SizeOf {
+        /// Chunk whose emitted size is measured.
+        of: FieldRef,
+        /// Added to the measured size (e.g. +1 when the count includes a
+        /// trailing unit-identifier byte, as in Modbus/TCP).
+        adjust: i64,
+        /// Multiplier applied before the adjustment (e.g. 2 when the field
+        /// counts 16-bit registers rather than bytes). Must be non-zero.
+        scale: i64,
+    },
+    /// The field carries the number of elements of the referenced chunk,
+    /// where each element is `element_size` bytes.
+    CountOf {
+        /// Chunk whose emitted size is measured.
+        of: FieldRef,
+        /// Size in bytes of one element. Must be non-zero.
+        element_size: usize,
+    },
+}
+
+impl Relation {
+    /// Convenience constructor for a plain `sizeof` relation.
+    #[must_use]
+    pub fn size_of(of: impl Into<FieldRef>) -> Self {
+        Relation::SizeOf {
+            of: of.into(),
+            adjust: 0,
+            scale: 1,
+        }
+    }
+
+    /// Convenience constructor for a `countof` relation with the given
+    /// element size.
+    #[must_use]
+    pub fn count_of(of: impl Into<FieldRef>, element_size: usize) -> Self {
+        Relation::CountOf {
+            of: of.into(),
+            element_size,
+        }
+    }
+
+    /// The chunk this relation measures.
+    #[must_use]
+    pub fn target(&self) -> &FieldRef {
+        match self {
+            Relation::SizeOf { of, .. } | Relation::CountOf { of, .. } => of,
+        }
+    }
+
+    /// Computes the field value for a measured target size of `size` bytes.
+    #[must_use]
+    pub fn value_for_size(&self, size: usize) -> u64 {
+        match self {
+            Relation::SizeOf { adjust, scale, .. } => {
+                let scaled = if *scale == 0 {
+                    size as i64
+                } else {
+                    (size as i64) / *scale
+                };
+                (scaled + adjust).max(0) as u64
+            }
+            Relation::CountOf { element_size, .. } => {
+                if *element_size == 0 {
+                    size as u64
+                } else {
+                    (size / element_size) as u64
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::SizeOf { of, adjust, scale } => {
+                write!(f, "sizeof({of}) / {scale} + {adjust}")
+            }
+            Relation::CountOf { of, element_size } => {
+                write!(f, "countof({of}, {element_size})")
+            }
+        }
+    }
+}
+
+/// Checksum algorithm used by a [`Fixup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChecksumKind {
+    /// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), as in `Crc32Fixup`.
+    Crc32,
+    /// CRC-16/Modbus (polynomial `0xA001`, init `0xFFFF`).
+    Crc16Modbus,
+    /// DNP3 CRC-16 (polynomial `0xA6BC`, output complemented).
+    Crc16Dnp,
+    /// Longitudinal redundancy check used by Modbus ASCII.
+    Lrc8,
+    /// Simple modulo-256 sum of all bytes.
+    Sum8,
+    /// Simple modulo-65536 sum of all bytes.
+    Sum16,
+    /// One's-complement 16-bit internet checksum.
+    Internet16,
+}
+
+impl ChecksumKind {
+    /// Width in bytes of the checksum value.
+    #[must_use]
+    pub const fn width(self) -> NumberWidth {
+        match self {
+            ChecksumKind::Crc32 => NumberWidth::U32,
+            ChecksumKind::Crc16Modbus
+            | ChecksumKind::Crc16Dnp
+            | ChecksumKind::Sum16
+            | ChecksumKind::Internet16 => NumberWidth::U16,
+            ChecksumKind::Lrc8 | ChecksumKind::Sum8 => NumberWidth::U8,
+        }
+    }
+
+    /// Computes the checksum of `data`.
+    #[must_use]
+    pub fn compute(self, data: &[u8]) -> u64 {
+        match self {
+            ChecksumKind::Crc32 => u64::from(crate::checksum::crc32(data)),
+            ChecksumKind::Crc16Modbus => u64::from(crate::checksum::crc16_modbus(data)),
+            ChecksumKind::Crc16Dnp => u64::from(crate::checksum::crc16_dnp(data)),
+            ChecksumKind::Lrc8 => u64::from(crate::checksum::lrc8(data)),
+            ChecksumKind::Sum8 => u64::from(crate::checksum::sum8(data)),
+            ChecksumKind::Sum16 => u64::from(crate::checksum::sum16(data)),
+            ChecksumKind::Internet16 => u64::from(crate::checksum::internet16(data)),
+        }
+    }
+}
+
+impl fmt::Display for ChecksumKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ChecksumKind::Crc32 => "crc32",
+            ChecksumKind::Crc16Modbus => "crc16-modbus",
+            ChecksumKind::Crc16Dnp => "crc16-dnp",
+            ChecksumKind::Lrc8 => "lrc8",
+            ChecksumKind::Sum8 => "sum8",
+            ChecksumKind::Sum16 => "sum16",
+            ChecksumKind::Internet16 => "internet16",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fixup attached to a number chunk: after the rest of the packet is
+/// emitted, the chunk's value is overwritten with a checksum computed over
+/// the emitted bytes of the referenced chunks.
+///
+/// This corresponds to Peach's `Fixup` mechanism (`Crc32Fixup` in Figure 1
+/// of the paper) and is what the File Fixup module re-establishes after
+/// semantic-aware generation splices donor chunks into a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fixup {
+    /// Checksum algorithm.
+    pub kind: ChecksumKind,
+    /// Chunks (in packet order) whose emitted bytes are covered.
+    pub over: Vec<FieldRef>,
+}
+
+impl Fixup {
+    /// Creates a fixup of the given kind over the named chunks.
+    #[must_use]
+    pub fn new(kind: ChecksumKind, over: Vec<FieldRef>) -> Self {
+        Self { kind, over }
+    }
+
+    /// Convenience constructor for a CRC-32 fixup over one chunk.
+    #[must_use]
+    pub fn crc32(over: impl Into<FieldRef>) -> Self {
+        Self::new(ChecksumKind::Crc32, vec![over.into()])
+    }
+
+    /// Convenience constructor for a Modbus CRC-16 fixup over one chunk.
+    #[must_use]
+    pub fn crc16_modbus(over: impl Into<FieldRef>) -> Self {
+        Self::new(ChecksumKind::Crc16Modbus, vec![over.into()])
+    }
+}
+
+impl fmt::Display for Fixup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.kind)?;
+        for (i, field) in self.over.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_width_roundtrip() {
+        for width in [
+            NumberWidth::U8,
+            NumberWidth::U16,
+            NumberWidth::U32,
+            NumberWidth::U64,
+        ] {
+            assert_eq!(NumberWidth::from_bytes(width.bytes()), Some(width));
+        }
+        assert_eq!(NumberWidth::from_bytes(3), None);
+        assert_eq!(NumberWidth::from_bytes(0), None);
+    }
+
+    #[test]
+    fn number_width_max_values() {
+        assert_eq!(NumberWidth::U8.max_value(), 0xff);
+        assert_eq!(NumberWidth::U16.max_value(), 0xffff);
+        assert_eq!(NumberWidth::U32.max_value(), 0xffff_ffff);
+        assert_eq!(NumberWidth::U64.max_value(), u64::MAX);
+    }
+
+    #[test]
+    fn size_of_relation_value() {
+        let plain = Relation::size_of("data");
+        assert_eq!(plain.value_for_size(10), 10);
+
+        let modbus_length = Relation::SizeOf {
+            of: "pdu".into(),
+            adjust: 1, // the MBAP length also counts the unit identifier
+            scale: 1,
+        };
+        assert_eq!(modbus_length.value_for_size(5), 6);
+
+        let registers = Relation::SizeOf {
+            of: "values".into(),
+            adjust: 0,
+            scale: 2,
+        };
+        assert_eq!(registers.value_for_size(8), 4);
+    }
+
+    #[test]
+    fn count_of_relation_value() {
+        let rel = Relation::count_of("points", 3);
+        assert_eq!(rel.value_for_size(9), 3);
+        assert_eq!(rel.value_for_size(10), 3, "partial element is truncated");
+        assert_eq!(rel.target().name(), "points");
+    }
+
+    #[test]
+    fn relation_negative_adjust_clamps_at_zero() {
+        let rel = Relation::SizeOf {
+            of: "x".into(),
+            adjust: -10,
+            scale: 1,
+        };
+        assert_eq!(rel.value_for_size(3), 0);
+    }
+
+    #[test]
+    fn checksum_kind_widths() {
+        assert_eq!(ChecksumKind::Crc32.width(), NumberWidth::U32);
+        assert_eq!(ChecksumKind::Crc16Modbus.width(), NumberWidth::U16);
+        assert_eq!(ChecksumKind::Lrc8.width(), NumberWidth::U8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Endianness::Big.to_string(), "be");
+        assert_eq!(NumberWidth::U16.to_string(), "u16");
+        assert_eq!(LengthSpec::Fixed(4).to_string(), "fixed(4)");
+        assert_eq!(
+            LengthSpec::FromField("len".into()).to_string(),
+            "from(len)"
+        );
+        assert_eq!(Fixup::crc32("body").to_string(), "crc32(body)");
+    }
+}

@@ -1,0 +1,305 @@
+//! Instrumented ICS protocol targets for the `peachstar` fuzzer.
+//!
+//! The DAC 2020 Peach\* paper evaluates its fuzzer against six open-source
+//! ICS protocol implementations: libmodbus, IEC104, libiec61850, lib60870,
+//! libiec_iccp_mod and opendnp3. This crate provides the Rust stand-ins for
+//! those targets: six from-scratch packet-processing state machines
+//! ([`modbus`], [`iec104`], [`iec61850`], [`lib60870`], [`iccp`], [`dnp3`])
+//! that
+//!
+//! * parse realistic multi-packet-type protocol traffic with deep, branchy
+//!   decoders (so that coverage feedback has structure to discover),
+//! * are instrumented with [`peachstar_coverage`] edge hooks at every
+//!   decision point (the stand-in for the paper's LLVM instrumentation pass),
+//! * expose the Peach-pit-style data models of their packets via
+//!   [`Target::data_models`], and
+//! * contain *planted faults* that mirror the nine previously-unknown
+//!   vulnerabilities of Table I (segmentation violations, a heap
+//!   use-after-free and a heap buffer overflow), reachable only through
+//!   deep, mostly well-formed packets.
+//!
+//! # Example
+//!
+//! ```
+//! use peachstar_coverage::TraceContext;
+//! use peachstar_protocols::{modbus::ModbusServer, Outcome, Target};
+//!
+//! let mut server = ModbusServer::new();
+//! let mut ctx = TraceContext::new();
+//! // A well-formed "read holding registers" request.
+//! let request = [0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02];
+//! match server.process(&request, &mut ctx) {
+//!     Outcome::Response(bytes) => assert_eq!(bytes[7], 0x03),
+//!     other => panic!("expected a response, got {other:?}"),
+//! }
+//! assert!(ctx.trace().edges_hit() > 0, "processing is instrumented");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dnp3;
+pub mod iccp;
+pub mod iec104;
+pub mod iec61850;
+pub mod lib60870;
+pub mod modbus;
+
+use std::fmt;
+
+use peachstar_coverage::TraceContext;
+use peachstar_datamodel::DataModelSet;
+
+/// The memory-safety-analogue failure classes reported by targets.
+///
+/// These mirror the "Vulnerability Type" column of Table I in the paper.
+/// Since the targets are safe Rust, the planted bugs do not actually corrupt
+/// memory; instead the code path that *would* perform the illegal access in
+/// the original C code returns a [`Fault`] describing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Segmentation violation (wild read/write through a bad pointer or
+    /// out-of-bounds index).
+    Segv,
+    /// Heap use-after-free.
+    HeapUseAfterFree,
+    /// Heap buffer overflow.
+    HeapBufferOverflow,
+    /// The target would spin or block indefinitely.
+    Hang,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            FaultKind::Segv => "SEGV",
+            FaultKind::HeapUseAfterFree => "heap-use-after-free",
+            FaultKind::HeapBufferOverflow => "heap-buffer-overflow",
+            FaultKind::Hang => "hang",
+        };
+        f.write_str(label)
+    }
+}
+
+/// A triggered fault: what kind of memory error the packet would have caused
+/// and at which source site (the dedup key the campaign uses for "unique
+/// bugs", mirroring ASAN's top-of-stack dedup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The failure class.
+    pub kind: FaultKind,
+    /// Stable identifier of the faulting site, e.g.
+    /// `"cs101_asdu.c:CS101_ASDU_getCOT"`.
+    pub site: &'static str,
+}
+
+impl Fault {
+    /// Creates a fault record.
+    #[must_use]
+    pub const fn new(kind: FaultKind, site: &'static str) -> Self {
+        Self { kind, site }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.site)
+    }
+}
+
+/// Outcome of feeding one packet to a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The packet was processed and produced a response (possibly empty for
+    /// unconfirmed services).
+    Response(Vec<u8>),
+    /// The packet was rejected by the protocol's validation logic (malformed
+    /// frame, unknown function code, bad length, …). The string names the
+    /// rejection reason.
+    ProtocolError(String),
+    /// The packet reached a planted vulnerability.
+    Fault(Fault),
+}
+
+impl Outcome {
+    /// `true` when the outcome is a [`Outcome::Fault`].
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Outcome::Fault(_))
+    }
+
+    /// The fault, if this outcome is one.
+    #[must_use]
+    pub fn fault(&self) -> Option<Fault> {
+        match self {
+            Outcome::Fault(fault) => Some(*fault),
+            _ => None,
+        }
+    }
+
+    /// The response bytes, if the packet was processed successfully.
+    #[must_use]
+    pub fn response(&self) -> Option<&[u8]> {
+        match self {
+            Outcome::Response(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+}
+
+/// A fuzzing target: an instrumented protocol server the fuzzer feeds
+/// packets to.
+///
+/// Targets are stateful (sessions, register banks, sequence numbers); the
+/// campaign decides when to [`reset`](Target::reset) them.
+pub trait Target {
+    /// Short name of the target, matching the project names used in the
+    /// paper (e.g. `"libmodbus"`, `"lib60870"`).
+    fn name(&self) -> &'static str;
+
+    /// The format specification (set of per-packet-type data models) the
+    /// generation-based fuzzer uses for this target.
+    fn data_models(&self) -> DataModelSet;
+
+    /// Processes one packet, recording coverage on `ctx`.
+    fn process(&mut self, packet: &[u8], ctx: &mut TraceContext) -> Outcome;
+
+    /// Resets all session state to the just-started condition.
+    fn reset(&mut self);
+}
+
+/// Identifier of one of the six built-in targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TargetId {
+    /// The Modbus/TCP server (libmodbus stand-in).
+    Modbus,
+    /// The IEC 60870-5-104 server (IEC104 project stand-in).
+    Iec104,
+    /// The IEC 61850 MMS server (libiec61850 stand-in).
+    Iec61850,
+    /// The IEC 60870-5-101/104 server (lib60870 stand-in).
+    Lib60870,
+    /// The ICCP / TASE.2 server (libiec_iccp_mod stand-in).
+    Iccp,
+    /// The DNP3 outstation (opendnp3 stand-in).
+    Dnp3,
+}
+
+impl TargetId {
+    /// All built-in targets, in the order the paper's Figure 4 lists its
+    /// sub-plots.
+    pub const ALL: [TargetId; 6] = [
+        TargetId::Modbus,
+        TargetId::Iec104,
+        TargetId::Iec61850,
+        TargetId::Lib60870,
+        TargetId::Iccp,
+        TargetId::Dnp3,
+    ];
+
+    /// The project name used in the paper.
+    #[must_use]
+    pub const fn project_name(self) -> &'static str {
+        match self {
+            TargetId::Modbus => "libmodbus",
+            TargetId::Iec104 => "IEC104",
+            TargetId::Iec61850 => "libiec61850",
+            TargetId::Lib60870 => "lib60870",
+            TargetId::Iccp => "libiec_iccp_mod",
+            TargetId::Dnp3 => "opendnp3",
+        }
+    }
+
+    /// Instantiates the target.
+    #[must_use]
+    pub fn create(self) -> Box<dyn Target> {
+        match self {
+            TargetId::Modbus => Box::new(modbus::ModbusServer::new()),
+            TargetId::Iec104 => Box::new(iec104::Iec104Server::new()),
+            TargetId::Iec61850 => Box::new(iec61850::MmsServer::new()),
+            TargetId::Lib60870 => Box::new(lib60870::Lib60870Server::new()),
+            TargetId::Iccp => Box::new(iccp::IccpServer::new()),
+            TargetId::Dnp3 => Box::new(dnp3::Dnp3Outstation::new()),
+        }
+    }
+
+    /// Parses a project name (as printed by [`TargetId::project_name`]) or a
+    /// short alias (`modbus`, `iec104`, `iec61850`, `lib60870`, `iccp`,
+    /// `dnp3`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "libmodbus" | "modbus" => Some(TargetId::Modbus),
+            "iec104" => Some(TargetId::Iec104),
+            "libiec61850" | "iec61850" | "mms" => Some(TargetId::Iec61850),
+            "lib60870" | "cs104" | "cs101" => Some(TargetId::Lib60870),
+            "libiec_iccp_mod" | "iccp" | "tase2" => Some(TargetId::Iccp),
+            "opendnp3" | "dnp3" => Some(TargetId::Dnp3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.project_name())
+    }
+}
+
+/// Instantiates every built-in target.
+#[must_use]
+pub fn all_targets() -> Vec<Box<dyn Target>> {
+    TargetId::ALL.iter().map(|id| id.create()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_ids_roundtrip_through_parse() {
+        for id in TargetId::ALL {
+            assert_eq!(TargetId::parse(id.project_name()), Some(id));
+        }
+        assert_eq!(TargetId::parse("modbus"), Some(TargetId::Modbus));
+        assert_eq!(TargetId::parse("unknown"), None);
+    }
+
+    #[test]
+    fn all_targets_have_models_and_names() {
+        for mut target in all_targets() {
+            assert!(!target.name().is_empty());
+            let models = target.data_models();
+            assert!(
+                !models.is_empty(),
+                "{} must expose at least one data model",
+                target.name()
+            );
+            // Every target must at least reject an empty packet without
+            // panicking and without faulting.
+            let mut ctx = TraceContext::new();
+            let outcome = target.process(&[], &mut ctx);
+            assert!(!outcome.is_fault(), "{}: empty packet must not fault", target.name());
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok = Outcome::Response(vec![1, 2, 3]);
+        assert_eq!(ok.response(), Some(&[1u8, 2, 3][..]));
+        assert!(!ok.is_fault());
+        let fault = Outcome::Fault(Fault::new(FaultKind::Segv, "here"));
+        assert!(fault.is_fault());
+        assert_eq!(fault.fault().unwrap().kind, FaultKind::Segv);
+        assert_eq!(fault.response(), None);
+    }
+
+    #[test]
+    fn fault_display_mentions_kind_and_site() {
+        let fault = Fault::new(FaultKind::HeapUseAfterFree, "modbus.c:write_reg");
+        let text = fault.to_string();
+        assert!(text.contains("heap-use-after-free"));
+        assert!(text.contains("modbus.c:write_reg"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Fuzz the two IEC 60870-5-104 implementations (the `IEC104` project and
+//! `lib60870`) with Peach\* and show how the same wire format yields
+//! different coverage landscapes and different bugs — lib60870 carries the
+//! `CS101_ASDU_getCOT` SEGV from Listing 1 of the paper.
+//!
+//! ```text
+//! cargo run -p peachstar --release --example fuzz_iec104
+//! ```
+
+use peachstar::campaign::{Campaign, CampaignConfig};
+use peachstar::strategy::StrategyKind;
+use peachstar_protocols::TargetId;
+
+fn main() {
+    for target in [TargetId::Iec104, TargetId::Lib60870] {
+        let config = CampaignConfig::new(StrategyKind::PeachStar)
+            .executions(25_000)
+            .rng_seed(1234);
+        let report = Campaign::new(target.create(), config).run();
+        println!("=== {} ===", target.project_name());
+        println!("{report}");
+        if report.bugs.is_empty() {
+            println!("  no faults triggered");
+        }
+        for bug in &report.bugs {
+            println!(
+                "  {} first triggered at execution {}",
+                bug.fault, bug.first_execution
+            );
+            println!(
+                "    packet ({} bytes): {}",
+                bug.packet.len(),
+                bug.packet
+                    .iter()
+                    .map(|byte| format!("{byte:02x}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Compare Peach and Peach\* head-to-head on the Modbus/TCP target — a
+//! miniature version of one Figure 4 sub-plot, including the bugs of the
+//! libmodbus row of Table I.
+//!
+//! ```text
+//! cargo run -p peachstar --release --example fuzz_modbus
+//! ```
+
+use peachstar::campaign::{Campaign, CampaignConfig};
+use peachstar::strategy::StrategyKind;
+use peachstar_protocols::TargetId;
+
+fn main() {
+    let executions = 30_000;
+    println!("libmodbus, {executions} executions per fuzzer\n");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>12}",
+        "fuzzer", "paths", "bugs", "validity", "corpus"
+    );
+
+    let mut final_paths = Vec::new();
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        let config = CampaignConfig::new(strategy)
+            .executions(executions)
+            .rng_seed(7);
+        let report = Campaign::new(TargetId::Modbus.create(), config).run();
+        println!(
+            "{:<10} {:>8} {:>8} {:>9.1}% {:>12}",
+            strategy.label(),
+            report.final_paths(),
+            report.unique_bugs(),
+            report.validity_ratio() * 100.0,
+            report.corpus_size
+        );
+        for bug in &report.bugs {
+            println!(
+                "           -> {} (execution {})",
+                bug.fault, bug.first_execution
+            );
+        }
+        final_paths.push(report.final_paths());
+    }
+
+    if let [peach, peachstar] = final_paths[..] {
+        let gain = (peachstar as f64 - peach as f64) / peach.max(1) as f64 * 100.0;
+        println!("\nPeach* path gain over Peach: {gain:+.1}%");
+    }
+}

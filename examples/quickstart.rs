@@ -1,0 +1,48 @@
+//! Quickstart: run a short Peach\* campaign against the Modbus target and
+//! print what the coverage-guided packet crack and generation found.
+//!
+//! ```text
+//! cargo run -p peachstar --release --example quickstart
+//! ```
+
+use peachstar::campaign::{Campaign, CampaignConfig};
+use peachstar::strategy::StrategyKind;
+use peachstar_protocols::TargetId;
+
+fn main() {
+    // 1. Pick a target. Each target bundles an instrumented protocol server
+    //    and the Peach-pit style data models of its packets.
+    let target = TargetId::Modbus;
+    println!(
+        "fuzzing {} ({} packet-type models)",
+        target,
+        target.create().data_models().len()
+    );
+
+    // 2. Configure a campaign: Peach* strategy, 20k packet executions.
+    let config = CampaignConfig::new(StrategyKind::PeachStar)
+        .executions(20_000)
+        .rng_seed(42);
+
+    // 3. Run it. The campaign feeds generated packets to the target, keeps
+    //    the valuable ones (new coverage), cracks them into puzzles and uses
+    //    those puzzles to assemble higher-quality packets.
+    let report = Campaign::new(target.create(), config).run();
+
+    // 4. Inspect the results.
+    println!("{report}");
+    println!("  valuable seeds retained : {}", report.valuable_seeds);
+    println!("  puzzle corpus size      : {}", report.corpus_size);
+    println!("  packets answered        : {}", report.responses);
+    println!("  packets rejected        : {}", report.protocol_errors);
+    for bug in &report.bugs {
+        println!(
+            "  bug: {} first seen at execution {} (model {})",
+            bug.fault, bug.first_execution, bug.model
+        );
+    }
+    println!("coverage growth (executions -> paths):");
+    for point in report.series.points().iter().step_by(10) {
+        println!("  {:>7} -> {}", point.executions, point.paths);
+    }
+}

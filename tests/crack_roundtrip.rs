@@ -1,0 +1,94 @@
+//! Cracking / emission round-trip properties across every built-in target's
+//! data models, plus property-based tests on the cracker with arbitrary
+//! byte strings.
+
+use proptest::prelude::*;
+
+use peachstar::{FileCracker, PuzzleCorpus};
+use peachstar_datamodel::crack::crack;
+use peachstar_datamodel::emit::{emit_default, emit_tree};
+use peachstar_protocols::TargetId;
+
+#[test]
+fn every_default_packet_cracks_against_its_own_model() {
+    for target in TargetId::ALL {
+        let models = target.create().data_models();
+        for model in models.models() {
+            let packet = emit_default(model).expect("default packet emits");
+            let tree = crack(model, &packet).unwrap_or_else(|e| {
+                panic!("{}/{}: default packet fails to crack: {e}", target, model.name())
+            });
+            assert_eq!(tree.bytes(), &packet[..]);
+            // Re-emitting the cracked tree with repair reproduces the packet.
+            let re_emitted = emit_tree(model, &tree, true).expect("re-emission succeeds");
+            assert_eq!(
+                re_emitted, packet,
+                "{}/{}: crack → emit round trip changed the packet",
+                target,
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cracked_packets_always_yield_nonempty_puzzles_with_rules_from_the_model() {
+    for target in TargetId::ALL {
+        let models = target.create().data_models();
+        let mut cracker = FileCracker::new();
+        let mut corpus = PuzzleCorpus::new();
+        for model in models.models() {
+            let packet = emit_default(model).expect("default packet emits");
+            let added = cracker.crack_into(&models, &packet, &mut corpus);
+            assert!(added > 0, "{}/{}: no puzzles added", target, model.name());
+        }
+        // Every model should now find a donor for at least one of its rules.
+        for model in models.models() {
+            let has_donor = model.rule_ids().iter().any(|rule| corpus.has_donor(*rule));
+            assert!(
+                has_donor,
+                "{}/{}: no donor available after cracking every default packet",
+                target,
+                model.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cracker must never panic, whatever bytes it is fed.
+    #[test]
+    fn cracker_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let models = TargetId::Modbus.create().data_models();
+        let mut cracker = FileCracker::new();
+        let _ = cracker.crack(&models, &data);
+    }
+
+    /// A packet that cracks can always be re-emitted without repair to the
+    /// exact same bytes (emission of the instantiation tree is lossless).
+    #[test]
+    fn crack_then_emit_without_repair_is_lossless(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let models = TargetId::Iccp.create().data_models();
+        for model in models.models() {
+            if let Ok(tree) = crack(model, &data) {
+                let re_emitted = emit_tree(model, &tree, false).expect("emission succeeds");
+                prop_assert_eq!(&re_emitted, &data);
+            }
+        }
+    }
+
+    /// Corpus insertion is idempotent: inserting the same puzzles twice
+    /// never increases the corpus size the second time.
+    #[test]
+    fn corpus_insertion_is_idempotent(data in proptest::collection::vec(any::<u8>(), 4..64)) {
+        let models = TargetId::Lib60870.create().data_models();
+        let mut cracker = FileCracker::new();
+        let mut corpus = PuzzleCorpus::new();
+        let first = cracker.crack_into(&models, &data, &mut corpus);
+        let second = cracker.crack_into(&models, &data, &mut corpus);
+        prop_assert!(first >= second);
+        prop_assert_eq!(second, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Determinism and reproducibility: identical configurations produce
+//! identical campaigns, and different seeds genuinely differ.
+
+use peachstar::campaign::{Campaign, CampaignConfig};
+use peachstar::strategy::StrategyKind;
+use peachstar_protocols::TargetId;
+
+fn run(strategy: StrategyKind, seed: u64, executions: u64) -> (usize, u64, u64, usize) {
+    let config = CampaignConfig::new(strategy)
+        .executions(executions)
+        .rng_seed(seed)
+        .sample_interval(100);
+    let report = Campaign::new(TargetId::Lib60870.create(), config).run();
+    (
+        report.final_paths(),
+        report.responses,
+        report.protocol_errors,
+        report.unique_bugs(),
+    )
+}
+
+#[test]
+fn same_seed_same_campaign() {
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        assert_eq!(
+            run(strategy, 77, 2_000),
+            run(strategy, 77, 2_000),
+            "{strategy}: campaigns with identical seeds must be identical"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(StrategyKind::PeachStar, 1, 2_000);
+    let b = run(StrategyKind::PeachStar, 2, 2_000);
+    assert_ne!(a, b, "different RNG seeds should produce different campaigns");
+}
+
+#[test]
+fn longer_campaigns_cover_at_least_as_much() {
+    let short = run(StrategyKind::PeachStar, 5, 1_000).0;
+    let long = run(StrategyKind::PeachStar, 5, 3_000).0;
+    assert!(
+        long >= short,
+        "a longer campaign with the same seed cannot cover fewer paths ({long} < {short})"
+    );
+}
+
+#[test]
+fn strategies_share_the_same_engine_but_differ_in_behaviour() {
+    // With the same seed, the two strategies start identically (the corpus is
+    // empty) but must diverge once feedback arrives.
+    let peach = run(StrategyKind::Peach, 9, 4_000);
+    let star = run(StrategyKind::PeachStar, 9, 4_000);
+    assert_ne!(peach, star, "the strategies should not produce identical campaigns");
+}
