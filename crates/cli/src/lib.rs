@@ -1,0 +1,730 @@
+//! Library backing the `peachstar-cli` binary: command-line parsing and the
+//! multi-threaded campaign runner.
+//!
+//! The binary reproduces the paper's evaluation workflow (Figure 4 and
+//! Table I) from the command line: pick one of the six ICS targets (or all
+//! of them), an execution budget and a strategy, then run one campaign per
+//! repetition seed — spread across worker threads — and print a merged
+//! report comparing Peach\* against the Peach baseline:
+//!
+//! ```text
+//! cargo run -p peachstar-cli -- --target modbus --strategy peachstar \
+//!     --executions 20000 --repetitions 3 --jobs 4
+//! ```
+//!
+//! Parsing lives in [`parse_args`], execution in [`run`], and the binary's
+//! whole `main` is [`run_main`]. Everything is plain `std` — no argument
+//! parsing or thread-pool dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use peachstar::campaign::{Campaign, CampaignConfig, CampaignReport};
+use peachstar::stats::CoverageSeries;
+use peachstar::strategy::StrategyKind;
+use peachstar_protocols::TargetId;
+
+/// Which fuzzers a run compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyChoice {
+    /// Baseline only.
+    Peach,
+    /// Peach\* plus the Peach baseline it is compared against (the paper's
+    /// workflow; suppress the baseline with `--no-baseline`).
+    PeachStar,
+    /// Both fuzzers, explicitly.
+    Both,
+}
+
+impl StrategyChoice {
+    /// Parses the `--strategy` argument.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "peach" | "baseline" => Some(Self::Peach),
+            "peachstar" | "peach*" | "star" => Some(Self::PeachStar),
+            "both" | "compare" => Some(Self::Both),
+            _ => None,
+        }
+    }
+
+    /// The strategies this choice actually runs.
+    #[must_use]
+    pub fn kinds(self, no_baseline: bool) -> Vec<StrategyKind> {
+        match self {
+            Self::Peach => vec![StrategyKind::Peach],
+            Self::PeachStar if no_baseline => vec![StrategyKind::PeachStar],
+            Self::PeachStar | Self::Both => vec![StrategyKind::Peach, StrategyKind::PeachStar],
+        }
+    }
+}
+
+/// Parsed command-line options for a campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Targets to fuzz (one entry per `--target`, or all six for `all`).
+    pub targets: Vec<TargetId>,
+    /// Which fuzzers to run.
+    pub strategy: StrategyChoice,
+    /// Per-campaign execution budget.
+    pub executions: u64,
+    /// Base RNG seed; repetition `i` uses `seed + i`.
+    pub seed: u64,
+    /// Campaigns per (target, strategy) pair.
+    pub repetitions: u64,
+    /// Worker threads (0 = one per available core).
+    pub jobs: usize,
+    /// Coverage sampling interval (0 = executions / 100).
+    pub sample_interval: u64,
+    /// Also print the merged coverage series as CSV.
+    pub csv: bool,
+    /// Suppress the implicit Peach baseline of `--strategy peachstar`.
+    pub no_baseline: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Both,
+            executions: 20_000,
+            seed: 1,
+            repetitions: 1,
+            jobs: 0,
+            sample_interval: 0,
+            csv: false,
+            no_baseline: false,
+        }
+    }
+}
+
+/// What the command line asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run campaigns with these options.
+    Run(CliOptions),
+    /// Print usage.
+    Help,
+    /// Print the known targets.
+    ListTargets,
+}
+
+/// Usage text printed by `--help`.
+pub const USAGE: &str = "\
+peachstar-cli — run Peach vs Peach* ICS fuzzing campaigns (DAC 2020 reproduction)
+
+USAGE:
+    peachstar-cli [OPTIONS]
+
+OPTIONS:
+    --target <NAME>          Target to fuzz: modbus | iec104 | iec61850 |
+                             lib60870 | iccp | dnp3 | all. Repeatable.
+                             [default: modbus]
+    --strategy <KIND>        peach | peachstar | both. `peachstar` also runs
+                             the Peach baseline for comparison (the paper's
+                             workflow); add --no-baseline to suppress it.
+                             [default: both]
+    --executions <N>         Packet executions per campaign [default: 20000]
+    --seed <N>               Base RNG seed; repetition i uses seed+i [default: 1]
+    --repetitions <N>        Campaigns per fuzzer, averaged into one merged
+                             coverage series [default: 1]
+    --jobs <N>               Worker threads for parallel campaigns
+                             [default: available cores]
+    --sample-interval <N>    Executions between coverage samples
+                             [default: executions/100]
+    --csv                    Also print the merged coverage series as CSV
+    --no-baseline            With --strategy peachstar: skip the baseline run
+    --list-targets           List the built-in targets and exit
+    -h, --help               Print this help and exit
+
+EXAMPLES:
+    peachstar-cli --target modbus --strategy peachstar --executions 5000 --jobs 4
+    peachstar-cli --target all --repetitions 3 --jobs 8 --csv
+";
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending argument.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut options = CliOptions::default();
+    let mut targets: Vec<TargetId> = Vec::new();
+    let mut iter = args.iter();
+
+    fn value<'a>(
+        flag: &str,
+        iter: &mut std::slice::Iter<'a, String>,
+    ) -> Result<&'a String, String> {
+        iter.next().ok_or_else(|| format!("{flag} expects a value"))
+    }
+
+    fn number(flag: &str, raw: &str) -> Result<u64, String> {
+        raw.replace('_', "")
+            .parse()
+            .map_err(|_| format!("{flag}: `{raw}` is not a number"))
+    }
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--list-targets" => return Ok(Command::ListTargets),
+            "--target" => {
+                let raw = value("--target", &mut iter)?;
+                if raw.eq_ignore_ascii_case("all") {
+                    targets.extend(TargetId::ALL);
+                } else {
+                    let target = TargetId::parse(raw).ok_or_else(|| {
+                        format!("--target: unknown target `{raw}` (try --list-targets)")
+                    })?;
+                    targets.push(target);
+                }
+            }
+            "--strategy" => {
+                let raw = value("--strategy", &mut iter)?;
+                options.strategy = StrategyChoice::parse(raw).ok_or_else(|| {
+                    format!("--strategy: `{raw}` is not one of peach|peachstar|both")
+                })?;
+            }
+            "--executions" => {
+                options.executions = number("--executions", value("--executions", &mut iter)?)?;
+                if options.executions == 0 {
+                    return Err("--executions must be at least 1".into());
+                }
+            }
+            "--seed" => options.seed = number("--seed", value("--seed", &mut iter)?)?,
+            "--repetitions" => {
+                options.repetitions =
+                    number("--repetitions", value("--repetitions", &mut iter)?)?;
+                if options.repetitions == 0 {
+                    return Err("--repetitions must be at least 1".into());
+                }
+            }
+            "--jobs" => {
+                options.jobs =
+                    usize::try_from(number("--jobs", value("--jobs", &mut iter)?)?).unwrap_or(0);
+            }
+            "--sample-interval" => {
+                options.sample_interval =
+                    number("--sample-interval", value("--sample-interval", &mut iter)?)?;
+            }
+            "--csv" => options.csv = true,
+            "--no-baseline" => options.no_baseline = true,
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    if !targets.is_empty() {
+        targets.dedup();
+        options.targets = targets;
+    }
+    Ok(Command::Run(options))
+}
+
+/// One campaign to execute: the unit of work distributed over threads.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    target: TargetId,
+    strategy: StrategyKind,
+    seed: u64,
+}
+
+/// All repetitions of one (target, strategy) pair, merged.
+#[derive(Debug)]
+pub struct MergedCampaign {
+    /// The fuzzed target.
+    pub target: TargetId,
+    /// The fuzzer that produced these reports.
+    pub strategy: StrategyKind,
+    /// Point-wise averaged coverage series over all repetitions.
+    pub merged_series: CoverageSeries,
+    /// The individual repetition reports, in seed order.
+    pub reports: Vec<CampaignReport>,
+}
+
+impl MergedCampaign {
+    fn mean<F: Fn(&CampaignReport) -> f64>(&self, f: F) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(f).sum::<f64>() / self.reports.len() as f64
+    }
+
+    /// Final paths of the merged series.
+    #[must_use]
+    pub fn final_paths(&self) -> usize {
+        self.merged_series.final_paths()
+    }
+
+    /// Mean validity ratio over the repetitions.
+    #[must_use]
+    pub fn validity(&self) -> f64 {
+        self.mean(CampaignReport::validity_ratio)
+    }
+
+    /// Mean puzzle-corpus size over the repetitions.
+    #[must_use]
+    pub fn corpus_size(&self) -> f64 {
+        self.mean(|r| r.corpus_size as f64)
+    }
+
+    /// Unique bug sites over all repetitions, with the repetition seed and
+    /// earliest execution that first triggered each.
+    #[must_use]
+    pub fn unique_bugs(&self, base_seed: u64) -> Vec<(String, u64, u64)> {
+        let mut bugs: BTreeMap<&'static str, (String, u64, u64)> = BTreeMap::new();
+        for (repetition, report) in self.reports.iter().enumerate() {
+            let seed = base_seed + repetition as u64;
+            for bug in &report.bugs {
+                bugs.entry(bug.fault.site)
+                    .and_modify(|entry| {
+                        if bug.first_execution < entry.2 {
+                            *entry = (bug.fault.to_string(), seed, bug.first_execution);
+                        }
+                    })
+                    .or_insert((bug.fault.to_string(), seed, bug.first_execution));
+            }
+        }
+        bugs.into_values().collect()
+    }
+}
+
+/// The outcome of [`run`]: one merged campaign per (target, strategy) pair,
+/// in target order.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The options the run used (after defaulting).
+    pub options: CliOptions,
+    /// Merged campaigns, grouped by target in [`TargetId::ALL`] order.
+    pub campaigns: Vec<MergedCampaign>,
+    /// Wall-clock seconds the whole run took.
+    pub wall_seconds: f64,
+}
+
+impl RunOutcome {
+    /// The merged campaign for a (target, strategy) pair, if it ran.
+    #[must_use]
+    pub fn find(&self, target: TargetId, strategy: StrategyKind) -> Option<&MergedCampaign> {
+        self.campaigns
+            .iter()
+            .find(|c| c.target == target && c.strategy == strategy)
+    }
+}
+
+/// Runs all requested campaigns, distributing repetitions over `jobs`
+/// worker threads, and merges each (target, strategy) group's coverage
+/// series.
+#[must_use]
+pub fn run(options: &CliOptions) -> RunOutcome {
+    let start = Instant::now();
+    let kinds = options.strategy.kinds(options.no_baseline);
+    let sample_interval = if options.sample_interval > 0 {
+        options.sample_interval
+    } else {
+        (options.executions / 100).max(1)
+    };
+
+    let mut queue: VecDeque<WorkItem> = VecDeque::new();
+    for &target in &options.targets {
+        for &strategy in &kinds {
+            for repetition in 0..options.repetitions {
+                queue.push_back(WorkItem {
+                    target,
+                    strategy,
+                    seed: options.seed + repetition,
+                });
+            }
+        }
+    }
+
+    let jobs = if options.jobs > 0 {
+        options.jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+    .min(queue.len().max(1));
+
+    let queue = Mutex::new(queue);
+    let results: Mutex<Vec<(WorkItem, CampaignReport)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let Some(item) = queue.lock().expect("queue lock").pop_front() else {
+                    return;
+                };
+                let config = CampaignConfig::new(item.strategy)
+                    .executions(options.executions)
+                    .rng_seed(item.seed)
+                    .sample_interval(sample_interval);
+                let report = Campaign::new(item.target.create(), config).run();
+                results.lock().expect("results lock").push((item, report));
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("results lock");
+    // Deterministic merge order regardless of thread completion order.
+    results.sort_by_key(|(item, _)| (item.target, strategy_order(item.strategy), item.seed));
+
+    let mut campaigns = Vec::new();
+    for &target in &options.targets {
+        for &strategy in &kinds {
+            let reports: Vec<CampaignReport> = results
+                .iter()
+                .filter(|(item, _)| item.target == target && item.strategy == strategy)
+                .map(|(_, report)| report.clone())
+                .collect();
+            if reports.is_empty() {
+                continue;
+            }
+            let series: Vec<CoverageSeries> =
+                reports.iter().map(|r| r.series.clone()).collect();
+            campaigns.push(MergedCampaign {
+                target,
+                strategy,
+                merged_series: CoverageSeries::average(&series),
+                reports,
+            });
+        }
+    }
+
+    RunOutcome {
+        options: options.clone(),
+        campaigns,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+const fn strategy_order(strategy: StrategyKind) -> u8 {
+    match strategy {
+        StrategyKind::Peach => 0,
+        StrategyKind::PeachStar => 1,
+    }
+}
+
+/// Renders the outcome as the human-readable comparison report.
+#[must_use]
+pub fn render_report(outcome: &RunOutcome) -> String {
+    let options = &outcome.options;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "peachstar campaign run: {} executions x {} repetition(s), base seed {}\n",
+        options.executions, options.repetitions, options.seed
+    ));
+
+    for &target in &options.targets {
+        let peach = outcome.find(target, StrategyKind::Peach);
+        let star = outcome.find(target, StrategyKind::PeachStar);
+        out.push_str(&format!("\n== {} ==\n", target.project_name()));
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>9} {:>12} {:>10} {:>9}\n",
+            "fuzzer", "paths", "edges", "unique-bugs", "validity", "corpus"
+        ));
+        for merged in [peach, star].into_iter().flatten() {
+            let last = merged.merged_series.points().last();
+            out.push_str(&format!(
+                "{:<10} {:>9} {:>9} {:>12} {:>9.1}% {:>9.0}\n",
+                merged.strategy.label(),
+                merged.final_paths(),
+                last.map_or(0, |p| p.edges),
+                merged.unique_bugs(options.seed).len(),
+                merged.validity() * 100.0,
+                merged.corpus_size(),
+            ));
+        }
+
+        if let (Some(peach), Some(star)) = (peach, star) {
+            let base_paths = peach.final_paths();
+            if base_paths > 0 {
+                let gain = (star.final_paths() as f64 - base_paths as f64) / base_paths as f64
+                    * 100.0;
+                out.push_str(&format!("path gain Peach* vs Peach: {gain:+.2}%\n"));
+            }
+            match (
+                peach.merged_series.executions_to_reach(base_paths),
+                star.merged_series.executions_to_reach(base_paths),
+            ) {
+                (Some(baseline_execs), Some(star_execs)) => {
+                    out.push_str(&format!(
+                        "speed to baseline coverage: Peach* reached {} paths in {} execs (Peach: {}) — {:.1}x\n",
+                        base_paths,
+                        star_execs,
+                        baseline_execs,
+                        baseline_execs as f64 / star_execs.max(1) as f64,
+                    ));
+                }
+                (_, None) => out.push_str(
+                    "speed to baseline coverage: Peach* never reached the baseline's final path count\n",
+                ),
+                (None, _) => {}
+            }
+        }
+
+        for merged in [peach, star].into_iter().flatten() {
+            let bugs = merged.unique_bugs(options.seed);
+            if bugs.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "unique bugs found by {} (union over repetitions):\n",
+                merged.strategy.label()
+            ));
+            for (description, seed, execution) in bugs {
+                out.push_str(&format!(
+                    "  {description} (first at execution {execution}, seed {seed})\n"
+                ));
+            }
+        }
+
+        if options.csv {
+            out.push('\n');
+            out.push_str(&render_csv(target, peach, star));
+        }
+    }
+
+    out.push_str(&format!("\ntotal wall time: {:.1}s\n", outcome.wall_seconds));
+    out
+}
+
+/// Renders the merged series of one target as CSV
+/// (`executions,peach_paths,peachstar_paths` — columns drop out when a
+/// strategy did not run).
+#[must_use]
+fn render_csv(
+    target: TargetId,
+    peach: Option<&MergedCampaign>,
+    star: Option<&MergedCampaign>,
+) -> String {
+    let mut out = format!("# merged coverage series: {}\n", target.project_name());
+    let header: Vec<&str> = ["executions"]
+        .into_iter()
+        .chain(peach.map(|_| "peach_paths"))
+        .chain(star.map(|_| "peachstar_paths"))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    let rows = peach
+        .or(star)
+        .map_or(0, |merged| merged.merged_series.points().len());
+    for index in 0..rows {
+        let executions = peach
+            .or(star)
+            .and_then(|m| m.merged_series.points().get(index))
+            .map_or(0, |p| p.executions);
+        let mut row = vec![executions.to_string()];
+        for merged in [peach, star].into_iter().flatten() {
+            row.push(
+                merged
+                    .merged_series
+                    .points()
+                    .get(index)
+                    .map_or_else(String::new, |p| p.paths.to_string()),
+            );
+        }
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Entry point used by the binary: parse, run, print, exit code.
+pub fn run_main(args: &[String]) -> ExitCode {
+    match parse_args(args) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::ListTargets) => {
+            for target in TargetId::ALL {
+                println!(
+                    "{:<12} {}",
+                    format!("{target:?}").to_ascii_lowercase(),
+                    target.project_name()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(options)) => {
+            let outcome = run(&options);
+            print!("{}", render_report(&outcome));
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("try --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let Command::Run(options) = parse_args(&[]).unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options, CliOptions::default());
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let Command::Run(options) = parse_args(&args(&[
+            "--target",
+            "iec104",
+            "--target",
+            "dnp3",
+            "--strategy",
+            "peachstar",
+            "--executions",
+            "5_000",
+            "--seed",
+            "9",
+            "--repetitions",
+            "3",
+            "--jobs",
+            "4",
+            "--sample-interval",
+            "50",
+            "--csv",
+            "--no-baseline",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.targets, vec![TargetId::Iec104, TargetId::Dnp3]);
+        assert_eq!(options.strategy, StrategyChoice::PeachStar);
+        assert_eq!(options.executions, 5_000);
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.repetitions, 3);
+        assert_eq!(options.jobs, 4);
+        assert_eq!(options.sample_interval, 50);
+        assert!(options.csv);
+        assert!(options.no_baseline);
+    }
+
+    #[test]
+    fn target_all_expands_to_every_target() {
+        let Command::Run(options) = parse_args(&args(&["--target", "all"])).unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.targets, TargetId::ALL.to_vec());
+    }
+
+    #[test]
+    fn rejects_unknown_arguments_and_values() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--target", "http"])).is_err());
+        assert!(parse_args(&args(&["--strategy", "afl"])).is_err());
+        assert!(parse_args(&args(&["--executions", "zero"])).is_err());
+        assert!(parse_args(&args(&["--executions", "0"])).is_err());
+        assert!(parse_args(&args(&["--repetitions", "0"])).is_err());
+        assert!(parse_args(&args(&["--executions"])).is_err());
+    }
+
+    #[test]
+    fn help_and_list_targets_short_circuit() {
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["-h"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&args(&["--list-targets"])).unwrap(),
+            Command::ListTargets
+        );
+    }
+
+    #[test]
+    fn strategy_choice_controls_kinds() {
+        assert_eq!(StrategyChoice::Peach.kinds(false), vec![StrategyKind::Peach]);
+        assert_eq!(
+            StrategyChoice::PeachStar.kinds(false),
+            vec![StrategyKind::Peach, StrategyKind::PeachStar]
+        );
+        assert_eq!(
+            StrategyChoice::PeachStar.kinds(true),
+            vec![StrategyKind::PeachStar]
+        );
+        assert_eq!(
+            StrategyChoice::Both.kinds(true),
+            vec![StrategyKind::Peach, StrategyKind::PeachStar]
+        );
+    }
+
+    #[test]
+    fn small_parallel_run_produces_comparable_report() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            executions: 1_200,
+            repetitions: 2,
+            jobs: 4,
+            ..CliOptions::default()
+        };
+        let outcome = run(&options);
+        assert_eq!(outcome.campaigns.len(), 2, "Peach and Peach* both ran");
+        let peach = outcome.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
+        let star = outcome
+            .find(TargetId::Modbus, StrategyKind::PeachStar)
+            .unwrap();
+        assert_eq!(peach.reports.len(), 2);
+        assert_eq!(star.reports.len(), 2);
+        assert!(peach.final_paths() > 0);
+        assert!(star.final_paths() > 0);
+
+        let report = render_report(&outcome);
+        assert!(report.contains("libmodbus"));
+        assert!(report.contains("Peach*"));
+        assert!(report.contains("path gain"));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run() {
+        let options = CliOptions {
+            targets: vec![TargetId::Iec104],
+            executions: 800,
+            repetitions: 2,
+            jobs: 4,
+            ..CliOptions::default()
+        };
+        let parallel = run(&options);
+        let sequential = run(&CliOptions { jobs: 1, ..options });
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let a = parallel.find(TargetId::Iec104, strategy).unwrap();
+            let b = sequential.find(TargetId::Iec104, strategy).unwrap();
+            assert_eq!(
+                a.final_paths(),
+                b.final_paths(),
+                "{strategy}: thread scheduling must not affect results"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_rendering_includes_both_series() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            executions: 600,
+            csv: true,
+            jobs: 2,
+            ..CliOptions::default()
+        };
+        let outcome = run(&options);
+        let report = render_report(&outcome);
+        assert!(report.contains("executions,peach_paths,peachstar_paths"));
+        let csv_lines = report
+            .lines()
+            .filter(|line| line.chars().next().is_some_and(char::is_numeric))
+            .count();
+        assert!(csv_lines > 2, "series rows rendered");
+    }
+}

@@ -1,0 +1,9 @@
+//! `peachstar-cli` — run Peach vs Peach\* fuzzing campaigns from the
+//! command line.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    peachstar_cli::run_main(&args)
+}

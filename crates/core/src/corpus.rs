@@ -50,7 +50,7 @@ impl PuzzleCorpus {
     /// Inserts one puzzle; returns `true` when it was new for its rule.
     pub fn insert(&mut self, puzzle: Puzzle) -> bool {
         let entry = self.by_rule.entry(puzzle.rule).or_default();
-        if entry.iter().any(|existing| *existing == puzzle.content) {
+        if entry.contains(&puzzle.content) {
             self.rejected_duplicates += 1;
             return false;
         }

@@ -227,8 +227,6 @@ impl SemanticAwareStrategy {
         let linear = model.linear();
         // Candidate content per leaf position.
         let mut per_position: Vec<Vec<Vec<u8>>> = Vec::with_capacity(linear.len());
-        let mut block_donations: Vec<Option<Vec<Vec<u8>>>> = Vec::new();
-        let _ = &mut block_donations;
         for leaf in linear.iter() {
             let rule = leaf.chunk.rule_id();
             let donors = self.corpus.donors(rule);

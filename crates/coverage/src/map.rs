@@ -184,7 +184,7 @@ impl CoverageMap {
 
     /// Resets the map to the empty state.
     pub fn clear(&mut self) {
-        self.buckets = Box::new([0u8; MAP_SIZE]);
+        self.buckets.fill(0);
         self.edges_covered = 0;
         self.paths.clear();
         self.executions = 0;

@@ -196,6 +196,34 @@ impl NumberSpec {
         Some(u64::from_be_bytes(buf))
     }
 
+    /// Decodes wire bytes of *any* length in this spec's endianness, keeping
+    /// the least significant eight bytes.
+    ///
+    /// This is the normalisation [`emit_values`](crate::emit::emit_values)
+    /// applies to provided number content: cracked trees and mutators both
+    /// hand over wire bytes, and re-encoding the decoded value repairs the
+    /// width without disturbing a correctly-sized field.
+    #[must_use]
+    pub fn decode_lossy(&self, bytes: &[u8]) -> u64 {
+        let take = bytes.len().min(8);
+        let mut value = 0u64;
+        match self.endian {
+            // Least significant wire bytes are the trailing ones.
+            Endianness::Big => {
+                for &byte in &bytes[bytes.len() - take..] {
+                    value = (value << 8) | u64::from(byte);
+                }
+            }
+            // Least significant wire bytes are the leading ones.
+            Endianness::Little => {
+                for (index, &byte) in bytes[..take].iter().enumerate() {
+                    value |= u64::from(byte) << (8 * index);
+                }
+            }
+        }
+        value
+    }
+
     /// Whether `value` is legal for this field.
     #[must_use]
     pub fn is_legal(&self, value: u64) -> bool {
@@ -480,6 +508,36 @@ impl Chunk {
         match &self.kind {
             ChunkKind::Block(children) | ChunkKind::Choice(children) => children,
             _ => &[],
+        }
+    }
+
+    /// The minimal number of bytes any instantiation of this chunk occupies
+    /// on the wire: variable-length content (remainder / field-driven
+    /// lengths) counts as zero.
+    ///
+    /// The cracker uses this to stop a greedy [`LengthSpec::Remainder`]
+    /// field from swallowing the bytes of fixed-size siblings that follow
+    /// it (e.g. a trailing CRC).
+    #[must_use]
+    pub fn min_encoded_size(&self) -> usize {
+        match &self.kind {
+            ChunkKind::Number(spec) => spec.width.bytes(),
+            ChunkKind::Bytes(spec) => match spec.length {
+                crate::types::LengthSpec::Fixed(len) => len,
+                _ => 0,
+            },
+            ChunkKind::Str(spec) => match spec.length {
+                crate::types::LengthSpec::Fixed(len) => len,
+                _ => 0,
+            },
+            ChunkKind::Block(children) => {
+                children.iter().map(Chunk::min_encoded_size).sum()
+            }
+            ChunkKind::Choice(options) => options
+                .iter()
+                .map(Chunk::min_encoded_size)
+                .min()
+                .unwrap_or(0),
         }
     }
 

@@ -158,8 +158,16 @@ impl<'packet> Cracker<'packet> {
             }
             ChunkKind::Block(children) => {
                 let mut nodes = Vec::with_capacity(children.len());
-                for child in children {
-                    nodes.push(self.parse_chunk(child, scope_end)?);
+                // Reserve the minimal footprint of the siblings after each
+                // child, so a greedy remainder field cannot swallow a
+                // fixed-size trailer (e.g. a CRC after an opaque body).
+                let child_mins: Vec<usize> =
+                    children.iter().map(Chunk::min_encoded_size).collect();
+                let mut trailing: usize = child_mins.iter().sum();
+                for (child, &min) in children.iter().zip(&child_mins) {
+                    trailing -= min;
+                    let child_end = scope_end.saturating_sub(trailing).max(self.cursor);
+                    nodes.push(self.parse_chunk(child, child_end)?);
                 }
                 Ok(InsNode::internal(&chunk.name, chunk.rule_id(), nodes))
             }

@@ -160,28 +160,15 @@ impl Emitter {
         let start = self.bytes.len();
         match &chunk.kind {
             ChunkKind::Number(spec) => {
-                let provided = assignment.get(*leaf_index).map(<[u8]>::to_vec);
+                let provided = assignment.get(*leaf_index);
                 *leaf_index += 1;
-                let width = spec.width.bytes();
                 let value_bytes = match provided {
-                    Some(mut bytes) => {
-                        // Normalise to the field width: left-pad or truncate
-                        // keeping the least significant bytes (big-endian
-                        // reading of the provided content).
-                        if bytes.len() > width {
-                            bytes = bytes[bytes.len() - width..].to_vec();
-                        } else if bytes.len() < width {
-                            let mut padded = vec![0u8; width - bytes.len()];
-                            padded.extend_from_slice(&bytes);
-                            bytes = padded;
-                        }
-                        match spec.endian {
-                            crate::types::Endianness::Big => bytes,
-                            crate::types::Endianness::Little => {
-                                bytes.iter().rev().copied().collect()
-                            }
-                        }
-                    }
+                    // Provided content is wire bytes in the field's own
+                    // endianness — the convention shared by the cracker and
+                    // the mutators. Round-tripping through the decoded value
+                    // normalises wrong-width content to the field width and
+                    // leaves correctly-sized content untouched.
+                    Some(bytes) => spec.encode(spec.decode_lossy(bytes)),
                     None => spec.encode(spec.default),
                 };
                 self.bytes.extend_from_slice(&value_bytes);
@@ -337,11 +324,11 @@ mod tests {
         let mut assignment = ValueAssignment::new();
         assignment.set(0, vec![0x12]); // too short → zero-padded
         assignment.set(1, vec![0xAA, 0xBB]); // too long → least-significant kept
-        assignment.set(2, vec![0x12, 0x34]); // reversed for little endian
+        assignment.set(2, vec![0x12, 0x34]); // correctly sized wire bytes → verbatim
         let packet = emit_values(&model, &assignment, false).unwrap();
         assert_eq!(&packet[0..4], &[0x00, 0x00, 0x00, 0x12]);
         assert_eq!(packet[4], 0xBB);
-        assert_eq!(&packet[5..7], &[0x34, 0x12]);
+        assert_eq!(&packet[5..7], &[0x12, 0x34]);
     }
 
     #[test]

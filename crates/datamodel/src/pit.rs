@@ -350,7 +350,7 @@ fn parse_number(line: &Line) -> Result<Chunk, ModelError> {
 
 fn parse_hex_default(line: &Line, value: &str) -> Result<Vec<u8>, ModelError> {
     let cleaned: String = value.chars().filter(|c| !c.is_whitespace()).collect();
-    if cleaned.len() % 2 != 0 {
+    if !cleaned.len().is_multiple_of(2) {
         return Err(ModelError::Pit {
             line: line.number,
             message: "hex default must have an even number of digits".to_string(),
@@ -372,9 +372,9 @@ fn parse_bytes(line: &Line) -> Result<Chunk, ModelError> {
         BytesSpec::fixed(parse_u64(line, len)? as usize)
     } else if let Some(field) = attr(line, "lengthfrom") {
         BytesSpec::length_from(field)
-    } else if has_flag(line, "remainder") {
-        BytesSpec::remainder()
     } else {
+        // With an explicit `remainder` flag or no length at all, the blob
+        // swallows the rest of its scope.
         BytesSpec::remainder()
     };
     if let Some(default) = attr(line, "default") {

@@ -88,7 +88,7 @@ impl IccpServer {
         Outcome::Response(response)
     }
 
-    fn read_reference<'packet>(body: &'packet [u8], offset: usize) -> Option<(&'packet str, usize)> {
+    fn read_reference(body: &[u8], offset: usize) -> Option<(&str, usize)> {
         let length = usize::from(*body.get(offset)?);
         let bytes = body.get(offset + 1..offset + 1 + length)?;
         let text = std::str::from_utf8(bytes).ok()?;
@@ -646,7 +646,7 @@ mod tests {
         associate(&mut server);
         // Info reference size of 300 bytes overflows the 64-byte buffer.
         let mut body = vec![0x01, 0x2c];
-        body.extend(std::iter::repeat(b'A').take(20));
+        body.extend(std::iter::repeat_n(b'A', 20));
         let outcome = run(&mut server, &message(opcode::INFORMATION_MESSAGE, &body));
         let fault = outcome.fault().expect("heap overflow in copyInfoReference");
         assert_eq!(fault.kind, FaultKind::HeapBufferOverflow);

@@ -152,7 +152,7 @@ impl Iec104Server {
                 // points; we only return the confirmation frame here.
                 let mut confirmation = Self::confirmation(asdu, 7);
                 confirmation[1] = 1;
-                if qoi >= 20 && qoi <= 36 {
+                if (20..=36).contains(&qoi) {
                     cov_edge!(ctx);
                     // Per-group interrogation handlers of the original server.
                     cov_edge!(ctx, qoi - 20);

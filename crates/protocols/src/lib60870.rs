@@ -508,8 +508,12 @@ pub fn data_models() -> DataModelSet {
                     .number_with_rule("send_seq", NumberSpec::u16_le(), "iframe-sequence")
                     .number_with_rule("recv_seq", NumberSpec::u16_le(), "iframe-sequence")
                     .bytes_with_rule(
+                        // Default: a read command (C_RD_NA_1, type 102) —
+                        // a packet type no fine-grained model describes, so
+                        // the default instantiation of this model is distinct
+                        // from every other model's and donates fresh puzzles.
                         "asdu_raw",
-                        BytesSpec::remainder().default_content(vec![45, 1, 6, 0, 1, 0, 1, 0, 0, 1]),
+                        BytesSpec::remainder().default_content(vec![102, 1, 5, 0, 1, 0, 2, 0, 0]),
                         "asdu",
                     ),
             )

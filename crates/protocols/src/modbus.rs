@@ -939,10 +939,10 @@ mod tests {
     fn mask_write_applies_masks() {
         let mut server = ModbusServer::new();
         run(&mut server, &mbap(&[0x06, 0x00, 0x04, 0x12, 0x34]));
-        run(&mut server, &mbap(&[0x16, 0x00, 0x04, 0xF2, 0x25, 0x00, 0x01]));
+        run(&mut server, &mbap(&[0x16, 0x00, 0x04, 0xF2, 0x25, 0x00, 0x02]));
         let outcome = run(&mut server, &mbap(&[0x03, 0x00, 0x04, 0x00, 0x01]));
         let response = outcome.response().unwrap();
         let value = u16::from_be_bytes([response[9], response[10]]);
-        assert_eq!(value, (0x1234 & 0xF225) | (0x0001 & !0xF225));
+        assert_eq!(value, (0x1234 & 0xF225) | (0x0002 & !0xF225));
     }
 }

@@ -81,7 +81,6 @@ fn baseline_never_reports_a_corpus() {
 #[test]
 fn bug_records_replay_against_a_fresh_target() {
     use peachstar_coverage::TraceContext;
-    use peachstar_protocols::Target;
 
     // Faults recorded by a campaign must be reproducible on a fresh target
     // instance fed the recorded packet (after rebuilding any required

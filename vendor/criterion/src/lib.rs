@@ -1,0 +1,261 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API subset the `peachstar-bench` benchmarks use:
+//! [`Criterion`], [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `bench_function` / `finish`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It is a *measuring* harness, not a statistics engine: each benchmark is
+//! warmed up, timed over a fixed number of samples and reported as a mean
+//! ns/iter with min/max, printed to stdout. That is enough for the relative
+//! A/B readings the `peachstar` benches are written for (cracking vs
+//! generation cost, per-target throughput), without upstream criterion's
+//! plotting and bootstrap machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] groups setup outputs into batches.
+///
+/// The stand-in times each routine invocation individually, so the variants
+/// only express intent; all are accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch size chosen automatically.
+    SmallInput,
+    /// Large per-iteration inputs; smaller batches.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            timings: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up pass, untimed.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        black_box(routine(input));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.timings.is_empty() {
+            println!("{name:<48} (no samples recorded)");
+            return;
+        }
+        let total: Duration = self.timings.iter().sum();
+        let mean = total / self.timings.len() as u32;
+        let min = self.timings.iter().min().expect("non-empty");
+        let max = self.timings.iter().max().expect("non-empty");
+        println!(
+            "{name:<48} mean {:>12} min {:>12} max {:>12} ({} samples)",
+            format_duration(mean),
+            format_duration(*min),
+            format_duration(*max),
+            self.timings.len()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager: entry point handed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: the stand-in is for relative readings, and the
+        // sample count can be raised per group via `sample_size`.
+        let default_samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { default_samples }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            samples: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.default_samples);
+        f(&mut bencher);
+        bencher.report(&id.into());
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // Upstream criterion enforces a floor of 10; a fraction of that is
+        // plenty for the stand-in's mean/min/max summary.
+        self.samples = Some(samples.clamp(1, 1_000) / 5 + 1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// Ends the group. (Reporting is incremental; this is a no-op kept for
+    /// API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions in order —
+/// API-compatible subset of criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function of a benchmark binary running the listed
+/// groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut bencher = Bencher::new(5);
+        let mut counter = 0u64;
+        bencher.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert_eq!(bencher.timings.len(), 5);
+        assert_eq!(counter, 6, "warm-up plus five timed runs");
+    }
+
+    #[test]
+    fn bencher_iter_batched_excludes_setup() {
+        let mut bencher = Bencher::new(3);
+        bencher.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(bencher.timings.len(), 3);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("test_group");
+        group.sample_size(50);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

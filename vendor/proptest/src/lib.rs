@@ -1,0 +1,308 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the API subset `peachstar`'s integration tests use: the
+//! [`proptest!`] macro, [`ProptestConfig::with_cases`], `any::<T>()` for the
+//! integer primitives, [`collection::vec`], and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] assertion macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * case generation is **deterministic** (a fixed-seed SplitMix64 stream),
+//!   so failures reproduce without a persistence file;
+//! * there is **no shrinking** — the failing input is printed as-is;
+//! * assertion macros panic immediately instead of returning `Err`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Run-loop configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic generator driving value strategies.
+pub mod test_runner {
+    /// SplitMix64-based deterministic random stream for case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed, documented seed: every `cargo test` run
+        /// explores the same cases.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            Self {
+                state: 0x5ee5_0bad_c0ff_ee00,
+            }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniformly distributed `usize` below `bound` (0 when `bound` is 0).
+        pub fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                (self.next_u64() % bound as u64) as usize
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy returned by [`crate::any`]: the full value range of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_any_int {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy: each case draws a length from `size`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy size range is empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The full value range of `T` as a strategy (`any::<u8>()`).
+#[must_use]
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// `Range<usize>` used directly where upstream takes `impl Into<SizeRange>`.
+pub type SizeRange = Range<usize>;
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a [`proptest!`] property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(pattern in strategy) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+///
+/// Supports the upstream surface the repository uses: an optional leading
+/// `#![proptest_config(expr)]`, doc comments / attributes on each property
+/// (including the conventional `#[test]`), and one or more
+/// `pattern in strategy` bindings per property.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+
+    (@with_config ($config:expr)) => {};
+
+    (@with_config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                let ($($pat,)+) = ($(
+                    $crate::strategy::Strategy::sample(&($strat), &mut rng),
+                )+);
+                let run = || -> () { $body };
+                // No shrinking: the stream is deterministic, so naming the
+                // case index is enough to reproduce a failure.
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "property `{}` failed on deterministic case {case} of {}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_u8_covers_values() {
+        let strategy = any::<u8>();
+        let mut rng = TestRng::deterministic();
+        let values: std::collections::HashSet<u8> =
+            (0..256).map(|_| strategy.sample(&mut rng)).collect();
+        assert!(values.len() > 100, "u8 sampling should spread out");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strategy = collection::vec(any::<u8>(), 3..9);
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, config and assertions all wired up.
+        #[test]
+        fn macro_generates_and_asserts(data in collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(data.len() < 16);
+            let doubled: Vec<u8> = data.iter().map(|b| b.wrapping_mul(2)).collect();
+            prop_assert_eq!(doubled.len(), data.len());
+        }
+    }
+
+    proptest! {
+        /// Default config path (no inner attribute).
+        #[test]
+        fn macro_works_without_config(x in any::<u8>(), y in any::<u8>()) {
+            prop_assert_eq!(u16::from(x) + u16::from(y), u16::from(y) + u16::from(x));
+        }
+    }
+}
