@@ -1,0 +1,48 @@
+//! Macro-benchmark: end-to-end campaign throughput (executions per second),
+//! the quantity the sparse trace recording and zero-allocation hot path are
+//! meant to raise.
+//!
+//! One iteration runs a complete 2 000-execution campaign — generate,
+//! execute, trace, merge, observe — so the median here divided by 2 000 is
+//! the per-execution cost of the whole loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use peachstar::campaign::{Campaign, CampaignConfig};
+use peachstar::strategy::StrategyKind;
+use peachstar_protocols::TargetId;
+
+const EXECUTIONS: u64 = 2_000;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    for (target, label) in [
+        (TargetId::Modbus, "modbus"),
+        (TargetId::Iec104, "iec104"),
+    ] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let name = format!(
+                "{label}_{}_2k_execs",
+                match strategy {
+                    StrategyKind::Peach => "peach",
+                    StrategyKind::PeachStar => "peachstar",
+                }
+            );
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let config = CampaignConfig::new(strategy)
+                        .executions(EXECUTIONS)
+                        .rng_seed(7)
+                        .sample_interval(500);
+                    let report = Campaign::new(target.create(), config).run();
+                    report.final_paths()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

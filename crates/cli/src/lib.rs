@@ -273,6 +273,13 @@ impl MergedCampaign {
         self.mean(|r| r.corpus_size as f64)
     }
 
+    /// Mean campaign throughput (executions per wall-clock second) over the
+    /// repetitions.
+    #[must_use]
+    pub fn executions_per_second(&self) -> f64 {
+        self.mean(CampaignReport::executions_per_second)
+    }
+
     /// Unique bug sites over all repetitions, with the repetition seed and
     /// earliest execution that first triggered each.
     #[must_use]
@@ -423,19 +430,20 @@ pub fn render_report(outcome: &RunOutcome) -> String {
         let star = outcome.find(target, StrategyKind::PeachStar);
         out.push_str(&format!("\n== {} ==\n", target.project_name()));
         out.push_str(&format!(
-            "{:<10} {:>9} {:>9} {:>12} {:>10} {:>9}\n",
-            "fuzzer", "paths", "edges", "unique-bugs", "validity", "corpus"
+            "{:<10} {:>9} {:>9} {:>12} {:>10} {:>9} {:>10}\n",
+            "fuzzer", "paths", "edges", "unique-bugs", "validity", "corpus", "exec/s"
         ));
         for merged in [peach, star].into_iter().flatten() {
             let last = merged.merged_series.points().last();
             out.push_str(&format!(
-                "{:<10} {:>9} {:>9} {:>12} {:>9.1}% {:>9.0}\n",
+                "{:<10} {:>9} {:>9} {:>12} {:>9.1}% {:>9.0} {:>10.0}\n",
                 merged.strategy.label(),
                 merged.final_paths(),
                 last.map_or(0, |p| p.edges),
                 merged.unique_bugs(options.seed).len(),
                 merged.validity() * 100.0,
                 merged.corpus_size(),
+                merged.executions_per_second(),
             ));
         }
 
@@ -488,7 +496,21 @@ pub fn render_report(outcome: &RunOutcome) -> String {
         }
     }
 
-    out.push_str(&format!("\ntotal wall time: {:.1}s\n", outcome.wall_seconds));
+    let total_executions: u64 = outcome
+        .campaigns
+        .iter()
+        .flat_map(|merged| merged.reports.iter())
+        .map(|report| report.executions)
+        .sum();
+    out.push_str(&format!(
+        "\ntotal wall time: {:.1}s ({:.0} exec/s across all campaigns)\n",
+        outcome.wall_seconds,
+        if outcome.wall_seconds > 0.0 {
+            total_executions as f64 / outcome.wall_seconds
+        } else {
+            0.0
+        }
+    ));
     out
 }
 

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -112,6 +113,11 @@ pub struct CampaignReport {
     pub protocol_errors: u64,
     /// Number of packets that hit a fault (including duplicates).
     pub fault_hits: u64,
+    /// Wall-clock time the campaign loop took.
+    ///
+    /// Measurement only — every other field is a deterministic function of
+    /// (target, strategy, seed, budget); this one varies run to run.
+    pub wall_time: Duration,
 }
 
 impl CampaignReport {
@@ -135,19 +141,32 @@ impl CampaignReport {
         }
         self.responses as f64 / self.executions as f64
     }
+
+    /// Campaign throughput in executions per wall-clock second.
+    ///
+    /// 0.0 when the wall time was too short to measure.
+    #[must_use]
+    pub fn executions_per_second(&self) -> f64 {
+        let seconds = self.wall_time.as_secs_f64();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.executions as f64 / seconds
+    }
 }
 
 impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} on {}: {} execs, {} paths, {} unique bugs, validity {:.1}%",
+            "{} on {}: {} execs, {} paths, {} unique bugs, validity {:.1}%, {:.0} exec/s",
             self.strategy.label(),
             self.target,
             self.executions,
             self.final_paths(),
             self.unique_bugs(),
-            self.validity_ratio() * 100.0
+            self.validity_ratio() * 100.0,
+            self.executions_per_second()
         )
     }
 }
@@ -196,6 +215,7 @@ impl Campaign {
     /// Runs the campaign to completion and returns the report.
     #[must_use]
     pub fn run(mut self) -> CampaignReport {
+        let started = Instant::now();
         let models = self.target.data_models();
         let mut rng = SmallRng::seed_from_u64(self.config.rng_seed);
         let mut coverage = CoverageMap::new();
@@ -206,13 +226,17 @@ impl Campaign {
         let mut responses = 0u64;
         let mut protocol_errors = 0u64;
         let mut fault_hits = 0u64;
+        // One trace context for the whole campaign: `reset` clears only the
+        // slots the previous execution dirtied, so the hot loop never
+        // re-allocates (or re-zeroes) the 64 KiB trace map.
+        let mut ctx = TraceContext::new();
 
         for execution in 1..=self.config.executions {
             if self.config.reset_interval > 0 && execution % self.config.reset_interval == 0 {
                 self.target.reset();
             }
             let packet = self.strategy.next_packet(&models, &mut rng);
-            let mut ctx = TraceContext::new();
+            ctx.reset();
             let outcome = self.target.process(&packet.bytes, &mut ctx);
             match &outcome {
                 Outcome::Response(_) => responses += 1,
@@ -236,10 +260,12 @@ impl Campaign {
             }
             let merge = coverage.merge(ctx.trace());
             let valuable = merge.is_interesting();
-            if valuable {
-                pool.push(packet.clone(), merge.path_id, merge.new_edges);
-            }
             self.strategy.observe(&packet, valuable, &models);
+            if valuable {
+                // `observe` only borrows the packet, so the valuable-seed
+                // path can move it into the pool instead of cloning it.
+                pool.push(packet, merge.path_id, merge.new_edges);
+            }
 
             if execution % self.config.sample_interval == 0
                 || execution == self.config.executions
@@ -264,6 +290,7 @@ impl Campaign {
             responses,
             protocol_errors,
             fault_hits,
+            wall_time: started.elapsed(),
         }
     }
 }
@@ -418,6 +445,19 @@ mod tests {
         if let Some(speedup) = comparison.speedup() {
             assert!(speedup > 0.0);
         }
+    }
+
+    #[test]
+    fn report_measures_wall_time_and_throughput() {
+        let report = Campaign::new(
+            TargetId::Modbus.create(),
+            small_config(StrategyKind::Peach).executions(1_000),
+        )
+        .run();
+        assert!(report.wall_time > Duration::ZERO);
+        assert!(report.executions_per_second() > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("exec/s"));
     }
 
     #[test]

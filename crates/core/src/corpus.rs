@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use peachstar_datamodel::{Puzzle, RuleId};
 
@@ -13,9 +14,13 @@ use peachstar_datamodel::{Puzzle, RuleId};
 /// are discarded, and each rule keeps at most `capacity_per_rule` distinct
 /// puzzles (newest kept) so that the corpus cannot grow without bound on long
 /// campaigns.
+///
+/// Contents are stored as `Arc<[u8]>` so the semantic-aware generator's
+/// donor sampling and cross-product expansion share the bytes by reference
+/// count instead of deep-cloning a vector per candidate packet.
 #[derive(Debug, Clone)]
 pub struct PuzzleCorpus {
-    by_rule: HashMap<RuleId, Vec<Vec<u8>>>,
+    by_rule: HashMap<RuleId, Vec<Arc<[u8]>>>,
     capacity_per_rule: usize,
     inserted: u64,
     rejected_duplicates: u64,
@@ -50,14 +55,17 @@ impl PuzzleCorpus {
     /// Inserts one puzzle; returns `true` when it was new for its rule.
     pub fn insert(&mut self, puzzle: Puzzle) -> bool {
         let entry = self.by_rule.entry(puzzle.rule).or_default();
-        if entry.contains(&puzzle.content) {
+        if entry
+            .iter()
+            .any(|existing| existing.as_ref() == puzzle.content.as_slice())
+        {
             self.rejected_duplicates += 1;
             return false;
         }
         if entry.len() == self.capacity_per_rule {
             entry.remove(0);
         }
-        entry.push(puzzle.content);
+        entry.push(Arc::from(puzzle.content));
         self.inserted += 1;
         true
     }
@@ -72,8 +80,11 @@ impl PuzzleCorpus {
     }
 
     /// The donors stored for `rule` (the `Candidates` set of Algorithm 3).
+    ///
+    /// Donors are shared `Arc<[u8]>` slices: cloning one to place it into a
+    /// generated packet is a reference-count bump, not a byte copy.
     #[must_use]
-    pub fn donors(&self, rule: RuleId) -> &[Vec<u8>] {
+    pub fn donors(&self, rule: RuleId) -> &[Arc<[u8]>] {
         self.by_rule.get(&rule).map_or(&[], Vec::as_slice)
     }
 
@@ -173,7 +184,8 @@ mod tests {
         corpus.insert(puzzle(1, &[3]));
         let donors = corpus.donors(RuleId::from_raw(1));
         assert_eq!(donors.len(), 2);
-        assert_eq!(donors, &[vec![2], vec![3]]);
+        let contents: Vec<&[u8]> = donors.iter().map(AsRef::as_ref).collect();
+        assert_eq!(contents, vec![&[2u8][..], &[3u8][..]]);
     }
 
     #[test]

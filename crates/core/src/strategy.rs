@@ -2,11 +2,12 @@
 //! (Algorithm 1) and the semantic-aware generation of Peach\* (Algorithm 3).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use peachstar_datamodel::emit::{emit_values, ValueAssignment};
+use peachstar_datamodel::emit::{emit_values_with, EmitScratch, ValueAssignment};
 use peachstar_datamodel::{DataModel, DataModelSet};
 
 use crate::corpus::PuzzleCorpus;
@@ -76,7 +77,15 @@ pub trait GenerationStrategy {
 /// Instantiates `model` by generating every leaf with the type mutators and
 /// emitting with relations and fixups repaired — one iteration of
 /// Algorithm 1.
-fn instantiate_randomly(model: &DataModel, rng: &mut SmallRng, repair: bool) -> Vec<u8> {
+///
+/// Uses the model's cached linear layout (no tree walk) and the caller's
+/// [`EmitScratch`] (no per-packet span-table allocation).
+fn instantiate_randomly(
+    model: &DataModel,
+    rng: &mut SmallRng,
+    repair: bool,
+    scratch: &mut EmitScratch,
+) -> Vec<u8> {
     let linear = model.linear();
     let mut assignment = ValueAssignment::new();
     for (index, leaf) in linear.iter().enumerate() {
@@ -84,15 +93,33 @@ fn instantiate_randomly(model: &DataModel, rng: &mut SmallRng, repair: bool) -> 
         if rng.gen_bool(0.15) {
             continue;
         }
-        assignment.set(index, mutator::generate_leaf(leaf.chunk, rng));
+        assignment.set(index, mutator::generate_leaf(&leaf.chunk, rng));
     }
-    emit_values(model, &assignment, repair).unwrap_or_default()
+    emit_values_with(model, &assignment, repair, scratch).unwrap_or_default()
+}
+
+/// Picks a random model from the set, or `None` when the set is empty (an
+/// empty [`DataModelSet`] must not panic; both strategies fall back to an
+/// empty-bytes seed).
+fn pick_model<'set>(models: &'set DataModelSet, rng: &mut SmallRng) -> Option<&'set DataModel> {
+    if models.is_empty() {
+        return None;
+    }
+    let index = rng.gen_range(0..models.len());
+    Some(&models.models()[index])
+}
+
+/// The seed both strategies emit when asked to generate from an empty model
+/// set: zero bytes, clearly-labelled provenance, no panic.
+fn empty_set_seed() -> GeneratedPacket {
+    Seed::new(Vec::new(), "<empty-model-set>", false)
 }
 
 /// The baseline Peach strategy: random, feedback-free model instantiation.
 #[derive(Debug, Default)]
 pub struct RandomGenerationStrategy {
     generated: u64,
+    scratch: EmitScratch,
 }
 
 impl RandomGenerationStrategy {
@@ -116,9 +143,10 @@ impl GenerationStrategy for RandomGenerationStrategy {
 
     fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
         self.generated += 1;
-        let index = rng.gen_range(0..models.len().max(1));
-        let model = &models.models()[index.min(models.len() - 1)];
-        let bytes = instantiate_randomly(model, rng, true);
+        let Some(model) = pick_model(models, rng) else {
+            return empty_set_seed();
+        };
+        let bytes = instantiate_randomly(model, rng, true, &mut self.scratch);
         Seed::new(bytes, model.name(), false)
     }
 
@@ -172,6 +200,7 @@ pub struct SemanticAwareStrategy {
     queue: VecDeque<Seed>,
     semantic_generated: u64,
     random_generated: u64,
+    scratch: EmitScratch,
 }
 
 impl std::fmt::Debug for SemanticAwareStrategy {
@@ -196,6 +225,7 @@ impl SemanticAwareStrategy {
             queue: VecDeque::new(),
             semantic_generated: 0,
             random_generated: 0,
+            scratch: EmitScratch::new(),
         }
     }
 
@@ -225,12 +255,14 @@ impl SemanticAwareStrategy {
     /// Returns the leaf-value assignments (one per generated packet).
     fn construct(&self, model: &DataModel, rng: &mut SmallRng) -> Vec<ValueAssignment> {
         let linear = model.linear();
-        // Candidate content per leaf position.
-        let mut per_position: Vec<Vec<Vec<u8>>> = Vec::with_capacity(linear.len());
+        // Candidate content per leaf position. Donors are shared `Arc<[u8]>`
+        // slices straight out of the corpus: sampling one and placing it into
+        // an assignment is a reference-count bump, never a byte copy.
+        let mut per_position: Vec<Vec<Arc<[u8]>>> = Vec::with_capacity(linear.len());
         for leaf in linear.iter() {
             let rule = leaf.chunk.rule_id();
             let donors = self.corpus.donors(rule);
-            let mut candidates: Vec<Vec<u8>> = Vec::new();
+            let mut candidates: Vec<Arc<[u8]>> = Vec::new();
             if !donors.is_empty() && rng.gen_bool(self.config.donor_probability) {
                 let take = donors.len().min(self.config.max_donors_per_field);
                 // Sample without replacement from the donor list.
@@ -238,23 +270,24 @@ impl SemanticAwareStrategy {
                 for _ in 0..take {
                     let pick = rng.gen_range(0..indices.len());
                     let donor_index = indices.swap_remove(pick);
-                    candidates.push(donors[donor_index].clone());
+                    candidates.push(Arc::clone(&donors[donor_index]));
                 }
             }
             if candidates.is_empty() {
-                candidates.push(mutator::generate_leaf(leaf.chunk, rng));
+                candidates.push(Arc::from(mutator::generate_leaf(&leaf.chunk, rng)));
             }
             per_position.push(candidates);
         }
 
-        // Expand the cross product, capped at max_batch packets.
+        // Expand the cross product, capped at max_batch packets. Cloning an
+        // assignment clones Arc handles, so the p × q expansion stays cheap.
         let mut assignments = vec![ValueAssignment::new()];
         for (position, candidates) in per_position.iter().enumerate() {
             let mut expanded = Vec::with_capacity(assignments.len() * candidates.len());
             'outer: for assignment in &assignments {
                 for candidate in candidates {
                     let mut next = assignment.clone();
-                    next.set(position, candidate.clone());
+                    next.set(position, Arc::clone(candidate));
                     expanded.push(next);
                     if expanded.len() >= self.config.max_batch {
                         break 'outer;
@@ -279,7 +312,9 @@ impl SemanticAwareStrategy {
             }
             let assignments = self.construct(model, rng);
             for assignment in assignments {
-                if let Ok(bytes) = emit_values(model, &assignment, self.config.repair) {
+                if let Ok(bytes) =
+                    emit_values_with(model, &assignment, self.config.repair, &mut self.scratch)
+                {
                     self.queue.push_back(Seed::new(bytes, model.name(), true));
                 }
             }
@@ -301,9 +336,10 @@ impl GenerationStrategy for SemanticAwareStrategy {
             return seed;
         }
         self.random_generated += 1;
-        let index = rng.gen_range(0..models.len().max(1));
-        let model = &models.models()[index.min(models.len() - 1)];
-        let bytes = instantiate_randomly(model, rng, true);
+        let Some(model) = pick_model(models, rng) else {
+            return empty_set_seed();
+        };
+        let bytes = instantiate_randomly(model, rng, true, &mut self.scratch);
         Seed::new(bytes, model.name(), false)
     }
 
@@ -447,7 +483,7 @@ mod tests {
         let echo = models.find("echo").unwrap();
         let mut assignment = ValueAssignment::new();
         assignment.set(1, vec![0xBE, 0xEF]); // device field
-        let packet = emit_values(echo, &assignment, true).unwrap();
+        let packet = emit_values_with(echo, &assignment, true, &mut EmitScratch::new()).unwrap();
         strategy.observe(&Seed::new(packet, "echo", false), true, &models);
 
         // Generated read/write packets should frequently carry 0xBEEF in
@@ -462,6 +498,21 @@ mod tests {
             }
         }
         assert!(reused, "donated device address should reappear in new packets");
+    }
+
+    #[test]
+    fn empty_model_set_yields_empty_seed_instead_of_panicking() {
+        let empty = DataModelSet::new("empty");
+        let mut rng = rng();
+        for kind in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let mut strategy = kind.create();
+            let packet = strategy.next_packet(&empty, &mut rng);
+            assert!(packet.bytes.is_empty(), "{kind}: empty set → empty bytes");
+            assert_eq!(packet.model, "<empty-model-set>");
+            assert!(!packet.semantic);
+            // Observing the degenerate packet must not panic either.
+            strategy.observe(&packet, true, &empty);
+        }
     }
 
     #[test]

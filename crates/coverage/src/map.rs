@@ -46,6 +46,10 @@ impl MergeOutcome {
 /// remembers the union of hit-count buckets observed so far, plus the set of
 /// distinct path ids, so it can answer both "new edge?" and "new path?".
 ///
+/// [`merge`](CoverageMap::merge) and [`peek`](CoverageMap::peek) walk the
+/// trace's dirty-slot list, so their cost is O(edges hit by the execution)
+/// rather than O([`MAP_SIZE`]).
+///
 /// ```
 /// use peachstar_coverage::{CoverageMap, TraceContext, EdgeId};
 ///
@@ -64,6 +68,9 @@ pub struct CoverageMap {
     edges_covered: usize,
     paths: std::collections::HashSet<PathId>,
     executions: u64,
+    /// Reusable sort buffer for per-merge path-id hashing, so the campaign
+    /// hot loop performs no allocation per execution.
+    path_scratch: Vec<u16>,
 }
 
 impl CoverageMap {
@@ -75,6 +82,7 @@ impl CoverageMap {
             edges_covered: 0,
             paths: std::collections::HashSet::new(),
             executions: 0,
+            path_scratch: Vec::new(),
         }
     }
 
@@ -95,7 +103,7 @@ impl CoverageMap {
             }
             self.buckets[slot] = seen | bucket_bit;
         }
-        let path_id = trace.path_id();
+        let path_id = trace.path_id_with(&mut self.path_scratch);
         let new_path = !trace.is_empty() && self.paths.insert(path_id);
         MergeOutcome {
             new_edges,

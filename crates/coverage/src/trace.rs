@@ -85,11 +85,24 @@ impl fmt::Display for PathId {
 /// exactly like the `shared_mem[]` array in the paper's instrumentation
 /// snippet (saturating instead of wrapping so that loops cannot erase
 /// evidence of having run).
+///
+/// A packet execution hits a few dozen of the 65 536 slots, so the map keeps
+/// a *dirty list* of the slots touched at least once. Consumers
+/// ([`iter_hits`](TraceMap::iter_hits), [`path_id`](TraceMap::path_id),
+/// [`CoverageMap::merge`](crate::CoverageMap::merge)) walk only that list —
+/// O(edges hit), not O([`MAP_SIZE`]) — and [`clear`](TraceMap::clear) zeroes
+/// only the dirty slots instead of the whole 64 KiB.
 #[derive(Clone)]
 pub struct TraceMap {
     bytes: Box<[u8; MAP_SIZE]>,
-    edges_hit: usize,
+    /// Slots hit at least once, in first-hit order. `MAP_SIZE` is `1 << 16`,
+    /// so every slot index fits in a `u16` (enforced at compile time below).
+    dirty: Vec<u16>,
 }
+
+// `record` narrows slot indices to `u16` for the dirty list; a larger map
+// would truncate them silently, so reject that configuration at compile time.
+const _: () = assert!(MAP_SIZE <= u16::MAX as usize + 1);
 
 impl TraceMap {
     /// Creates an empty (all-zero) trace map.
@@ -97,20 +110,20 @@ impl TraceMap {
     pub fn new() -> Self {
         Self {
             bytes: Box::new([0u8; MAP_SIZE]),
-            edges_hit: 0,
+            dirty: Vec::new(),
         }
     }
 
     /// Number of distinct map slots hit at least once during the execution.
     #[must_use]
     pub fn edges_hit(&self) -> usize {
-        self.edges_hit
+        self.dirty.len()
     }
 
     /// Returns `true` if no edge was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.edges_hit == 0
+        self.dirty.is_empty()
     }
 
     /// Raw view of the bitmap bytes.
@@ -130,12 +143,15 @@ impl TraceMap {
     }
 
     /// Iterator over `(slot, hit_count)` pairs for slots hit at least once.
+    ///
+    /// Visits only the dirty slots, in first-hit order (not ascending slot
+    /// order). Order-sensitive consumers must sort; [`path_id`] does.
+    ///
+    /// [`path_id`]: TraceMap::path_id
     pub fn iter_hits(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
-        self.bytes
+        self.dirty
             .iter()
-            .enumerate()
-            .filter(|(_, &count)| count > 0)
-            .map(|(slot, &count)| (slot, count))
+            .map(|&slot| (slot as usize, self.bytes[slot as usize]))
     }
 
     /// Computes the stable identifier of this execution path.
@@ -143,12 +159,32 @@ impl TraceMap {
     /// The hash covers every hit slot together with its bucketed hit count,
     /// so two executions with the same branches but very different loop
     /// counts map to different paths, while small loop-count jitter does not.
+    ///
+    /// The dirty list is sorted into ascending slot order before hashing, so
+    /// the identifier is bit-identical to a dense full-map scan no matter in
+    /// which order the edges were recorded.
+    ///
+    /// Allocates a sort buffer per call; hot paths that compute path ids per
+    /// execution should hold a reusable buffer and call
+    /// [`path_id_with`](TraceMap::path_id_with) instead (as
+    /// [`CoverageMap::merge`](crate::CoverageMap::merge) does).
     #[must_use]
     pub fn path_id(&self) -> PathId {
+        self.path_id_with(&mut Vec::new())
+    }
+
+    /// [`path_id`](TraceMap::path_id) with a caller-provided sort buffer, so
+    /// repeated calls reuse one allocation.
+    #[must_use]
+    pub fn path_id_with(&self, scratch: &mut Vec<u16>) -> PathId {
+        scratch.clear();
+        scratch.extend_from_slice(&self.dirty);
+        scratch.sort_unstable();
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for (slot, count) in self.iter_hits() {
+        for &slot in scratch.iter() {
+            let count = self.bytes[slot as usize];
             let bucket = crate::stats::bucket_for(count) as u8;
-            for byte in (slot as u32)
+            for byte in u32::from(slot)
                 .to_le_bytes()
                 .into_iter()
                 .chain(std::iter::once(bucket))
@@ -160,10 +196,19 @@ impl TraceMap {
         PathId::new(hash)
     }
 
+    /// Resets the map to the all-zero state by clearing only the slots that
+    /// were actually hit, keeping the dirty list's allocation for reuse.
+    pub fn clear(&mut self) {
+        for &slot in &self.dirty {
+            self.bytes[slot as usize] = 0;
+        }
+        self.dirty.clear();
+    }
+
     pub(crate) fn record(&mut self, slot: usize) {
         let byte = &mut self.bytes[slot];
         if *byte == 0 {
-            self.edges_hit += 1;
+            self.dirty.push(slot as u16);
         }
         *byte = byte.saturating_add(1);
     }
@@ -178,7 +223,7 @@ impl Default for TraceMap {
 impl fmt::Debug for TraceMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TraceMap")
-            .field("edges_hit", &self.edges_hit)
+            .field("edges_hit", &self.edges_hit())
             .field("path_id", &self.path_id())
             .finish()
     }
@@ -187,8 +232,10 @@ impl fmt::Debug for TraceMap {
 /// Execution context threaded through an instrumented target.
 ///
 /// Holds the `prev_location` register and the per-execution [`TraceMap`]. One
-/// context corresponds to one packet fed to the target; the fuzzer creates a
-/// fresh context per execution (or calls [`TraceContext::reset`]).
+/// context corresponds to one packet fed to the target; the fuzzer reuses a
+/// single context across a whole campaign via [`TraceContext::reset`], which
+/// clears only the slots the previous execution dirtied instead of
+/// reallocating the 64 KiB map.
 ///
 /// ```
 /// use peachstar_coverage::{EdgeId, TraceContext};
@@ -242,9 +289,12 @@ impl TraceContext {
 
     /// Clears the trace and the previous-location register so the context can
     /// be reused for another execution.
+    ///
+    /// Only the dirty slots of the trace are zeroed — no allocation, no
+    /// 64 KiB memset — so resetting costs O(edges hit by the last execution).
     pub fn reset(&mut self) {
         self.prev_location = 0;
-        self.trace = TraceMap::new();
+        self.trace.clear();
     }
 }
 
@@ -310,6 +360,63 @@ mod tests {
         ctx.edge(EdgeId::new(3));
         ctx.reset();
         assert!(ctx.trace().is_empty());
+    }
+
+    #[test]
+    fn reused_context_matches_fresh_context() {
+        let ids = [7u32, 11, 13, 7, 500_000];
+        let mut fresh = TraceContext::new();
+        for id in ids {
+            fresh.edge(EdgeId::new(id));
+        }
+
+        let mut reused = TraceContext::new();
+        // Pollute with an unrelated execution, then reset.
+        for id in [1u32, 2, 3, 4] {
+            reused.edge(EdgeId::new(id));
+        }
+        reused.reset();
+        for id in ids {
+            reused.edge(EdgeId::new(id));
+        }
+
+        assert_eq!(fresh.trace().path_id(), reused.trace().path_id());
+        assert_eq!(fresh.trace().edges_hit(), reused.trace().edges_hit());
+        assert_eq!(fresh.trace().as_bytes(), reused.trace().as_bytes());
+    }
+
+    #[test]
+    fn path_id_is_independent_of_hit_order() {
+        // Two contexts hitting the same slots in different first-hit order
+        // must produce the same path id (the dirty list is sorted).
+        let mut a = TraceMap::new();
+        a.record(10);
+        a.record(20);
+        let mut b = TraceMap::new();
+        b.record(20);
+        b.record(10);
+        assert_eq!(a.path_id(), b.path_id());
+    }
+
+    #[test]
+    fn iter_hits_visits_each_dirty_slot_once() {
+        let mut trace = TraceMap::new();
+        trace.record(42);
+        trace.record(42);
+        trace.record(7);
+        let hits: Vec<(usize, u8)> = trace.iter_hits().collect();
+        assert_eq!(hits, vec![(42, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn clear_zeroes_only_dirty_slots() {
+        let mut trace = TraceMap::new();
+        trace.record(1);
+        trace.record(65_535);
+        trace.clear();
+        assert!(trace.is_empty());
+        assert!(trace.as_bytes().iter().all(|&b| b == 0));
+        assert_eq!(trace.iter_hits().count(), 0);
     }
 
     #[test]

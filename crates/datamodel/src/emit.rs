@@ -1,22 +1,28 @@
 //! Packet emission: serialising a data model's instantiation to bytes and
 //! re-establishing integrity constraints (the "File Fixup" of the paper).
 
-use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 use crate::chunk::{Chunk, ChunkKind};
 use crate::error::ModelError;
 use crate::instree::{InsNode, InsTree};
-use crate::model::DataModel;
+use crate::model::{DataModel, LinearLayout};
 
 /// A leaf-value assignment for emission: raw bytes per leaf position of the
-/// model's [`LinearModel`](crate::LinearModel), in packet order.
+/// model's [`LinearLayout`], in packet order.
+///
+/// Values are stored as `Arc<[u8]>`, so cloning an assignment (the
+/// semantic-aware generator's cross-product expansion does this per
+/// candidate packet) bumps reference counts instead of deep-copying byte
+/// vectors, and corpus donors can be shared into assignments without
+/// copying.
 ///
 /// Missing positions fall back to the leaf's default value; number values of
 /// the wrong width are left-truncated or zero-padded to the field width.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValueAssignment {
-    values: HashMap<usize, Vec<u8>>,
+    values: std::collections::HashMap<usize, Arc<[u8]>>,
 }
 
 impl ValueAssignment {
@@ -27,14 +33,17 @@ impl ValueAssignment {
     }
 
     /// Sets the bytes for the leaf at linear position `index`.
-    pub fn set(&mut self, index: usize, bytes: Vec<u8>) {
-        self.values.insert(index, bytes);
+    ///
+    /// Accepts owned `Vec<u8>` (converted once) or a shared `Arc<[u8]>`
+    /// (no copy — this is how corpus donors are threaded through).
+    pub fn set(&mut self, index: usize, bytes: impl Into<Arc<[u8]>>) {
+        self.values.insert(index, bytes.into());
     }
 
     /// Returns the bytes assigned to position `index`, if any.
     #[must_use]
     pub fn get(&self, index: usize) -> Option<&[u8]> {
-        self.values.get(&index).map(Vec::as_slice)
+        self.values.get(&index).map(AsRef::as_ref)
     }
 
     /// Number of explicitly assigned positions.
@@ -53,8 +62,40 @@ impl ValueAssignment {
 impl FromIterator<(usize, Vec<u8>)> for ValueAssignment {
     fn from_iter<T: IntoIterator<Item = (usize, Vec<u8>)>>(iter: T) -> Self {
         Self {
-            values: iter.into_iter().collect(),
+            values: iter
+                .into_iter()
+                .map(|(index, bytes)| (index, Arc::from(bytes)))
+                .collect(),
         }
+    }
+}
+
+/// Reusable emission workspace: the per-chunk span table and the checksum
+/// input buffer.
+///
+/// One packet emission needs a span per named chunk plus a scratch buffer to
+/// concatenate fixup-covered ranges. Allocating those per packet dominates
+/// the cost of emitting small ICS frames, so the generation strategies hold
+/// one `EmitScratch` and pass it to [`emit_values_with`] for every packet.
+#[derive(Debug, Clone, Default)]
+pub struct EmitScratch {
+    /// Emitted byte range per chunk ordinal (see [`LinearLayout::ordinal`]).
+    spans: Vec<Option<Range<usize>>>,
+    /// Concatenation buffer for multi-field fixup coverage.
+    covered: Vec<u8>,
+}
+
+impl EmitScratch {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, chunk_count: usize) {
+        self.spans.clear();
+        self.spans.resize(chunk_count, None);
+        self.covered.clear();
     }
 }
 
@@ -92,8 +133,25 @@ pub fn emit_values(
     assignment: &ValueAssignment,
     repair: bool,
 ) -> Result<Vec<u8>, ModelError> {
-    let linear = model.linear();
-    let leaves = linear.len();
+    emit_values_with(model, assignment, repair, &mut EmitScratch::new())
+}
+
+/// [`emit_values`] with a caller-provided [`EmitScratch`], so repeated
+/// emissions (one per generated packet) reuse the span table and checksum
+/// buffer instead of reallocating them.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ValueIndexOutOfRange`] when the assignment refers to
+/// a position beyond the linear model.
+pub fn emit_values_with(
+    model: &DataModel,
+    assignment: &ValueAssignment,
+    repair: bool,
+    scratch: &mut EmitScratch,
+) -> Result<Vec<u8>, ModelError> {
+    let layout = model.linear();
+    let leaves = layout.len();
     if let Some(&bad) = assignment
         .values
         .keys()
@@ -105,12 +163,17 @@ pub fn emit_values(
         });
     }
 
-    let mut emitter = Emitter::default();
+    scratch.reset(layout.chunk_count());
+    let mut bytes = Vec::new();
+    let mut emitter = Emitter {
+        bytes: &mut bytes,
+        spans: &mut scratch.spans,
+        layout,
+    };
     let mut leaf_index = 0usize;
     emitter.emit_chunk(model.root(), assignment, &mut leaf_index);
-    let Emitter { mut bytes, spans } = emitter;
     if repair {
-        repair_in_place(model, &spans, &mut bytes);
+        repair_in_place(model, layout, &scratch.spans, &mut scratch.covered, &mut bytes);
     }
     Ok(bytes)
 }
@@ -148,14 +211,14 @@ fn flatten_leaves<'tree>(node: &'tree InsNode, out: &mut Vec<&'tree InsNode>) {
     }
 }
 
-#[derive(Default)]
-struct Emitter {
-    bytes: Vec<u8>,
-    /// Emitted byte range of every named chunk (leaves and blocks).
-    spans: HashMap<String, Range<usize>>,
+struct Emitter<'a> {
+    bytes: &'a mut Vec<u8>,
+    /// Emitted byte range per chunk ordinal (leaves and blocks).
+    spans: &'a mut Vec<Option<Range<usize>>>,
+    layout: &'a LinearLayout,
 }
 
-impl Emitter {
+impl Emitter<'_> {
     fn emit_chunk(&mut self, chunk: &Chunk, assignment: &ValueAssignment, leaf_index: &mut usize) {
         let start = self.bytes.len();
         match &chunk.kind {
@@ -202,13 +265,32 @@ impl Emitter {
                 }
             }
         }
-        self.spans.insert(chunk.name.clone(), start..self.bytes.len());
+        if let Some(ordinal) = self.layout.ordinal(&chunk.name) {
+            self.spans[ordinal] = Some(start..self.bytes.len());
+        }
     }
+}
+
+/// Looks up the emitted span of the chunk named `name`, if it was emitted.
+fn span_of<'spans>(
+    layout: &LinearLayout,
+    spans: &'spans [Option<Range<usize>>],
+    name: &str,
+) -> Option<&'spans Range<usize>> {
+    layout
+        .ordinal(name)
+        .and_then(|ordinal| spans[ordinal].as_ref())
 }
 
 /// Recomputes relation fields first and fixup fields second, overwriting
 /// their emitted bytes in place.
-fn repair_in_place(model: &DataModel, spans: &HashMap<String, Range<usize>>, bytes: &mut [u8]) {
+fn repair_in_place(
+    model: &DataModel,
+    layout: &LinearLayout,
+    spans: &[Option<Range<usize>>],
+    covered: &mut Vec<u8>,
+    bytes: &mut [u8],
+) {
     // Pass 1: relations (sizes and counts).
     for chunk in model.root().iter() {
         let ChunkKind::Number(spec) = &chunk.kind else {
@@ -218,8 +300,8 @@ fn repair_in_place(model: &DataModel, spans: &HashMap<String, Range<usize>>, byt
             continue;
         };
         let (Some(own), Some(target)) = (
-            spans.get(&chunk.name),
-            spans.get(relation.target().name()),
+            span_of(layout, spans, &chunk.name),
+            span_of(layout, spans, relation.target().name()),
         ) else {
             continue;
         };
@@ -233,16 +315,16 @@ fn repair_in_place(model: &DataModel, spans: &HashMap<String, Range<usize>>, byt
             continue;
         };
         let Some(fixup) = &spec.fixup else { continue };
-        let Some(own) = spans.get(&chunk.name) else {
+        let Some(own) = span_of(layout, spans, &chunk.name) else {
             continue;
         };
-        let mut covered = Vec::new();
+        covered.clear();
         for target in &fixup.over {
-            if let Some(span) = spans.get(target.name()) {
+            if let Some(span) = span_of(layout, spans, target.name()) {
                 covered.extend_from_slice(&bytes[span.clone()]);
             }
         }
-        let value = fixup.kind.compute(&covered);
+        let value = fixup.kind.compute(covered);
         let encoded = spec.encode(value & spec.width.max_value());
         bytes[own.clone()].copy_from_slice(&encoded);
     }

@@ -62,5 +62,5 @@ pub use builder::{BlockBuilder, DataModelBuilder};
 pub use chunk::{BytesSpec, Chunk, ChunkKind, NumberSpec, RuleId, StrSpec};
 pub use error::ModelError;
 pub use instree::{InsNode, InsTree, Puzzle};
-pub use model::{DataModel, DataModelSet, LinearChunk, LinearModel};
+pub use model::{DataModel, DataModelSet, LinearChunk, LinearLayout};
 pub use types::{ChecksumKind, Endianness, FieldRef, Fixup, LengthSpec, NumberWidth, Relation};

@@ -1,7 +1,7 @@
 //! The [`DataModel`] (one packet type), the [`DataModelSet`] (a whole format
 //! specification) and the linearised view used by the generators.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::chunk::{Chunk, ChunkKind, RuleId};
@@ -26,10 +26,21 @@ use crate::error::ModelError;
 /// assert_eq!(model.linear().len(), 2);
 /// # Ok::<(), peachstar_datamodel::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DataModel {
     name: String,
     root: Chunk,
+    /// Linearised view, computed once at construction. Models are immutable
+    /// after [`DataModel::new`], so the cache can never go stale.
+    layout: LinearLayout,
+}
+
+impl PartialEq for DataModel {
+    fn eq(&self, other: &Self) -> bool {
+        // The layout is derived from the root, so comparing it would only
+        // re-compare the leaves.
+        self.name == other.name && self.root == other.root
+    }
 }
 
 impl DataModel {
@@ -37,14 +48,22 @@ impl DataModel {
     /// non-empty, that field names are unique and that every relation,
     /// fixup and length reference points at an existing field.
     ///
+    /// The linearised leaf view ([`DataModel::linear`]) is precomputed here,
+    /// once, so the generators' per-packet hot path never re-walks the tree.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::EmptyModel`], [`ModelError::DuplicateField`]
     /// or [`ModelError::UnknownField`] when the model is malformed.
     pub fn new(name: impl Into<String>, root: Chunk) -> Result<Self, ModelError> {
         let name = name.into();
-        let model = Self { name, root };
+        let mut model = Self {
+            name,
+            root,
+            layout: LinearLayout::default(),
+        };
         model.validate()?;
+        model.layout = LinearLayout::compute(&model.root);
         Ok(model)
     }
 
@@ -122,40 +141,11 @@ impl DataModel {
     /// with choice nodes resolved to their first (default) option.
     ///
     /// This corresponds to the linear model `M_L` of the paper's Figure 2(a)
-    /// and Algorithm 3.
+    /// and Algorithm 3. The view is computed once in [`DataModel::new`] and
+    /// returned by reference, so calling this per generated packet is free.
     #[must_use]
-    pub fn linear(&self) -> LinearModel<'_> {
-        let mut leaves = Vec::new();
-        Self::collect_linear(&self.root, &mut Vec::new(), &mut leaves);
-        LinearModel {
-            model: self,
-            leaves,
-        }
-    }
-
-    fn collect_linear<'model>(
-        chunk: &'model Chunk,
-        path: &mut Vec<String>,
-        out: &mut Vec<LinearChunk<'model>>,
-    ) {
-        path.push(chunk.name.clone());
-        match &chunk.kind {
-            ChunkKind::Block(children) => {
-                for child in children {
-                    Self::collect_linear(child, path, out);
-                }
-            }
-            ChunkKind::Choice(options) => {
-                if let Some(first) = options.first() {
-                    Self::collect_linear(first, path, out);
-                }
-            }
-            _ => out.push(LinearChunk {
-                chunk,
-                path: path.join("."),
-            }),
-        }
-        path.pop();
+    pub fn linear(&self) -> &LinearLayout {
+        &self.layout
     }
 
     /// All construction-rule identifiers appearing in this model (leaves and
@@ -188,27 +178,70 @@ impl fmt::Display for DataModel {
     }
 }
 
-/// One leaf position of a [`LinearModel`].
-#[derive(Debug, Clone)]
-pub struct LinearChunk<'model> {
+/// One leaf position of a [`LinearLayout`].
+///
+/// Owns a copy of the leaf chunk (leaves are small type specifications), so
+/// the layout needs no lifetime tie to the model tree and can be cached
+/// inside the [`DataModel`] itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearChunk {
     /// The leaf chunk definition.
-    pub chunk: &'model Chunk,
+    pub chunk: Chunk,
     /// Dotted path from the root to the leaf (e.g. `"packet.pdu.function"`).
     pub path: String,
 }
 
-/// Linearised view of a [`DataModel`]: the ordered leaf chunks.
-#[derive(Debug, Clone)]
-pub struct LinearModel<'model> {
-    model: &'model DataModel,
-    leaves: Vec<LinearChunk<'model>>,
+/// Linearised view of a [`DataModel`]: the ordered leaf chunks, plus the
+/// per-position construction rules and a name → ordinal index over *all*
+/// named chunks of the tree (used by the emitter's span table).
+///
+/// Computed once per model at construction — the per-packet generators and
+/// the emitter only read it.
+#[derive(Debug, Clone, Default)]
+pub struct LinearLayout {
+    leaves: Vec<LinearChunk>,
+    rules: Vec<RuleId>,
+    /// Ordinal of every named chunk (leaves *and* structural nodes) in
+    /// depth-first order. Field names are unique (validated), so the map is
+    /// injective; the emitter indexes its span table with these ordinals
+    /// instead of allocating `String` keys per packet.
+    ordinals: HashMap<String, usize>,
 }
 
-impl<'model> LinearModel<'model> {
-    /// The model this view was derived from.
-    #[must_use]
-    pub fn model(&self) -> &'model DataModel {
-        self.model
+impl LinearLayout {
+    fn compute(root: &Chunk) -> Self {
+        let mut layout = Self::default();
+        let mut path = Vec::new();
+        layout.collect(root, &mut path);
+        for chunk in root.iter() {
+            let ordinal = layout.ordinals.len();
+            layout.ordinals.insert(chunk.name.clone(), ordinal);
+        }
+        layout
+    }
+
+    fn collect(&mut self, chunk: &Chunk, path: &mut Vec<String>) {
+        path.push(chunk.name.clone());
+        match &chunk.kind {
+            ChunkKind::Block(children) => {
+                for child in children {
+                    self.collect(child, path);
+                }
+            }
+            ChunkKind::Choice(options) => {
+                if let Some(first) = options.first() {
+                    self.collect(first, path);
+                }
+            }
+            _ => {
+                self.rules.push(chunk.rule_id());
+                self.leaves.push(LinearChunk {
+                    chunk: chunk.clone(),
+                    path: path.join("."),
+                });
+            }
+        }
+        path.pop();
     }
 
     /// Number of leaf positions.
@@ -225,19 +258,32 @@ impl<'model> LinearModel<'model> {
 
     /// The leaf at `index`.
     #[must_use]
-    pub fn get(&self, index: usize) -> Option<&LinearChunk<'model>> {
+    pub fn get(&self, index: usize) -> Option<&LinearChunk> {
         self.leaves.get(index)
     }
 
     /// Iterates over the leaf positions in packet order.
-    pub fn iter(&self) -> impl Iterator<Item = &LinearChunk<'model>> {
+    pub fn iter(&self) -> impl Iterator<Item = &LinearChunk> {
         self.leaves.iter()
     }
 
     /// The construction rule at each position, in order.
     #[must_use]
-    pub fn rules(&self) -> Vec<RuleId> {
-        self.leaves.iter().map(|l| l.chunk.rule_id()).collect()
+    pub fn rules(&self) -> &[RuleId] {
+        &self.rules
+    }
+
+    /// Ordinal of the named chunk in the span table, if it exists.
+    #[must_use]
+    pub fn ordinal(&self, name: &str) -> Option<usize> {
+        self.ordinals.get(name).copied()
+    }
+
+    /// Number of named chunks (leaves and structural nodes) in the model —
+    /// the size of the emitter's span table.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.ordinals.len()
     }
 }
 

@@ -9,18 +9,34 @@
 //! [`criterion_main!`] macros.
 //!
 //! It is a *measuring* harness, not a statistics engine: each benchmark is
-//! warmed up, timed over a fixed number of samples and reported as a mean
-//! ns/iter with min/max, printed to stdout. That is enough for the relative
-//! A/B readings the `peachstar` benches are written for (cracking vs
-//! generation cost, per-target throughput), without upstream criterion's
-//! plotting and bootstrap machinery.
+//! warmed up, timed over a fixed number of samples and reported as a
+//! median/mean ns/iter with min/max, printed to stdout. That is enough for
+//! the relative A/B readings the `peachstar` benches are written for
+//! (cracking vs generation cost, per-target throughput), without upstream
+//! criterion's plotting and bootstrap machinery.
+//!
+//! # Machine-readable results
+//!
+//! Unlike upstream, every measurement is also appended to a process-global
+//! registry, and [`criterion_main!`] ends by calling [`finalize`], which
+//! merges the medians into a flat JSON object (`{"group/bench": median_ns}`)
+//! at the workspace root — `BENCH_results.json` next to `Cargo.lock`, or the
+//! path in the `BENCH_RESULTS_PATH` environment variable. Successive bench
+//! binaries merge into (rather than clobber) the same file, so one
+//! `cargo bench` run leaves a complete perf snapshot behind for the
+//! PR-over-PR trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Process-global registry of finished measurements, drained by [`finalize`].
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// How [`Bencher::iter_batched`] groups setup outputs into batches.
 ///
@@ -83,6 +99,17 @@ impl Bencher {
         }
     }
 
+    /// Median of the recorded samples, in nanoseconds.
+    fn median_nanos(&self) -> u128 {
+        let mut nanos: Vec<u128> = self.timings.iter().map(Duration::as_nanos).collect();
+        nanos.sort_unstable();
+        match nanos.len() {
+            0 => 0,
+            n if n % 2 == 1 => nanos[n / 2],
+            n => (nanos[n / 2 - 1] + nanos[n / 2]) / 2,
+        }
+    }
+
     fn report(&self, name: &str) {
         if self.timings.is_empty() {
             println!("{name:<48} (no samples recorded)");
@@ -92,13 +119,19 @@ impl Bencher {
         let mean = total / self.timings.len() as u32;
         let min = self.timings.iter().min().expect("non-empty");
         let max = self.timings.iter().max().expect("non-empty");
+        let median = self.median_nanos();
         println!(
-            "{name:<48} mean {:>12} min {:>12} max {:>12} ({} samples)",
+            "{name:<48} median {:>12} mean {:>12} min {:>12} max {:>12} ({} samples)",
+            format_duration(Duration::from_nanos(median.min(u128::from(u64::MAX)) as u64)),
             format_duration(mean),
             format_duration(*min),
             format_duration(*max),
             self.timings.len()
         );
+        RESULTS
+            .lock()
+            .expect("results registry lock")
+            .push((name.to_string(), median));
     }
 }
 
@@ -119,17 +152,23 @@ fn format_duration(d: Duration) -> String {
 #[derive(Debug)]
 pub struct Criterion {
     default_samples: usize,
+    /// `CRITERION_SAMPLES` override. Takes precedence over per-group
+    /// [`BenchmarkGroup::sample_size`] settings, so smoke runs (CI sets
+    /// `CRITERION_SAMPLES=2`) genuinely shorten every benchmark.
+    env_samples: Option<usize>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Keep runs short: the stand-in is for relative readings, and the
         // sample count can be raised per group via `sample_size`.
-        let default_samples = std::env::var("CRITERION_SAMPLES")
+        let env_samples = std::env::var("CRITERION_SAMPLES")
             .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(10);
-        Self { default_samples }
+            .and_then(|v| v.parse().ok());
+        Self {
+            default_samples: env_samples.unwrap_or(10),
+            env_samples,
+        }
     }
 }
 
@@ -167,9 +206,12 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark in this group.
+    ///
+    /// A `CRITERION_SAMPLES` environment override beats this setting, so
+    /// smoke runs stay short even for groups that ask for more samples.
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
         // Upstream criterion enforces a floor of 10; a fraction of that is
-        // plenty for the stand-in's mean/min/max summary.
+        // plenty for the stand-in's median/mean/min/max summary.
         self.samples = Some(samples.clamp(1, 1_000) / 5 + 1);
         self
     }
@@ -179,7 +221,11 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        let samples = self
+            .criterion
+            .env_samples
+            .or(self.samples)
+            .unwrap_or(self.criterion.default_samples);
         let mut bencher = Bencher::new(samples);
         f(&mut bencher);
         bencher.report(&format!("{}/{}", self.name, id.into()));
@@ -189,6 +235,111 @@ impl BenchmarkGroup<'_> {
     /// Ends the group. (Reporting is incremental; this is a no-op kept for
     /// API compatibility.)
     pub fn finish(self) {}
+}
+
+/// Where the machine-readable results go: `$BENCH_RESULTS_PATH` when set,
+/// otherwise `BENCH_results.json` next to the nearest ancestor `Cargo.lock`
+/// (the workspace root — `cargo bench` sets the bench binary's working
+/// directory to the *package* root, which for a workspace member is not
+/// where the trajectory file should live). Falls back to the current
+/// directory when no lockfile is found.
+fn results_path() -> PathBuf {
+    if let Ok(path) = std::env::var("BENCH_RESULTS_PATH") {
+        return PathBuf::from(path);
+    }
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = Some(start.as_path());
+    while let Some(candidate) = dir {
+        if candidate.join("Cargo.lock").is_file() {
+            return candidate.join("BENCH_results.json");
+        }
+        dir = candidate.parent();
+    }
+    start.join("BENCH_results.json")
+}
+
+/// Parses the flat JSON object this harness writes (`{"name": nanos, ...}`).
+///
+/// Only the subset the writer produces is supported: string keys without
+/// escapes and non-negative numeric values. Anything else is ignored rather
+/// than an error, so a hand-edited file degrades gracefully.
+fn parse_flat_json(text: &str) -> Vec<(String, u128)> {
+    let mut entries = Vec::new();
+    let mut chars = text.chars().peekable();
+    // Scan to each string key in turn.
+    while chars.find(|&c| c == '"').is_some() {
+        let key: String = chars.by_ref().take_while(|&c| c != '"').collect();
+        // Expect a colon before the value; bail to the next key otherwise.
+        match chars.find(|c| !c.is_whitespace()) {
+            Some(':') => {}
+            _ => continue,
+        }
+        let mut value = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_ascii_digit() || c == '.' {
+                value.push(c);
+                chars.next();
+            } else if c.is_whitespace() && value.is_empty() {
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if let Ok(parsed) = value.parse::<f64>() {
+            if parsed >= 0.0 {
+                entries.push((key, parsed as u128));
+            }
+        }
+    }
+    entries
+}
+
+/// Serialises entries as a flat, sorted, two-space-indented JSON object.
+fn render_flat_json(entries: &[(String, u128)]) -> String {
+    let mut out = String::from("{\n");
+    for (index, (name, nanos)) in entries.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": {nanos}"));
+        out.push_str(if index + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Writes the registry's medians to the results file, merging with whatever
+/// a previous bench binary left there, and returns the path written (or
+/// `None` when no measurement was recorded).
+///
+/// Called automatically at the end of [`criterion_main!`]'s generated
+/// `main`; only bench binaries reach it, so unit-test runs never touch the
+/// filesystem.
+pub fn finalize() -> Option<PathBuf> {
+    let fresh: Vec<(String, u128)> =
+        std::mem::take(&mut *RESULTS.lock().expect("results registry lock"));
+    if fresh.is_empty() {
+        return None;
+    }
+    let path = results_path();
+    let mut merged: Vec<(String, u128)> = std::fs::read_to_string(&path)
+        .map(|text| parse_flat_json(&text))
+        .unwrap_or_default();
+    for (name, nanos) in fresh {
+        match merged.iter_mut().find(|(existing, _)| *existing == name) {
+            Some(entry) => entry.1 = nanos,
+            None => merged.push((name, nanos)),
+        }
+    }
+    merged.sort();
+    match std::fs::write(&path, render_flat_json(&merged)) {
+        Ok(()) => {
+            println!("\nbench medians written to {}", path.display());
+            Some(path)
+        }
+        Err(error) => {
+            eprintln!("warning: could not write {}: {error}", path.display());
+            None
+        }
+    }
 }
 
 /// Declares a function that runs the listed benchmark functions in order —
@@ -204,12 +355,13 @@ macro_rules! criterion_group {
 }
 
 /// Declares the `main` function of a benchmark binary running the listed
-/// groups.
+/// groups, then writes the merged `BENCH_results.json` via [`finalize`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            let _ = $crate::finalize();
         }
     };
 }
@@ -249,6 +401,36 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn median_is_order_independent() {
+        let mut bencher = Bencher::new(0);
+        bencher.timings = vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        assert_eq!(bencher.median_nanos(), 20);
+        bencher.timings.push(Duration::from_nanos(40));
+        assert_eq!(bencher.median_nanos(), 25, "even count averages the middle pair");
+        assert_eq!(Bencher::new(0).median_nanos(), 0, "no samples → zero");
+    }
+
+    #[test]
+    fn flat_json_round_trips_and_merges() {
+        let entries = vec![
+            ("group/alpha".to_string(), 120u128),
+            ("group/beta".to_string(), 34_500u128),
+        ];
+        let text = render_flat_json(&entries);
+        assert!(text.starts_with("{\n"));
+        assert!(text.trim_end().ends_with('}'));
+        assert_eq!(parse_flat_json(&text), entries);
+        // Tolerates floats and ignores malformed entries.
+        let parsed = parse_flat_json("{\"a\": 1.5, \"broken\": , \"b\": 2}");
+        assert_eq!(parsed, vec![("a".to_string(), 1), ("b".to_string(), 2)]);
+        assert!(parse_flat_json("").is_empty());
     }
 
     #[test]
