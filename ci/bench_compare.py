@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare freshly measured bench medians against the committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json FRESH.json [FRESH2.json ...]
+                     [--threshold 0.25] [--groups campaign,coverage_map]
+
+All files are flat ``{"group/bench": median_ns}`` objects as written by the
+vendored criterion harness. When several fresh files are given (repeated
+measurement runs), the per-bench minimum is compared — timing noise only
+ever inflates a median, so min-of-k is the robust statistic for regression
+detection. For every bench of the gated groups that exists in both the
+baseline and the fresh results, the relative regression
+``fresh / baseline - 1`` is computed; the script exits non-zero when any
+regression exceeds the threshold, or when a gated baseline bench
+disappeared from the fresh results. Benches new in the fresh results are
+reported but never fail the check (they have no baseline yet).
+
+Medians are wall-clock and therefore machine-dependent: the committed
+baseline is meaningful on hardware comparable to the machine that produced
+it. On shared CI runners, treat failures as a signal to re-measure, not as
+proof of a regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        results = json.load(handle)
+    if not isinstance(results, dict) or not results:
+        raise SystemExit(f"{path}: expected a non-empty JSON object")
+    bad = {
+        name: value
+        for name, value in results.items()
+        if not isinstance(value, (int, float)) or value <= 0
+    }
+    if bad:
+        raise SystemExit(f"{path}: non-positive or non-numeric medians: {bad}")
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_results.json")
+    parser.add_argument(
+        "fresh",
+        nargs="+",
+        help="freshly produced results (several files = repeated runs, compared by per-bench minimum)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative regression (default: 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--groups",
+        default="campaign,coverage_map",
+        help="comma-separated bench groups to gate (default: campaign,coverage_map)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = {}
+    for path in args.fresh:
+        for name, median in load(path).items():
+            fresh[name] = min(median, fresh.get(name, median))
+    groups = {group.strip() for group in args.groups.split(",") if group.strip()}
+
+    def gated(name):
+        return name.split("/")[0] in groups
+
+    failures = []
+    rows = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if not gated(name):
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline but missing from fresh results")
+            continue
+        if name not in baseline:
+            rows.append((name, None, fresh[name], None, "new"))
+            continue
+        delta = fresh[name] / baseline[name] - 1.0
+        status = "ok"
+        if delta > args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {baseline[name]:.0f} ns -> {fresh[name]:.0f} ns "
+                f"({delta:+.1%}, threshold +{args.threshold:.0%})"
+            )
+        rows.append((name, baseline[name], fresh[name], delta, status))
+
+    if not rows:
+        raise SystemExit(f"no benches found for gated groups {sorted(groups)}")
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'bench':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}  status")
+    for name, base, new, delta, status in rows:
+        base_text = f"{base:.0f}" if base is not None else "-"
+        delta_text = f"{delta:+.1%}" if delta is not None else "-"
+        print(f"{name:<{width}}  {base_text:>12}  {new:>12.0f}  {delta_text:>8}  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} gated bench(es) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(rows)} gated benches within +{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

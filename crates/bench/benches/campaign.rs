@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use peachstar::campaign::{Campaign, CampaignConfig};
+use peachstar::campaign::{Campaign, CampaignConfig, ShardConfig, ShardedCampaign};
 use peachstar::strategy::StrategyKind;
 use peachstar_protocols::TargetId;
 
@@ -44,5 +44,45 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign);
+/// Sharded end-to-end throughput: the same 2 000-execution campaign split
+/// into reset-aligned windows (reset every 250 executions → 8 windows per
+/// barrier round) and executed by 1 vs 4 workers. The 1-worker entry prices
+/// the sharding machinery itself (snapshot buffering, barrier merge); the
+/// 4-worker entry must beat it to demonstrate real scaling.
+fn bench_campaign_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    for (target, label) in [(TargetId::Modbus, "modbus"), (TargetId::Iec104, "iec104")] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            for workers in [1usize, 4] {
+                let name = format!(
+                    "{label}_{}_sharded_{workers}w_2k_execs",
+                    match strategy {
+                        StrategyKind::Peach => "peach",
+                        StrategyKind::PeachStar => "peachstar",
+                    }
+                );
+                group.bench_function(name, |b| {
+                    b.iter(|| {
+                        let config = CampaignConfig::new(strategy)
+                            .executions(EXECUTIONS)
+                            .rng_seed(7)
+                            .sample_interval(500)
+                            .reset_interval(250);
+                        let report = ShardedCampaign::new(
+                            target.create(),
+                            config,
+                            ShardConfig::with_workers(workers),
+                        )
+                        .run();
+                        report.final_paths()
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_campaign_sharded);
 criterion_main!(benches);

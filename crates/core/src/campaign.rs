@@ -1,19 +1,29 @@
 //! The campaign runner: executes one fuzzer against one target for a fixed
 //! execution budget, recording coverage growth and unique bugs.
+//!
+//! The per-execution work — reset policy, coverage merge, valuable-seed
+//! retention, bug dedup, series sampling, strategy feedback — lives behind
+//! the seams of the [`engine`](crate::engine) module; [`Campaign::run`] only
+//! assembles the standard engine and drives it. [`ShardedCampaign`]
+//! (re-exported from [`engine::shard`](crate::engine::shard)) runs the same
+//! seams with parallel workers.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use peachstar_coverage::{CoverageMap, TraceContext};
-use peachstar_protocols::{Fault, Outcome, Target};
+use peachstar_protocols::{Fault, Target};
 
-use crate::seed::SeedPool;
-use crate::stats::{CoverageSeries, SeriesPoint};
+use crate::engine::{
+    CampaignMonitor, CoverageObserver, Engine, Executor, Feedback, NewCoverageFeedback, Schedule,
+    StrategySchedule, TargetExecutor,
+};
+use crate::stats::CoverageSeries;
 use crate::strategy::{GenerationStrategy, StrategyKind};
+
+pub use crate::engine::shard::{run_sharded, ShardConfig, ShardedCampaign};
 
 /// Configuration of one fuzzing campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,79 +224,34 @@ impl Campaign {
 
     /// Runs the campaign to completion and returns the report.
     #[must_use]
-    pub fn run(mut self) -> CampaignReport {
+    pub fn run(self) -> CampaignReport {
         let started = Instant::now();
-        let models = self.target.data_models();
         let mut rng = SmallRng::seed_from_u64(self.config.rng_seed);
-        let mut coverage = CoverageMap::new();
-        let mut series = CoverageSeries::new();
-        let mut pool = SeedPool::new();
-        let mut bugs: Vec<BugRecord> = Vec::new();
-        let mut seen_sites: HashMap<&'static str, usize> = HashMap::new();
-        let mut responses = 0u64;
-        let mut protocol_errors = 0u64;
-        let mut fault_hits = 0u64;
-        // One trace context for the whole campaign: `reset` clears only the
-        // slots the previous execution dirtied, so the hot loop never
-        // re-allocates (or re-zeroes) the 64 KiB trace map.
-        let mut ctx = TraceContext::new();
+        let mut engine = Engine {
+            executor: TargetExecutor::new(self.target, self.config.reset_interval),
+            observer: CoverageObserver::new(),
+            feedback: NewCoverageFeedback::new(),
+            monitor: CampaignMonitor::new(self.config.executions, self.config.sample_interval),
+            schedule: StrategySchedule::new(self.strategy),
+        };
+        let models = engine.executor.data_models();
+        engine.run(self.config.executions, &models, &mut rng);
 
-        for execution in 1..=self.config.executions {
-            if self.config.reset_interval > 0 && execution % self.config.reset_interval == 0 {
-                self.target.reset();
-            }
-            let packet = self.strategy.next_packet(&models, &mut rng);
-            ctx.reset();
-            let outcome = self.target.process(&packet.bytes, &mut ctx);
-            match &outcome {
-                Outcome::Response(_) => responses += 1,
-                Outcome::ProtocolError(_) => protocol_errors += 1,
-                Outcome::Fault(fault) => {
-                    fault_hits += 1;
-                    if !seen_sites.contains_key(fault.site) {
-                        seen_sites.insert(fault.site, bugs.len());
-                        bugs.push(BugRecord {
-                            fault: *fault,
-                            first_execution: execution,
-                            packet: packet.bytes.clone(),
-                            model: packet.model.clone(),
-                        });
-                    }
-                    // A fault leaves the session in an undefined state; the
-                    // fuzzer restarts the target, as the paper's harness
-                    // restarts the crashed server.
-                    self.target.reset();
-                }
-            }
-            let merge = coverage.merge(ctx.trace());
-            let valuable = merge.is_interesting();
-            self.strategy.observe(&packet, valuable, &models);
-            if valuable {
-                // `observe` only borrows the packet, so the valuable-seed
-                // path can move it into the pool instead of cloning it.
-                pool.push(packet, merge.path_id, merge.new_edges);
-            }
-
-            if execution % self.config.sample_interval == 0
-                || execution == self.config.executions
-            {
-                series.push(SeriesPoint {
-                    executions: execution,
-                    paths: coverage.paths_covered(),
-                    edges: coverage.edges_covered(),
-                    faults: bugs.len(),
-                });
-            }
-        }
-
+        let target = engine.executor.target_name().to_string();
+        let (responses, protocol_errors, fault_hits) = (
+            engine.monitor.responses(),
+            engine.monitor.protocol_errors(),
+            engine.monitor.fault_hits(),
+        );
+        let (series, bugs) = engine.monitor.into_series_and_bugs();
         CampaignReport {
-            target: self.target.name().to_string(),
+            target,
             strategy: self.config.strategy,
             executions: self.config.executions,
             series,
             bugs,
-            valuable_seeds: pool.len(),
-            corpus_size: self.strategy.corpus_size(),
+            valuable_seeds: engine.feedback.retained(),
+            corpus_size: engine.schedule.corpus_size(),
             responses,
             protocol_errors,
             fault_hits,

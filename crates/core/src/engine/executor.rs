@@ -1,0 +1,115 @@
+//! The [`Executor`] seam: who runs a packet, and when the target resets.
+
+use peachstar_coverage::{TraceContext, TraceMap};
+use peachstar_datamodel::DataModelSet;
+use peachstar_protocols::{Outcome, Target};
+
+/// Runs packets against a target and owns the *reset policy* — both the
+/// periodic session reset and the restart after a fault (the paper's harness
+/// restarts the crashed server).
+///
+/// The campaign loop calls [`execute`](Executor::execute) once per execution
+/// and never touches the target directly, so alternative executors (batched,
+/// remote, forkserver-style) can slot in without changing the loop.
+pub trait Executor {
+    /// Short name of the target being executed.
+    fn target_name(&self) -> &'static str;
+
+    /// The format specification of the target under execution.
+    fn data_models(&self) -> DataModelSet;
+
+    /// Runs one packet as execution number `execution` (1-based): applies
+    /// the periodic reset policy, feeds the packet to the target, restarts
+    /// the target after a fault, and returns the outcome together with the
+    /// execution's coverage trace.
+    fn execute(&mut self, execution: u64, packet: &[u8]) -> (Outcome, &TraceMap);
+}
+
+/// The standard single-target executor: one [`Target`] instance, one reused
+/// [`TraceContext`] (reset clears only the slots the previous execution
+/// dirtied), periodic session resets every `reset_interval` executions.
+pub struct TargetExecutor {
+    target: Box<dyn Target>,
+    ctx: TraceContext,
+    reset_interval: u64,
+}
+
+impl TargetExecutor {
+    /// Wraps a target with the given periodic reset interval (0 disables
+    /// periodic resets; fault resets always happen).
+    #[must_use]
+    pub fn new(target: Box<dyn Target>, reset_interval: u64) -> Self {
+        Self {
+            target,
+            ctx: TraceContext::new(),
+            reset_interval,
+        }
+    }
+
+    /// The wrapped target.
+    #[must_use]
+    pub fn target(&self) -> &dyn Target {
+        self.target.as_ref()
+    }
+}
+
+impl std::fmt::Debug for TargetExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetExecutor")
+            .field("target", &self.target.name())
+            .field("reset_interval", &self.reset_interval)
+            .finish()
+    }
+}
+
+impl Executor for TargetExecutor {
+    fn target_name(&self) -> &'static str {
+        self.target.name()
+    }
+
+    fn data_models(&self) -> DataModelSet {
+        self.target.data_models()
+    }
+
+    fn execute(&mut self, execution: u64, packet: &[u8]) -> (Outcome, &TraceMap) {
+        if self.reset_interval > 0 && execution.is_multiple_of(self.reset_interval) {
+            self.target.reset();
+        }
+        self.ctx.reset();
+        let outcome = self.target.process(packet, &mut self.ctx);
+        if outcome.is_fault() {
+            // A fault leaves the session in an undefined state; restart the
+            // target, as the paper's harness restarts the crashed server.
+            self.target.reset();
+        }
+        (outcome, self.ctx.trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachstar_protocols::TargetId;
+
+    #[test]
+    fn executor_exposes_target_metadata() {
+        let executor = TargetExecutor::new(TargetId::Modbus.create(), 100);
+        assert_eq!(executor.target_name(), "libmodbus");
+        assert!(!executor.data_models().is_empty());
+        assert_eq!(executor.target().name(), "libmodbus");
+    }
+
+    #[test]
+    fn execute_records_a_trace() {
+        let mut executor = TargetExecutor::new(TargetId::Modbus.create(), 0);
+        let request = [
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02,
+        ];
+        let (outcome, trace) = executor.execute(1, &request);
+        assert!(outcome.response().is_some());
+        assert!(trace.edges_hit() > 0);
+        // The next execution starts from a clean trace.
+        let (_, trace) = executor.execute(2, &[]);
+        assert!(trace.edges_hit() > 0, "rejection path is instrumented");
+    }
+}

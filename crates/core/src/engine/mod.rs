@@ -1,0 +1,144 @@
+//! The pluggable fuzzing engine: the seams the paper's campaign loop
+//! (Algorithm 2) is composed of, made explicit.
+//!
+//! [`Campaign::run`](crate::campaign::Campaign::run) used to hardcode every
+//! step — trace collection, coverage merge, valuable-seed retention, bug
+//! dedup, reset policy and series sampling — in one function. This module
+//! splits the loop into five seams, each behind a trait:
+//!
+//! * [`Executor`] — wraps the target and its [`TraceContext`]
+//!   (`peachstar_coverage`), owns the reset policy (periodic + post-fault);
+//! * [`Observer`] — accumulates per-execution traces into global coverage
+//!   ([`CoverageObserver`] wraps one `CoverageMap`);
+//! * [`Feedback`] — decides which executions are *valuable seeds* and
+//!   retains them ([`NewCoverageFeedback`] wraps the `SeedPool`);
+//! * [`Monitor`] — outcome tallies, unique-bug dedup and series sampling,
+//!   strictly observational;
+//! * [`Schedule`] — the strategy-facing seam: one typed [`FeedbackEvent`]
+//!   per execution instead of the old ad-hoc `observe(..)` call.
+//!
+//! [`Engine::step`] wires the seams together in exactly the order the
+//! monolithic loop used, so a campaign driven through the engine is
+//! bit-identical to the pre-refactor implementation (`tests/pinned_report.rs`
+//! holds the proof). [`shard`] builds the sharded campaign mode on the same
+//! seams.
+//!
+//! [`TraceContext`]: peachstar_coverage::TraceContext
+
+pub mod executor;
+pub mod monitor;
+pub mod observer;
+pub mod schedule;
+pub mod shard;
+
+pub use executor::{Executor, TargetExecutor};
+pub use monitor::{CampaignMonitor, Monitor, OutcomeSummary};
+pub use observer::{CoverageObserver, Feedback, NewCoverageFeedback, Observer};
+pub use schedule::{FeedbackEvent, Schedule, StrategySchedule};
+pub use shard::{run_sharded, ShardConfig, ShardedCampaign};
+
+use peachstar_datamodel::DataModelSet;
+use rand::rngs::SmallRng;
+
+/// The assembled fuzzing engine: one instance of every seam.
+///
+/// Generic so the concrete campaign loop is fully monomorphised (no virtual
+/// dispatch beyond the `dyn Target`/`dyn GenerationStrategy` that existed
+/// before the refactor).
+#[derive(Debug)]
+pub struct Engine<X, O, F, M, S> {
+    /// Runs packets and owns the reset policy.
+    pub executor: X,
+    /// Accumulates global coverage.
+    pub observer: O,
+    /// Judges and retains valuable seeds.
+    pub feedback: F,
+    /// Tallies outcomes, dedups bugs, samples the series.
+    pub monitor: M,
+    /// Generates packets and digests feedback events.
+    pub schedule: S,
+}
+
+impl<X, O, F, M, S> Engine<X, O, F, M, S>
+where
+    X: Executor,
+    O: Observer,
+    F: Feedback,
+    M: Monitor,
+    S: Schedule,
+{
+    /// Runs one execution through every seam.
+    ///
+    /// The order of operations replicates the historical monolithic loop
+    /// bit-for-bit: generate → execute (reset policy inside) → tally/bug
+    /// record → coverage merge → valuable verdict → schedule feedback →
+    /// seed retention → series sample.
+    pub fn step(&mut self, execution: u64, models: &DataModelSet, rng: &mut SmallRng) {
+        let packet = self.schedule.next_packet(models, rng);
+        let (outcome, trace) = self.executor.execute(execution, &packet.bytes);
+        self.monitor
+            .record(execution, &packet, OutcomeSummary::from(&outcome));
+        let merge = self.observer.merge(trace);
+        let valuable = self.feedback.is_interesting(&merge);
+        self.schedule.feedback(&FeedbackEvent {
+            execution,
+            packet: &packet,
+            valuable,
+            merge: &merge,
+            models,
+        });
+        if valuable {
+            // The schedule only borrows the packet, so retention can move it
+            // into the pool instead of cloning.
+            self.feedback.retain(packet, &merge);
+        }
+        self.monitor.sample(
+            execution,
+            self.observer.paths_covered(),
+            self.observer.edges_covered(),
+        );
+    }
+
+    /// Runs executions `1..=budget` through [`step`](Engine::step).
+    pub fn run(&mut self, budget: u64, models: &DataModelSet, rng: &mut SmallRng) {
+        for execution in 1..=budget {
+            self.step(execution, models, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use peachstar_protocols::TargetId;
+    use rand::SeedableRng;
+
+    #[test]
+    fn engine_runs_a_small_campaign() {
+        let executor = TargetExecutor::new(TargetId::Modbus.create(), 500);
+        let models = executor.data_models();
+        let mut engine = Engine {
+            executor,
+            observer: CoverageObserver::new(),
+            feedback: NewCoverageFeedback::new(),
+            monitor: CampaignMonitor::new(1_000, 100),
+            schedule: StrategySchedule::new(StrategyKind::PeachStar.create()),
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        engine.run(1_000, &models, &mut rng);
+
+        assert!(engine.observer.paths_covered() > 0);
+        assert!(engine.feedback.retained() > 0);
+        assert_eq!(
+            engine.monitor.responses()
+                + engine.monitor.protocol_errors()
+                + engine.monitor.fault_hits(),
+            1_000
+        );
+        assert_eq!(
+            engine.monitor.series().final_paths(),
+            engine.observer.paths_covered()
+        );
+    }
+}

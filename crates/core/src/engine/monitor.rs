@@ -1,0 +1,212 @@
+//! The [`Monitor`] seam: outcome tallies, unique-bug dedup and coverage
+//! series sampling.
+
+use std::collections::HashSet;
+
+use peachstar_protocols::{Fault, Outcome};
+
+use crate::campaign::BugRecord;
+use crate::stats::{CoverageSeries, SeriesPoint};
+use crate::strategy::GeneratedPacket;
+
+/// What the monitor needs to know about one execution's outcome — the
+/// variant plus the fault record, without the response/rejection payloads,
+/// so sharded workers can buffer it compactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeSummary {
+    /// The packet was processed and answered.
+    Response,
+    /// The packet was rejected by protocol validation.
+    ProtocolError,
+    /// The packet reached a planted vulnerability.
+    Fault(Fault),
+}
+
+impl From<&Outcome> for OutcomeSummary {
+    fn from(outcome: &Outcome) -> Self {
+        match outcome {
+            Outcome::Response(_) => OutcomeSummary::Response,
+            Outcome::ProtocolError(_) => OutcomeSummary::ProtocolError,
+            Outcome::Fault(fault) => OutcomeSummary::Fault(*fault),
+        }
+    }
+}
+
+/// Observes the campaign from the side: tallies outcomes, deduplicates bugs
+/// by fault site, and samples the coverage growth series.
+///
+/// The monitor never influences the fuzzing loop — removing it must not
+/// change which packets run or which seeds are retained.
+pub trait Monitor {
+    /// Records one execution's outcome (called once per execution, in
+    /// execution order).
+    fn record(&mut self, execution: u64, packet: &GeneratedPacket, outcome: OutcomeSummary);
+
+    /// Offers a series sample point after an execution was merged; the
+    /// monitor decides whether to keep it.
+    fn sample(&mut self, execution: u64, paths: usize, edges: usize);
+}
+
+/// The standard monitor backing a `CampaignReport`.
+#[derive(Debug)]
+pub struct CampaignMonitor {
+    budget: u64,
+    sample_interval: u64,
+    series: CoverageSeries,
+    bugs: Vec<BugRecord>,
+    seen_sites: HashSet<&'static str>,
+    responses: u64,
+    protocol_errors: u64,
+    fault_hits: u64,
+}
+
+impl CampaignMonitor {
+    /// Creates a monitor for a campaign of `budget` executions, sampling the
+    /// series every `sample_interval` executions (and at the final one).
+    #[must_use]
+    pub fn new(budget: u64, sample_interval: u64) -> Self {
+        Self {
+            budget,
+            sample_interval: sample_interval.max(1),
+            series: CoverageSeries::new(),
+            bugs: Vec::new(),
+            seen_sites: HashSet::new(),
+            responses: 0,
+            protocol_errors: 0,
+            fault_hits: 0,
+        }
+    }
+
+    /// Packets answered by the target.
+    #[must_use]
+    pub fn responses(&self) -> u64 {
+        self.responses
+    }
+
+    /// Packets rejected by protocol validation.
+    #[must_use]
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors
+    }
+
+    /// Packets that hit a fault, duplicates included.
+    #[must_use]
+    pub fn fault_hits(&self) -> u64 {
+        self.fault_hits
+    }
+
+    /// The unique bugs recorded so far.
+    #[must_use]
+    pub fn bugs(&self) -> &[BugRecord] {
+        &self.bugs
+    }
+
+    /// The sampled coverage series so far.
+    #[must_use]
+    pub fn series(&self) -> &CoverageSeries {
+        &self.series
+    }
+
+    /// Consumes the monitor, returning the series and bug list for the
+    /// campaign report.
+    #[must_use]
+    pub fn into_series_and_bugs(self) -> (CoverageSeries, Vec<BugRecord>) {
+        (self.series, self.bugs)
+    }
+}
+
+impl Monitor for CampaignMonitor {
+    fn record(&mut self, execution: u64, packet: &GeneratedPacket, outcome: OutcomeSummary) {
+        match outcome {
+            OutcomeSummary::Response => self.responses += 1,
+            OutcomeSummary::ProtocolError => self.protocol_errors += 1,
+            OutcomeSummary::Fault(fault) => {
+                self.fault_hits += 1;
+                if self.seen_sites.insert(fault.site) {
+                    self.bugs.push(BugRecord {
+                        fault,
+                        first_execution: execution,
+                        packet: packet.bytes.clone(),
+                        model: packet.model.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn sample(&mut self, execution: u64, paths: usize, edges: usize) {
+        if execution.is_multiple_of(self.sample_interval) || execution == self.budget {
+            self.series.push(SeriesPoint {
+                executions: execution,
+                paths,
+                edges,
+                faults: self.bugs.len(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::Seed;
+    use peachstar_protocols::FaultKind;
+
+    fn packet() -> GeneratedPacket {
+        Seed::new(vec![1, 2, 3], "m", false)
+    }
+
+    #[test]
+    fn tallies_and_dedups_bugs_by_site() {
+        let mut monitor = CampaignMonitor::new(100, 10);
+        monitor.record(1, &packet(), OutcomeSummary::Response);
+        monitor.record(2, &packet(), OutcomeSummary::ProtocolError);
+        let fault = Fault::new(FaultKind::Segv, "a.c:f");
+        monitor.record(3, &packet(), OutcomeSummary::Fault(fault));
+        monitor.record(4, &packet(), OutcomeSummary::Fault(fault));
+        let other = Fault::new(FaultKind::Hang, "b.c:g");
+        monitor.record(5, &packet(), OutcomeSummary::Fault(other));
+
+        assert_eq!(monitor.responses(), 1);
+        assert_eq!(monitor.protocol_errors(), 1);
+        assert_eq!(monitor.fault_hits(), 3);
+        assert_eq!(monitor.bugs().len(), 2, "same site dedups");
+        assert_eq!(monitor.bugs()[0].first_execution, 3);
+        assert_eq!(monitor.bugs()[1].fault.site, "b.c:g");
+    }
+
+    #[test]
+    fn samples_at_interval_and_final_execution() {
+        let mut monitor = CampaignMonitor::new(25, 10);
+        for execution in 1..=25 {
+            monitor.sample(execution, execution as usize, 0);
+        }
+        let sampled: Vec<u64> = monitor
+            .series()
+            .points()
+            .iter()
+            .map(|p| p.executions)
+            .collect();
+        assert_eq!(sampled, vec![10, 20, 25]);
+        let (series, bugs) = monitor.into_series_and_bugs();
+        assert_eq!(series.final_paths(), 25);
+        assert!(bugs.is_empty());
+    }
+
+    #[test]
+    fn outcome_summary_from_outcome() {
+        assert_eq!(
+            OutcomeSummary::from(&Outcome::Response(vec![1])),
+            OutcomeSummary::Response
+        );
+        assert_eq!(
+            OutcomeSummary::from(&Outcome::ProtocolError("bad".into())),
+            OutcomeSummary::ProtocolError
+        );
+        let fault = Fault::new(FaultKind::Segv, "x");
+        assert_eq!(
+            OutcomeSummary::from(&Outcome::Fault(fault)),
+            OutcomeSummary::Fault(fault)
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`Observer`]/[`Feedback`] pair: who accumulates coverage, and who
+//! decides which executions are valuable enough to retain.
+
+use peachstar_coverage::{CoverageMap, MergeOutcome, SparseTrace, TraceMap};
+
+use crate::seed::{SeedPool, ValuableSeed};
+use crate::strategy::GeneratedPacket;
+
+/// Accumulates per-execution traces into campaign-global coverage and
+/// answers "what did this execution add?".
+///
+/// Live traces arrive through [`merge`](Observer::merge) (the classic
+/// sequential loop); buffered [`SparseTrace`] snapshots arrive through
+/// [`merge_sparse`](Observer::merge_sparse) (the sharded merge barrier).
+/// Both must report identical [`MergeOutcome`]s for the same execution.
+pub trait Observer {
+    /// Merges one execution's live trace.
+    fn merge(&mut self, trace: &TraceMap) -> MergeOutcome;
+
+    /// Merges one execution's buffered snapshot.
+    fn merge_sparse(&mut self, trace: &SparseTrace) -> MergeOutcome;
+
+    /// Distinct execution paths observed so far (the Figure 4 metric).
+    fn paths_covered(&self) -> usize;
+
+    /// Distinct coverage-map slots observed so far.
+    fn edges_covered(&self) -> usize;
+}
+
+/// The standard observer: a single campaign-global [`CoverageMap`].
+#[derive(Debug, Default)]
+pub struct CoverageObserver {
+    map: CoverageMap,
+}
+
+impl CoverageObserver {
+    /// Creates an observer with an empty coverage map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the underlying map.
+    #[must_use]
+    pub fn map(&self) -> &CoverageMap {
+        &self.map
+    }
+}
+
+impl Observer for CoverageObserver {
+    fn merge(&mut self, trace: &TraceMap) -> MergeOutcome {
+        self.map.merge(trace)
+    }
+
+    fn merge_sparse(&mut self, trace: &SparseTrace) -> MergeOutcome {
+        self.map.merge_sparse(trace)
+    }
+
+    fn paths_covered(&self) -> usize {
+        self.map.paths_covered()
+    }
+
+    fn edges_covered(&self) -> usize {
+        self.map.edges_covered()
+    }
+}
+
+/// Decides which executions count as *valuable seeds* and retains them.
+///
+/// Replaces the campaign loop's inlined `merge.is_interesting()` →
+/// `SeedPool::push` sequence: the loop asks
+/// [`is_interesting`](Feedback::is_interesting) for the verdict (which also
+/// feeds the [`Schedule`](crate::engine::Schedule)) and then hands the packet
+/// over via [`retain`](Feedback::retain).
+pub trait Feedback {
+    /// Whether an execution with this merge outcome is a valuable seed.
+    fn is_interesting(&self, merge: &MergeOutcome) -> bool;
+
+    /// Retains a packet previously judged interesting.
+    fn retain(&mut self, packet: GeneratedPacket, merge: &MergeOutcome);
+
+    /// Number of seeds retained so far.
+    fn retained(&self) -> usize;
+}
+
+/// The paper's feedback: an execution is valuable when it uncovered a new
+/// edge or a new hit-count bucket; valuable seeds go into a [`SeedPool`].
+#[derive(Debug, Default)]
+pub struct NewCoverageFeedback {
+    pool: SeedPool,
+}
+
+impl NewCoverageFeedback {
+    /// Creates the feedback with an empty seed pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The retained valuable seeds.
+    #[must_use]
+    pub fn pool(&self) -> &SeedPool {
+        &self.pool
+    }
+
+    /// Consumes the feedback and returns the pool.
+    #[must_use]
+    pub fn into_pool(self) -> SeedPool {
+        self.pool
+    }
+
+    /// Iterates over the retained seeds.
+    pub fn seeds(&self) -> impl Iterator<Item = &ValuableSeed> {
+        self.pool.iter()
+    }
+}
+
+impl Feedback for NewCoverageFeedback {
+    fn is_interesting(&self, merge: &MergeOutcome) -> bool {
+        merge.is_interesting()
+    }
+
+    fn retain(&mut self, packet: GeneratedPacket, merge: &MergeOutcome) {
+        self.pool.push(packet, merge.path_id, merge.new_edges);
+    }
+
+    fn retained(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::Seed;
+    use peachstar_coverage::{EdgeId, TraceContext};
+
+    fn trace_of(ids: &[u32]) -> TraceMap {
+        let mut ctx = TraceContext::new();
+        for &id in ids {
+            ctx.edge(EdgeId::new(id));
+        }
+        ctx.into_trace()
+    }
+
+    #[test]
+    fn observer_merges_live_and_sparse_identically() {
+        let mut live = CoverageObserver::new();
+        let mut buffered = CoverageObserver::new();
+        for trace in [trace_of(&[1, 2]), trace_of(&[2, 3]), trace_of(&[1, 2])] {
+            let a = live.merge(&trace);
+            let b = buffered.merge_sparse(&trace.to_sparse());
+            assert_eq!(a, b);
+        }
+        assert_eq!(live.paths_covered(), buffered.paths_covered());
+        assert_eq!(live.edges_covered(), buffered.edges_covered());
+        assert_eq!(live.map().executions(), 3);
+    }
+
+    #[test]
+    fn feedback_retains_only_interesting_seeds() {
+        let mut observer = CoverageObserver::new();
+        let mut feedback = NewCoverageFeedback::new();
+        for (index, trace) in [trace_of(&[1, 2]), trace_of(&[1, 2])].iter().enumerate() {
+            let merge = observer.merge(trace);
+            if feedback.is_interesting(&merge) {
+                feedback.retain(Seed::new(vec![index as u8], "m", false), &merge);
+            }
+        }
+        assert_eq!(feedback.retained(), 1, "the duplicate trace adds nothing");
+        assert_eq!(feedback.seeds().count(), 1);
+        assert_eq!(feedback.into_pool().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! The [`Schedule`] seam: how the generation strategy receives coverage
+//! feedback.
+
+use peachstar_coverage::MergeOutcome;
+use peachstar_datamodel::DataModelSet;
+use rand::rngs::SmallRng;
+
+use crate::strategy::{GeneratedPacket, GenerationStrategy};
+
+/// Everything the engine knows about one finished execution, delivered to
+/// the schedule as a single typed event (replacing the ad-hoc
+/// `observe(packet, valuable, models)` call the campaign loop used to make).
+#[derive(Debug)]
+pub struct FeedbackEvent<'a> {
+    /// Execution index (1-based) the event describes.
+    pub execution: u64,
+    /// The packet that was executed.
+    pub packet: &'a GeneratedPacket,
+    /// Whether the feedback judged the packet a valuable seed.
+    pub valuable: bool,
+    /// What the execution added to global coverage.
+    pub merge: &'a MergeOutcome,
+    /// The data models of the target under test.
+    pub models: &'a DataModelSet,
+}
+
+/// Decides which packet runs next and digests per-execution feedback.
+///
+/// This is the engine-facing face of a generation strategy: the engine emits
+/// one [`FeedbackEvent`] per execution (in execution order), and asks for
+/// the next packet exactly once per execution.
+pub trait Schedule {
+    /// Short display name of the underlying strategy.
+    fn name(&self) -> &'static str;
+
+    /// Produces the next packet to execute.
+    fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket;
+
+    /// Digests the feedback for a previously generated packet.
+    fn feedback(&mut self, event: &FeedbackEvent<'_>);
+
+    /// Number of puzzles currently available (0 for feedback-free
+    /// strategies).
+    fn corpus_size(&self) -> usize;
+}
+
+/// Adapts any [`GenerationStrategy`] to the [`Schedule`] seam.
+pub struct StrategySchedule {
+    strategy: Box<dyn GenerationStrategy>,
+}
+
+impl StrategySchedule {
+    /// Wraps a strategy.
+    #[must_use]
+    pub fn new(strategy: Box<dyn GenerationStrategy>) -> Self {
+        Self { strategy }
+    }
+
+    /// The wrapped strategy.
+    #[must_use]
+    pub fn strategy(&self) -> &dyn GenerationStrategy {
+        self.strategy.as_ref()
+    }
+}
+
+impl std::fmt::Debug for StrategySchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategySchedule")
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+impl Schedule for StrategySchedule {
+    fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
+        self.strategy.next_packet(models, rng)
+    }
+
+    fn feedback(&mut self, event: &FeedbackEvent<'_>) {
+        self.strategy
+            .observe(event.packet, event.valuable, event.models);
+    }
+
+    fn corpus_size(&self) -> usize {
+        self.strategy.corpus_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use peachstar_coverage::PathId;
+    use peachstar_datamodel::examples::toy_protocol;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_adapts_a_strategy() {
+        let models = toy_protocol();
+        let mut schedule = StrategySchedule::new(StrategyKind::PeachStar.create());
+        assert_eq!(schedule.name(), "Peach*");
+        assert_eq!(schedule.corpus_size(), 0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let packet = schedule.next_packet(&models, &mut rng);
+        assert!(!packet.bytes.is_empty());
+
+        let merge = MergeOutcome {
+            new_edges: 1,
+            new_buckets: 0,
+            new_path: true,
+            path_id: PathId::new(1),
+        };
+        schedule.feedback(&FeedbackEvent {
+            execution: 1,
+            packet: &packet,
+            valuable: true,
+            merge: &merge,
+            models: &models,
+        });
+        assert!(
+            schedule.corpus_size() > 0,
+            "a valuable event reaches the strategy's cracker"
+        );
+        assert_eq!(schedule.strategy().name(), "Peach*");
+    }
+}

@@ -1,0 +1,394 @@
+//! Sharded campaigns: N workers execute disjoint, reset-aligned slices of
+//! one campaign in parallel, syncing through a deterministic merge barrier.
+//!
+//! # How the work is split
+//!
+//! The sequential campaign resets its target every `reset_interval`
+//! executions, so the execution sequence decomposes into *windows* — maximal
+//! runs that start from the just-started target state. Windows are
+//! independent of each other on the target side (each begins with a reset),
+//! which makes them the natural unit of parallelism:
+//!
+//! 1. **Generate** (sequential): the strategy produces the packets of the
+//!    next `sync_windows` windows in global execution order, consuming the
+//!    campaign RNG exactly as the sequential loop would.
+//! 2. **Execute** (parallel): `workers` threads pull windows from a queue
+//!    and run them against their own [`Target::clone_fresh`] copies,
+//!    buffering each execution's [`OutcomeSummary`] and
+//!    [`peachstar_coverage::SparseTrace`] snapshot.
+//! 3. **Reduce** (sequential, the merge barrier): window results are merged
+//!    back in global execution order — coverage merge, valuable-seed
+//!    verdict, schedule feedback, seed retention, bug dedup and series
+//!    sampling all happen here, through the same engine seams the
+//!    sequential campaign uses.
+//!
+//! # Determinism
+//!
+//! The worker count only decides *who* executes a window, never *what* is
+//! executed or in which order results merge, so the final report is
+//! bit-identical for any `workers >= 1` (see `tests/shard_determinism.rs`).
+//!
+//! For the feedback-free Peach baseline the sharded report is additionally
+//! bit-identical to the sequential [`Campaign`](crate::campaign::Campaign):
+//! the packet stream depends only on the RNG, and windows replay the exact
+//! target states of the sequential loop. The Peach\* strategy receives its
+//! feedback at the barrier instead of per-execution (valuable seeds crack
+//! into puzzles one round later), so its sharded packet stream is
+//! deterministic but intentionally not identical to the sequential one.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use peachstar_coverage::{SparseTrace, TraceContext};
+use peachstar_protocols::Target;
+
+use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::engine::{
+    CampaignMonitor, CoverageObserver, Feedback, FeedbackEvent, Monitor, NewCoverageFeedback,
+    Observer, OutcomeSummary, Schedule, StrategySchedule,
+};
+use crate::strategy::{GeneratedPacket, GenerationStrategy};
+
+/// How a sharded campaign spreads its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Worker threads executing windows in parallel. Does not influence the
+    /// campaign result — only how fast it is produced.
+    pub workers: usize,
+    /// Windows generated (and merged) per round — the distance between two
+    /// merge barriers, in windows. Part of the campaign semantics for
+    /// feedback-driven strategies: Peach\* digests valuable seeds at the
+    /// barrier, so a different `sync_windows` is a different campaign.
+    pub sync_windows: usize,
+}
+
+impl ShardConfig {
+    /// Default number of windows between merge barriers.
+    pub const DEFAULT_SYNC_WINDOWS: usize = 8;
+
+    /// Configuration for `workers` parallel workers with the default
+    /// barrier distance.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            sync_windows: Self::DEFAULT_SYNC_WINDOWS,
+        }
+    }
+
+    /// Sets the number of windows between merge barriers.
+    #[must_use]
+    pub fn sync_windows(mut self, windows: usize) -> Self {
+        self.sync_windows = windows.max(1);
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::with_workers(1)
+    }
+}
+
+/// The reset-aligned execution windows of a campaign: `(start, end)` pairs,
+/// 1-based and inclusive, covering `1..=executions` without gaps. Every
+/// window after the first starts at a multiple of `reset_interval` — exactly
+/// the executions before which the sequential campaign resets its target.
+fn windows_for(executions: u64, reset_interval: u64) -> Vec<(u64, u64)> {
+    if executions == 0 {
+        return Vec::new();
+    }
+    let mut starts = vec![1u64];
+    if reset_interval > 0 {
+        let mut boundary = reset_interval;
+        while boundary <= executions {
+            starts.push(boundary);
+            boundary += reset_interval;
+        }
+    }
+    // A reset interval of 1 makes the first boundary coincide with the
+    // initial start.
+    starts.dedup();
+    starts
+        .iter()
+        .enumerate()
+        .map(|(index, &start)| {
+            let end = starts.get(index + 1).map_or(executions, |&next| next - 1);
+            (start, end)
+        })
+        .collect()
+}
+
+/// One window's packets, headed to a worker.
+struct WindowWork {
+    start: u64,
+    packets: Vec<GeneratedPacket>,
+}
+
+/// One execution's buffered result, headed back to the merge barrier.
+struct ExecRecord {
+    packet: GeneratedPacket,
+    outcome: OutcomeSummary,
+    trace: SparseTrace,
+}
+
+/// One window's results, in execution order.
+struct WindowResult {
+    start: u64,
+    records: Vec<ExecRecord>,
+}
+
+/// Worker loop: pull windows off the queue, execute them on this worker's
+/// private target copy, push buffered results.
+fn shard_worker(
+    target: &mut (dyn Target + Send),
+    queue: &Mutex<VecDeque<WindowWork>>,
+    done: &Mutex<Vec<WindowResult>>,
+) {
+    let mut ctx = TraceContext::new();
+    loop {
+        let Some(work) = queue.lock().expect("window queue poisoned").pop_front() else {
+            return;
+        };
+        // Every window begins from the just-started target state: the
+        // sequential campaign either created the target right before the
+        // first window or reset it at the window boundary, and `reset` is
+        // documented to restore exactly that state.
+        target.reset();
+        let records = work
+            .packets
+            .into_iter()
+            .map(|packet| {
+                ctx.reset();
+                let outcome = target.process(&packet.bytes, &mut ctx);
+                if outcome.is_fault() {
+                    target.reset();
+                }
+                ExecRecord {
+                    outcome: OutcomeSummary::from(&outcome),
+                    trace: ctx.trace().to_sparse(),
+                    packet,
+                }
+            })
+            .collect();
+        done.lock()
+            .expect("window results poisoned")
+            .push(WindowResult {
+                start: work.start,
+                records,
+            });
+    }
+}
+
+/// One fuzzing campaign executed by multiple workers over disjoint,
+/// reset-aligned slices of the execution budget.
+pub struct ShardedCampaign {
+    target: Box<dyn Target>,
+    config: CampaignConfig,
+    shard: ShardConfig,
+    strategy: Box<dyn GenerationStrategy>,
+}
+
+impl std::fmt::Debug for ShardedCampaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCampaign")
+            .field("target", &self.target.name())
+            .field("config", &self.config)
+            .field("shard", &self.shard)
+            .finish()
+    }
+}
+
+impl ShardedCampaign {
+    /// Creates a sharded campaign with the strategy named in the campaign
+    /// configuration.
+    #[must_use]
+    pub fn new(target: Box<dyn Target>, config: CampaignConfig, shard: ShardConfig) -> Self {
+        Self {
+            strategy: config.strategy.create(),
+            target,
+            config,
+            shard,
+        }
+    }
+
+    /// Creates a sharded campaign with an explicit strategy.
+    #[must_use]
+    pub fn with_strategy(
+        target: Box<dyn Target>,
+        config: CampaignConfig,
+        shard: ShardConfig,
+        strategy: Box<dyn GenerationStrategy>,
+    ) -> Self {
+        Self {
+            target,
+            config,
+            shard,
+            strategy,
+        }
+    }
+
+    /// Runs the campaign to completion and returns the merged report.
+    #[must_use]
+    pub fn run(self) -> CampaignReport {
+        let started = Instant::now();
+        let target_name = self.target.name();
+        let models = self.target.data_models();
+        let mut rng = SmallRng::seed_from_u64(self.config.rng_seed);
+        let mut observer = CoverageObserver::new();
+        let mut feedback = NewCoverageFeedback::new();
+        let mut monitor =
+            CampaignMonitor::new(self.config.executions, self.config.sample_interval);
+        let mut schedule = StrategySchedule::new(self.strategy);
+
+        let workers = self.shard.workers.max(1);
+        let mut worker_targets: Vec<Box<dyn Target + Send>> =
+            (0..workers).map(|_| self.target.clone_fresh()).collect();
+
+        let windows = windows_for(self.config.executions, self.config.reset_interval);
+        for round in windows.chunks(self.shard.sync_windows.max(1)) {
+            // Phase 1 — generate: replay the strategy sequentially, in
+            // global execution order, exactly as the sequential loop would.
+            let work: VecDeque<WindowWork> = round
+                .iter()
+                .map(|&(start, end)| WindowWork {
+                    start,
+                    packets: (start..=end)
+                        .map(|_| schedule.next_packet(&models, &mut rng))
+                        .collect(),
+                })
+                .collect();
+
+            // Phase 2 — execute: workers drain the window queue in
+            // parallel. Which worker runs which window is scheduling noise;
+            // the buffered results are re-ordered below.
+            let queue = Mutex::new(work);
+            let done: Mutex<Vec<WindowResult>> = Mutex::new(Vec::with_capacity(round.len()));
+            let (queue_ref, done_ref) = (&queue, &done);
+            std::thread::scope(|scope| {
+                for target in &mut worker_targets {
+                    scope.spawn(move || shard_worker(target.as_mut(), queue_ref, done_ref));
+                }
+            });
+
+            // Phase 3 — reduce (the merge barrier): fold every window back
+            // in global execution order through the same seams the
+            // sequential engine uses.
+            let mut results = done.into_inner().expect("window results poisoned");
+            results.sort_by_key(|window| window.start);
+            for window in results {
+                for (offset, record) in window.records.into_iter().enumerate() {
+                    let execution = window.start + offset as u64;
+                    monitor.record(execution, &record.packet, record.outcome);
+                    let merge = observer.merge_sparse(&record.trace);
+                    let valuable = feedback.is_interesting(&merge);
+                    schedule.feedback(&FeedbackEvent {
+                        execution,
+                        packet: &record.packet,
+                        valuable,
+                        merge: &merge,
+                        models: &models,
+                    });
+                    if valuable {
+                        feedback.retain(record.packet, &merge);
+                    }
+                    monitor.sample(
+                        execution,
+                        observer.paths_covered(),
+                        observer.edges_covered(),
+                    );
+                }
+            }
+        }
+
+        let (responses, protocol_errors, fault_hits) = (
+            monitor.responses(),
+            monitor.protocol_errors(),
+            monitor.fault_hits(),
+        );
+        let (series, bugs) = monitor.into_series_and_bugs();
+        CampaignReport {
+            target: target_name.to_string(),
+            strategy: self.config.strategy,
+            executions: self.config.executions,
+            series,
+            bugs,
+            valuable_seeds: feedback.retained(),
+            corpus_size: schedule.corpus_size(),
+            responses,
+            protocol_errors,
+            fault_hits,
+            wall_time: started.elapsed(),
+        }
+    }
+}
+
+/// Convenience wrapper: runs `config` against `target` with `workers`
+/// parallel workers and the default barrier distance.
+#[must_use]
+pub fn run_sharded(
+    target: Box<dyn Target>,
+    config: CampaignConfig,
+    workers: usize,
+) -> CampaignReport {
+    ShardedCampaign::new(target, config, ShardConfig::with_workers(workers)).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use peachstar_protocols::TargetId;
+
+    #[test]
+    fn windows_cover_the_budget_and_align_to_resets() {
+        assert_eq!(windows_for(3_000, 2_000), vec![(1, 1_999), (2_000, 3_000)]);
+        assert_eq!(windows_for(5, 10), vec![(1, 5)]);
+        assert_eq!(windows_for(10, 0), vec![(1, 10)]);
+        assert_eq!(windows_for(0, 100), Vec::<(u64, u64)>::new());
+        assert_eq!(windows_for(3, 1), vec![(1, 1), (2, 2), (3, 3)]);
+        let windows = windows_for(2_000, 250);
+        assert_eq!(windows.first(), Some(&(1, 249)));
+        assert_eq!(windows.last(), Some(&(2_000, 2_000)));
+        // Gapless, contiguous cover of 1..=2000.
+        let mut next = 1;
+        for (start, end) in windows {
+            assert_eq!(start, next);
+            assert!(end >= start || (start, end) == (1, 0));
+            next = end + 1;
+        }
+        assert_eq!(next, 2_001);
+    }
+
+    #[test]
+    fn sharded_campaign_produces_a_complete_report() {
+        let config = CampaignConfig::new(StrategyKind::PeachStar)
+            .executions(1_500)
+            .rng_seed(9)
+            .sample_interval(100)
+            .reset_interval(200);
+        let report = run_sharded(TargetId::Iec104.create(), config, 3);
+        assert_eq!(report.executions, 1_500);
+        assert_eq!(
+            report.responses + report.protocol_errors + report.fault_hits,
+            1_500
+        );
+        assert!(report.final_paths() > 0);
+        assert!(report.valuable_seeds > 0);
+        assert!(report.corpus_size > 0, "feedback reaches the strategy");
+        assert!(!report.series.is_empty());
+    }
+
+    #[test]
+    fn shard_config_defaults() {
+        let config = ShardConfig::default();
+        assert_eq!(config.workers, 1);
+        assert_eq!(config.sync_windows, ShardConfig::DEFAULT_SYNC_WINDOWS);
+        assert_eq!(ShardConfig::with_workers(0).workers, 1);
+        assert_eq!(ShardConfig::with_workers(4).sync_windows(0).sync_windows, 1);
+    }
+}

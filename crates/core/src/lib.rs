@@ -41,6 +41,7 @@
 pub mod campaign;
 pub mod corpus;
 pub mod cracker;
+pub mod engine;
 pub mod error;
 pub mod mutator;
 pub mod seed;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod strategy;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use engine::{run_sharded, Engine, ShardConfig, ShardedCampaign};
 pub use corpus::PuzzleCorpus;
 pub use cracker::FileCracker;
 pub use error::FuzzError;

@@ -63,7 +63,7 @@ mod trace;
 
 pub use map::{CoverageMap, MergeOutcome, MAP_SIZE};
 pub use stats::{bucket_for, CoverageStats, HitBucket};
-pub use trace::{EdgeId, PathId, TraceContext, TraceMap};
+pub use trace::{EdgeId, PathId, SparseTrace, TraceContext, TraceMap};
 
 /// Records an edge on a [`TraceContext`] with a site identifier derived from
 /// the source location.

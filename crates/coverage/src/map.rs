@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::stats::{bucket_for, CoverageStats, HitBucket};
-use crate::trace::{PathId, TraceMap};
+use crate::trace::{PathId, SparseTrace, TraceMap};
 
 /// Number of slots in the coverage bitmap (64 KiB, the classic AFL size).
 pub const MAP_SIZE: usize = 1 << 16;
@@ -86,13 +86,20 @@ impl CoverageMap {
         }
     }
 
-    /// Merges a single execution's trace, returning what (if anything) it
-    /// added to global coverage.
-    pub fn merge(&mut self, trace: &TraceMap) -> MergeOutcome {
+    /// The one accumulation body behind [`merge`](CoverageMap::merge) and
+    /// [`merge_sparse`](CoverageMap::merge_sparse): the sharded engine's
+    /// bit-identical guarantee depends on the two representations never
+    /// drifting apart, so they must share this code.
+    fn merge_hits(
+        &mut self,
+        hits: impl Iterator<Item = (usize, u8)>,
+        path_id: PathId,
+        trace_empty: bool,
+    ) -> MergeOutcome {
         self.executions += 1;
         let mut new_edges = 0;
         let mut new_buckets = 0;
-        for (slot, count) in trace.iter_hits() {
+        for (slot, count) in hits {
             let bucket_bit = 1u8 << (bucket_for(count) as u8);
             let seen = self.buckets[slot];
             if seen == 0 {
@@ -103,14 +110,53 @@ impl CoverageMap {
             }
             self.buckets[slot] = seen | bucket_bit;
         }
-        let path_id = trace.path_id_with(&mut self.path_scratch);
-        let new_path = !trace.is_empty() && self.paths.insert(path_id);
+        let new_path = !trace_empty && self.paths.insert(path_id);
         MergeOutcome {
             new_edges,
             new_buckets,
             new_path,
             path_id,
         }
+    }
+
+    /// Merges a single execution's trace, returning what (if anything) it
+    /// added to global coverage.
+    pub fn merge(&mut self, trace: &TraceMap) -> MergeOutcome {
+        let path_id = trace.path_id_with(&mut self.path_scratch);
+        self.merge_hits(trace.iter_hits(), path_id, trace.is_empty())
+    }
+
+    /// Merges a buffered [`SparseTrace`] snapshot, returning what (if
+    /// anything) it added to global coverage.
+    ///
+    /// Bit-identical to [`merge`](CoverageMap::merge) of the live
+    /// [`TraceMap`] the snapshot was captured from: same counters, same
+    /// [`MergeOutcome`], same path id. This is the merge-barrier entry point
+    /// of sharded campaigns, whose workers buffer snapshots instead of
+    /// keeping one 64 KiB trace map per execution alive.
+    pub fn merge_sparse(&mut self, trace: &SparseTrace) -> MergeOutcome {
+        self.merge_hits(trace.iter_hits(), trace.path_id(), trace.is_empty())
+    }
+
+    /// Absorbs everything another coverage map has seen: per-slot bucket
+    /// masks, path-id set and execution count.
+    ///
+    /// This is the shard-sync primitive for engines that keep one map per
+    /// worker and union them at a barrier (edge and bucket union are
+    /// commutative, so the merged map is independent of absorb order).
+    pub fn absorb(&mut self, other: &CoverageMap) {
+        for slot in 0..MAP_SIZE {
+            let theirs = other.buckets[slot];
+            if theirs == 0 {
+                continue;
+            }
+            if self.buckets[slot] == 0 {
+                self.edges_covered += 1;
+            }
+            self.buckets[slot] |= theirs;
+        }
+        self.paths.extend(other.paths.iter().copied());
+        self.executions += other.executions;
     }
 
     /// Checks what a trace *would* add, without updating the map.
@@ -308,6 +354,70 @@ mod tests {
         assert_eq!(map.edges_covered(), 0);
         assert_eq!(map.paths_covered(), 0);
         assert_eq!(map.executions(), 0);
+    }
+
+    #[test]
+    fn merge_sparse_is_bit_identical_to_merge() {
+        let traces = [
+            trace_of(&[1, 2, 3]),
+            trace_of(&[1, 2]),
+            trace_of(&[7, 7, 7, 9]),
+            trace_of(&[1, 2, 3]),
+            TraceMap::new(),
+        ];
+        let mut dense = CoverageMap::new();
+        let mut sparse = CoverageMap::new();
+        for trace in &traces {
+            let a = dense.merge(trace);
+            let b = sparse.merge_sparse(&trace.to_sparse());
+            assert_eq!(a, b);
+        }
+        assert_eq!(dense.edges_covered(), sparse.edges_covered());
+        assert_eq!(dense.paths_covered(), sparse.paths_covered());
+        assert_eq!(dense.executions(), sparse.executions());
+    }
+
+    #[test]
+    fn absorb_unions_two_maps() {
+        let mut a = CoverageMap::new();
+        a.merge(&trace_of(&[1, 2, 3]));
+        let mut b = CoverageMap::new();
+        b.merge(&trace_of(&[3, 4]));
+        b.merge(&trace_of(&[3, 4]));
+
+        // The union must equal a map that merged every trace itself.
+        let mut sequential = CoverageMap::new();
+        sequential.merge(&trace_of(&[1, 2, 3]));
+        sequential.merge(&trace_of(&[3, 4]));
+        sequential.merge(&trace_of(&[3, 4]));
+
+        a.absorb(&b);
+        assert_eq!(a.edges_covered(), sequential.edges_covered());
+        assert_eq!(a.paths_covered(), sequential.paths_covered());
+        assert_eq!(a.executions(), 3);
+        for slot in 0..MAP_SIZE {
+            assert_eq!(
+                a.buckets_for(slot).collect::<Vec<_>>(),
+                sequential.buckets_for(slot).collect::<Vec<_>>(),
+                "slot {slot} bucket masks differ"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let mut left = CoverageMap::new();
+        left.merge(&trace_of(&[10, 11]));
+        let mut right = CoverageMap::new();
+        right.merge(&trace_of(&[11, 12]));
+
+        let mut ab = left.clone();
+        ab.absorb(&right);
+        let mut ba = right.clone();
+        ba.absorb(&left);
+        assert_eq!(ab.edges_covered(), ba.edges_covered());
+        assert_eq!(ab.paths_covered(), ba.paths_covered());
+        assert_eq!(ab.executions(), ba.executions());
     }
 
     #[test]

@@ -180,20 +180,25 @@ impl TraceMap {
         scratch.clear();
         scratch.extend_from_slice(&self.dirty);
         scratch.sort_unstable();
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for &slot in scratch.iter() {
-            let count = self.bytes[slot as usize];
-            let bucket = crate::stats::bucket_for(count) as u8;
-            for byte in u32::from(slot)
-                .to_le_bytes()
-                .into_iter()
-                .chain(std::iter::once(bucket))
-            {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-        PathId::new(hash)
+        fnv_path_id(scratch.iter().map(|&slot| (slot, self.bytes[slot as usize])))
+    }
+
+    /// Captures a compact, self-contained snapshot of this trace.
+    ///
+    /// The snapshot's [`path_id`](SparseTrace::path_id) and
+    /// [`iter_hits`](SparseTrace::iter_hits) agree exactly with this map's,
+    /// so a [`CoverageMap::merge_sparse`](crate::CoverageMap::merge_sparse)
+    /// of the snapshot is bit-identical to a
+    /// [`merge`](crate::CoverageMap::merge) of the live trace.
+    #[must_use]
+    pub fn to_sparse(&self) -> SparseTrace {
+        let mut hits: Vec<(u16, u8)> = self
+            .dirty
+            .iter()
+            .map(|&slot| (slot, self.bytes[slot as usize]))
+            .collect();
+        hits.sort_unstable_by_key(|&(slot, _)| slot);
+        SparseTrace { hits }
     }
 
     /// Resets the map to the all-zero state by clearing only the slots that
@@ -217,6 +222,69 @@ impl TraceMap {
 impl Default for TraceMap {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// FNV-1a over `(slot, hit-bucket)` pairs in ascending slot order — the one
+/// path hash shared by [`TraceMap::path_id_with`] and
+/// [`SparseTrace::path_id`], so the two representations can never drift.
+fn fnv_path_id<I: Iterator<Item = (u16, u8)>>(sorted_hits: I) -> PathId {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (slot, count) in sorted_hits {
+        let bucket = crate::stats::bucket_for(count) as u8;
+        for byte in u32::from(slot)
+            .to_le_bytes()
+            .into_iter()
+            .chain(std::iter::once(bucket))
+        {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    PathId::new(hash)
+}
+
+/// A compact, immutable snapshot of one execution's [`TraceMap`]: the hit
+/// slots with their saturating counts, in ascending slot order.
+///
+/// A trace map owns a 64 KiB bitmap, so buffering one per execution (as a
+/// sharded campaign worker does between merge barriers) would cost megabytes;
+/// a snapshot costs a few bytes per edge actually hit. Snapshots are what
+/// workers ship to the merge barrier, where
+/// [`CoverageMap::merge_sparse`](crate::CoverageMap::merge_sparse) folds them
+/// into the campaign-global map with outcomes bit-identical to merging the
+/// live trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseTrace {
+    /// `(slot, hit count)` pairs, ascending by slot.
+    hits: Vec<(u16, u8)>,
+}
+
+impl SparseTrace {
+    /// Number of distinct map slots hit during the execution.
+    #[must_use]
+    pub fn edges_hit(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// `true` if no edge was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Iterator over `(slot, hit_count)` pairs, in ascending slot order.
+    pub fn iter_hits(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.hits
+            .iter()
+            .map(|&(slot, count)| (slot as usize, count))
+    }
+
+    /// The stable path identifier — bit-identical to
+    /// [`TraceMap::path_id`] of the trace this snapshot was taken from.
+    #[must_use]
+    pub fn path_id(&self) -> PathId {
+        fnv_path_id(self.hits.iter().copied())
     }
 }
 
@@ -423,5 +491,33 @@ mod tests {
     fn display_formats() {
         assert_eq!(EdgeId::new(0xab).to_string(), "edge:000000ab");
         assert_eq!(PathId::new(0x1).to_string(), "path:0000000000000001");
+    }
+
+    #[test]
+    fn sparse_snapshot_matches_trace() {
+        let mut ctx = TraceContext::new();
+        for id in [900u32, 3, 77, 3, 900, 12] {
+            ctx.edge(EdgeId::new(id));
+        }
+        let trace = ctx.trace();
+        let sparse = trace.to_sparse();
+        assert_eq!(sparse.edges_hit(), trace.edges_hit());
+        assert_eq!(sparse.path_id(), trace.path_id());
+        assert!(!sparse.is_empty());
+        // Same (slot, count) multiset; the snapshot is sorted by slot.
+        let mut from_trace: Vec<(usize, u8)> = trace.iter_hits().collect();
+        from_trace.sort_unstable();
+        let from_sparse: Vec<(usize, u8)> = sparse.iter_hits().collect();
+        assert_eq!(from_sparse, from_trace);
+        let slots: Vec<usize> = sparse.iter_hits().map(|(slot, _)| slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] < w[1]), "ascending slot order");
+    }
+
+    #[test]
+    fn empty_sparse_snapshot() {
+        let sparse = TraceMap::new().to_sparse();
+        assert!(sparse.is_empty());
+        assert_eq!(sparse.edges_hit(), 0);
+        assert_eq!(sparse.path_id(), TraceMap::new().path_id());
     }
 }

@@ -366,6 +366,10 @@ impl Target for Dnp3Outstation {
     fn reset(&mut self) {
         *self = Self::new();
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(Self::new())
+    }
 }
 
 /// The format specification of the DNP3 request frames the fuzzer generates.

@@ -372,6 +372,10 @@ impl Target for IccpServer {
     fn reset(&mut self) {
         *self = Self::new();
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(Self::new())
+    }
 }
 
 /// The format specification of the ICCP packets the fuzzer generates.

@@ -357,6 +357,10 @@ impl Target for Iec104Server {
     fn reset(&mut self) {
         *self = Self::new();
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(Self::new())
+    }
 }
 
 /// The format specification of the IEC 104 packets the fuzzer generates.

@@ -346,6 +346,10 @@ impl Target for MmsServer {
     fn reset(&mut self) {
         *self = Self::new();
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(Self::new())
+    }
 }
 
 /// The format specification of the MMS packets the fuzzer generates.

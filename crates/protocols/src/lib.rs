@@ -167,6 +167,16 @@ pub trait Target {
 
     /// Resets all session state to the just-started condition.
     fn reset(&mut self);
+
+    /// Creates a fresh, just-started instance of the same target.
+    ///
+    /// This is the factory seam sharded campaigns use to give every worker
+    /// thread its own target copy (hence the `Send` bound). The returned
+    /// instance must be indistinguishable from the state
+    /// [`reset`](Target::reset) restores, so that executing a reset-aligned
+    /// slice of a campaign on a fresh copy produces exactly the outcomes the
+    /// sequential campaign would.
+    fn clone_fresh(&self) -> Box<dyn Target + Send>;
 }
 
 /// Identifier of one of the six built-in targets.
@@ -281,6 +291,45 @@ mod tests {
             let mut ctx = TraceContext::new();
             let outcome = target.process(&[], &mut ctx);
             assert!(!outcome.is_fault(), "{}: empty packet must not fault", target.name());
+        }
+    }
+
+    #[test]
+    fn clone_fresh_matches_reset_state() {
+        // Sharded campaigns execute reset-aligned slices on clone_fresh
+        // copies; that is only sound if a fresh instance, a reset instance
+        // and a clone_fresh copy all behave identically. Drive each with the
+        // same packet sequence (every model's default emission) and compare
+        // outcomes and traces.
+        use peachstar_datamodel::emit::emit_default;
+        for id in TargetId::ALL {
+            let mut original = id.create();
+            let packets: Vec<Vec<u8>> = original
+                .data_models()
+                .models()
+                .iter()
+                .map(|model| emit_default(model).expect("default emission"))
+                .collect();
+            let drive = |target: &mut dyn Target| -> Vec<(Outcome, Vec<u8>)> {
+                packets
+                    .iter()
+                    .map(|packet| {
+                        let mut ctx = TraceContext::new();
+                        let outcome = target.process(packet, &mut ctx);
+                        (outcome, ctx.trace().as_bytes().to_vec())
+                    })
+                    .collect()
+            };
+            let fresh_run = drive(original.as_mut());
+            // Dirty the original, then reset: must match the fresh run.
+            original.reset();
+            let reset_run = drive(original.as_mut());
+            assert_eq!(fresh_run, reset_run, "{id}: reset != fresh behaviour");
+            // A clone taken from the dirty original must also start fresh.
+            let mut clone = original.clone_fresh();
+            assert_eq!(clone.name(), original.name());
+            let clone_run = drive(clone.as_mut());
+            assert_eq!(fresh_run, clone_run, "{id}: clone_fresh != fresh");
         }
     }
 

@@ -380,6 +380,10 @@ impl Target for Lib60870Server {
     fn reset(&mut self) {
         *self = Self::new();
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(Self::new())
+    }
 }
 
 /// The format specification of the lib60870 (CS104) packets the fuzzer

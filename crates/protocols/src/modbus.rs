@@ -581,6 +581,10 @@ impl Target for ModbusServer {
     fn reset(&mut self) {
         *self = Self::new();
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(Self::new())
+    }
 }
 
 /// The format specification (Peach-pit equivalent) of the Modbus/TCP

@@ -107,6 +107,10 @@ impl Target for SensorGateway {
     fn reset(&mut self) {
         self.limits = vec![100; 8];
     }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(SensorGateway::new())
+    }
 }
 
 fn main() {
