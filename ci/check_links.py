@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files/directories.
+
+Usage: python3 ci/check_links.py README.md docs/ARCHITECTURE.md ...
+
+For every `[text](target)` link in the given files:
+  * external links (a scheme like https:, mailto:) are skipped;
+  * pure fragments (#section) are checked against the file's own headings;
+  * relative paths are resolved against the file's directory and must exist
+    (an optional #fragment is checked against the target's headings when the
+    target is a markdown file).
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+FENCE = re.compile(r"^(```|~~~).*?^\1[^\n]*$", re.MULTILINE | re.DOTALL)
+
+_ANCHOR_CACHE: dict[Path, set[str]] = {}
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (best-effort, matching gfm rules)."""
+    # Drop inline code/emphasis markers and escapes, lowercase, then keep
+    # word characters and hyphens (spaces become hyphens).
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_\\]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    if path in _ANCHOR_CACHE:
+        return _ANCHOR_CACHE[path]
+    try:
+        content = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        content = ""
+    # Drop fenced code blocks first: a `# comment` inside a fence is not a
+    # heading and must not satisfy a fragment link.
+    content = FENCE.sub("", content)
+    anchors = {github_anchor(m.group(1)) for m in HEADING.finditer(content)}
+    _ANCHOR_CACHE[path] = anchors
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    # Strip fenced code blocks first (as anchors_of does): bracket-paren
+    # syntax inside a snippet is code, not a markdown link.
+    content = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(content):
+        target = match.group(1)
+        if SCHEME.match(target):
+            continue  # external
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_of(path):
+                errors.append(f"{path}: broken fragment `{target}`")
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link `{target}` -> {resolved}")
+            continue
+        if fragment and resolved.suffix.lower() == ".md":
+            if github_anchor(fragment) not in anchors_of(resolved):
+                errors.append(
+                    f"{path}: `{raw}` exists but fragment `#{fragment}` "
+                    f"matches no heading"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    if errors:
+        print("broken markdown links:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"OK: all relative links in {len(argv)} file(s) resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

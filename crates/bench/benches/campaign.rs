@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use peachstar::campaign::{Campaign, CampaignConfig, ShardConfig, ShardedCampaign};
+use peachstar::campaign::{Campaign, CampaignConfig, SessionConfig, ShardConfig, ShardedCampaign};
 use peachstar::strategy::StrategyKind;
 use peachstar_protocols::TargetId;
 
@@ -84,5 +84,41 @@ fn bench_campaign_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign, bench_campaign_sharded);
+/// Session-campaign throughput: the same 2 000-execution budget reshaped
+/// into 10-packet sessions (STARTDT + 8 mutated ASDUs + STOPDT) with
+/// session-scoped resets. Prices the session machinery — the schedule
+/// wrapper, the template replay and the per-session reset cadence — against
+/// the single-packet entries above.
+fn bench_campaign_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        let name = format!(
+            "iec104_{}_sessions_2k_execs",
+            match strategy {
+                StrategyKind::Peach => "peach",
+                StrategyKind::PeachStar => "peachstar",
+            }
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = CampaignConfig::new(strategy)
+                    .executions(EXECUTIONS)
+                    .rng_seed(7)
+                    .sample_interval(500)
+                    .sessions(SessionConfig::default());
+                let report = Campaign::new(TargetId::Iec104.create(), config).run();
+                report.final_paths()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign,
+    bench_campaign_sharded,
+    bench_campaign_sessions
+);
 criterion_main!(benches);

@@ -24,7 +24,10 @@ use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use peachstar::campaign::{Campaign, CampaignConfig, CampaignReport, ShardConfig, ShardedCampaign};
+use peachstar::campaign::{
+    Campaign, CampaignConfig, CampaignReport, PhaseMask, SessionConfig, ShardConfig,
+    ShardedCampaign,
+};
 use peachstar::stats::CoverageSeries;
 use peachstar::strategy::StrategyKind;
 use peachstar_protocols::TargetId;
@@ -91,6 +94,14 @@ pub struct CliOptions {
     /// Worker threads *inside* each campaign (1 = the classic sequential
     /// loop; >= 2 = the sharded engine with that many workers).
     pub shards: usize,
+    /// Run stateful session campaigns (handshake → mutated payload →
+    /// teardown, with session-scoped resets) instead of the single-packet
+    /// stream. Requires session-capable targets.
+    pub sessions: bool,
+    /// Mutated payload packets per session (with `--sessions`).
+    pub session_payload: u64,
+    /// Which session phases are mutated (with `--sessions`).
+    pub mutate: PhaseMask,
 }
 
 impl Default for CliOptions {
@@ -107,6 +118,9 @@ impl Default for CliOptions {
             json: false,
             no_baseline: false,
             shards: 1,
+            sessions: false,
+            session_payload: SessionConfig::DEFAULT_PAYLOAD_PACKETS,
+            mutate: PhaseMask::default(),
         }
     }
 }
@@ -149,6 +163,19 @@ OPTIONS:
                              classic sequential loop, >= 2 runs the sharded
                              engine (reset-aligned windows executed in
                              parallel, merged deterministically) [default: 1]
+    --sessions               Stateful session fuzzing: every session replays
+                             the target's handshake (e.g. STARTDT act), runs
+                             mutated payload packets against the opened
+                             session state, then tears down (STOPDT act).
+                             The target resets at session boundaries instead
+                             of the fixed interval. Requires session-capable
+                             targets (iec104, lib60870, iec61850, iccp).
+    --session-payload <N>    Mutated payload packets per session [default: 8]
+    --mutate-phase <PHASE>   Which session phase is mutated: handshake |
+                             payload | teardown. Repeatable; unmutated
+                             handshake/teardown phases replay the template
+                             verbatim, an unmutated payload phase sends
+                             model-default packets. [default: payload]
     --csv                    Also print the merged coverage series as CSV
     --json                   Print the report as machine-readable JSON
                              instead of the table
@@ -169,6 +196,8 @@ EXAMPLES:
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut options = CliOptions::default();
     let mut targets: Vec<TargetId> = Vec::new();
+    let mut mutate: Option<PhaseMask> = None;
+    let mut session_payload: Option<u64> = None;
     let mut iter = args.iter();
 
     fn value<'a>(
@@ -234,6 +263,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
                 options.shards = usize::try_from(shards).unwrap_or(1);
             }
+            "--sessions" => options.sessions = true,
+            "--session-payload" => {
+                let payload =
+                    number("--session-payload", value("--session-payload", &mut iter)?)?;
+                if payload == 0 {
+                    return Err("--session-payload must be at least 1".into());
+                }
+                session_payload = Some(payload);
+            }
+            "--mutate-phase" => {
+                let raw = value("--mutate-phase", &mut iter)?;
+                let set = PhaseMask::parse_phase(raw).ok_or_else(|| {
+                    format!("--mutate-phase: `{raw}` is not one of handshake|payload|teardown")
+                })?;
+                let mask = mutate.get_or_insert(PhaseMask {
+                    handshake: false,
+                    payload: false,
+                    teardown: false,
+                });
+                set(mask);
+            }
             "--csv" => options.csv = true,
             "--json" => options.json = true,
             "--no-baseline" => options.no_baseline = true,
@@ -241,9 +291,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
     }
 
+    if let Some(mask) = mutate {
+        if !options.sessions {
+            return Err("--mutate-phase requires --sessions".into());
+        }
+        options.mutate = mask;
+    }
+    if let Some(payload) = session_payload {
+        if !options.sessions {
+            return Err("--session-payload requires --sessions".into());
+        }
+        options.session_payload = payload;
+    }
     if !targets.is_empty() {
         targets.dedup();
         options.targets = targets;
+    }
+    if options.sessions {
+        let session_capable = |id: &TargetId| id.create().session_template().is_some();
+        let sessionless: Vec<&str> = options
+            .targets
+            .iter()
+            .filter(|id| !session_capable(id))
+            .map(|id| id.project_name())
+            .collect();
+        if !sessionless.is_empty() {
+            let capable: Vec<&str> = TargetId::ALL
+                .iter()
+                .filter(|id| session_capable(id))
+                .map(|id| id.project_name())
+                .collect();
+            return Err(format!(
+                "--sessions: target(s) without a session handshake: {} \
+                 (session-capable: {})",
+                sessionless.join(", "),
+                capable.join(", ")
+            ));
+        }
     }
     Ok(Command::Run(options))
 }
@@ -391,10 +475,15 @@ pub fn run(options: &CliOptions) -> RunOutcome {
                 let Some(item) = queue.lock().expect("queue lock").pop_front() else {
                     return;
                 };
-                let config = CampaignConfig::new(item.strategy)
+                let mut config = CampaignConfig::new(item.strategy)
                     .executions(options.executions)
                     .rng_seed(item.seed)
                     .sample_interval(sample_interval);
+                if options.sessions {
+                    config = config.sessions(
+                        SessionConfig::new(options.session_payload).mutate(options.mutate),
+                    );
+                }
                 let report = if options.shards >= 2 {
                     ShardedCampaign::new(
                         item.target.create(),
@@ -443,6 +532,23 @@ pub fn run(options: &CliOptions) -> RunOutcome {
     }
 }
 
+/// The mutated phases of a mask as a human-readable list.
+fn mutated_phases(mask: PhaseMask) -> String {
+    let phases: Vec<&str> = [
+        (mask.handshake, "handshake"),
+        (mask.payload, "payload"),
+        (mask.teardown, "teardown"),
+    ]
+    .into_iter()
+    .filter_map(|(on, name)| on.then_some(name))
+    .collect();
+    if phases.is_empty() {
+        "nothing".to_string()
+    } else {
+        phases.join("+")
+    }
+}
+
 const fn strategy_order(strategy: StrategyKind) -> u8 {
     match strategy {
         StrategyKind::Peach => 0,
@@ -456,12 +562,21 @@ pub fn render_report(outcome: &RunOutcome) -> String {
     let options = &outcome.options;
     let mut out = String::new();
     out.push_str(&format!(
-        "peachstar campaign run: {} executions x {} repetition(s), base seed {}{}\n",
+        "peachstar campaign run: {} executions x {} repetition(s), base seed {}{}{}\n",
         options.executions,
         options.repetitions,
         options.seed,
         if options.shards >= 2 {
             format!(", {} shard workers", options.shards)
+        } else {
+            String::new()
+        },
+        if options.sessions {
+            format!(
+                ", sessions (handshake + {} payload + teardown, mutating {})",
+                options.session_payload,
+                mutated_phases(options.mutate)
+            )
         } else {
             String::new()
         }
@@ -622,9 +737,16 @@ pub fn render_json(outcome: &RunOutcome) -> String {
     let options = &outcome.options;
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"executions\": {},\n  \"repetitions\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"wall_seconds\": {:.3},\n",
-        options.executions, options.repetitions, options.seed, options.shards, outcome.wall_seconds
+        "  \"executions\": {},\n  \"repetitions\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"sessions\": {},\n  \"wall_seconds\": {:.3},\n",
+        options.executions, options.repetitions, options.seed, options.shards, options.sessions, outcome.wall_seconds
     ));
+    if options.sessions {
+        out.push_str(&format!(
+            "  \"session_payload\": {},\n  \"mutate_phases\": \"{}\",\n",
+            options.session_payload,
+            json_escape(&mutated_phases(options.mutate))
+        ));
+    }
     out.push_str("  \"campaigns\": [\n");
     for (index, merged) in outcome.campaigns.iter().enumerate() {
         let last = merged.merged_series.points().last();
@@ -776,6 +898,79 @@ mod tests {
         assert!(parse_args(&args(&["--shards", "0"])).is_err());
         assert!(parse_args(&args(&["--shards"])).is_err());
         assert!(parse_args(&args(&["--shards", "two"])).is_err());
+    }
+
+    #[test]
+    fn parses_session_flags() {
+        let Command::Run(options) = parse_args(&args(&[
+            "--target",
+            "iec104",
+            "--sessions",
+            "--session-payload",
+            "5",
+            "--mutate-phase",
+            "handshake",
+            "--mutate-phase",
+            "payload",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert!(options.sessions);
+        assert_eq!(options.session_payload, 5);
+        assert!(options.mutate.handshake);
+        assert!(options.mutate.payload);
+        assert!(!options.mutate.teardown);
+
+        // Defaults: payload-only mutation, 8 payload packets.
+        let Command::Run(options) =
+            parse_args(&args(&["--target", "lib60870", "--sessions"])).unwrap()
+        else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.mutate, PhaseMask::default());
+        assert_eq!(options.session_payload, 8);
+    }
+
+    #[test]
+    fn session_flags_are_validated() {
+        // Sessionless target (and the default modbus target) are rejected.
+        assert!(parse_args(&args(&["--target", "modbus", "--sessions"])).is_err());
+        assert!(parse_args(&args(&["--sessions"])).is_err());
+        assert!(parse_args(&args(&["--target", "all", "--sessions"])).is_err());
+        // Session-only flags without --sessions, bad phase names, bad counts.
+        assert!(parse_args(&args(&["--mutate-phase", "payload"])).is_err());
+        assert!(parse_args(&args(&["--session-payload", "4"])).is_err());
+        assert!(parse_args(&args(&[
+            "--target", "iec104", "--sessions", "--mutate-phase", "preamble"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--target", "iec104", "--sessions", "--session-payload", "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn session_run_produces_a_report_and_json() {
+        let options = CliOptions {
+            targets: vec![TargetId::Iec104],
+            strategy: StrategyChoice::Peach,
+            executions: 600,
+            jobs: 1,
+            sessions: true,
+            session_payload: 4,
+            ..CliOptions::default()
+        };
+        let outcome = run(&options);
+        let merged = outcome.find(TargetId::Iec104, StrategyKind::Peach).unwrap();
+        assert!(merged.final_paths() > 0);
+        let report = render_report(&outcome);
+        assert!(report.contains("sessions (handshake + 4 payload + teardown, mutating payload)"));
+        let json = render_json(&outcome);
+        assert!(json.contains("\"sessions\": true"));
+        assert!(json.contains("\"session_payload\": 4"));
+        assert!(json.contains("\"mutate_phases\": \"payload\""));
     }
 
     #[test]

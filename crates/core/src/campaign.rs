@@ -16,13 +16,15 @@ use rand::SeedableRng;
 
 use peachstar_protocols::{Fault, Target};
 
+use crate::engine::session::session_setup;
 use crate::engine::{
-    CampaignMonitor, CoverageObserver, Engine, Executor, Feedback, NewCoverageFeedback, Schedule,
-    StrategySchedule, TargetExecutor,
+    CampaignMonitor, CoverageObserver, Engine, Executor, Feedback, NewCoverageFeedback,
+    ResetPolicy, Schedule, StrategySchedule, TargetExecutor,
 };
 use crate::stats::CoverageSeries;
 use crate::strategy::{GenerationStrategy, StrategyKind};
 
+pub use crate::engine::session::{PhaseMask, SessionConfig};
 pub use crate::engine::shard::{run_sharded, ShardConfig, ShardedCampaign};
 
 /// Configuration of one fuzzing campaign.
@@ -38,8 +40,16 @@ pub struct CampaignConfig {
     /// How often (in executions) a coverage sample is recorded.
     pub sample_interval: u64,
     /// Reset the target's session state every this many executions
-    /// (0 disables resets).
+    /// (0 disables resets). Ignored when [`session`](CampaignConfig::session)
+    /// campaigns are active on a session-capable target — those reset at
+    /// session boundaries instead.
     pub reset_interval: u64,
+    /// Run session campaigns (handshake → mutated payload → teardown with
+    /// session-scoped resets) instead of the single-packet stream. Only
+    /// takes effect on targets that advertise a
+    /// [`session_template`](peachstar_protocols::Target::session_template);
+    /// sessionless targets fall back to the classic campaign.
+    pub session: Option<SessionConfig>,
 }
 
 impl CampaignConfig {
@@ -54,6 +64,7 @@ impl CampaignConfig {
             rng_seed: 1,
             sample_interval: 250,
             reset_interval: 2_000,
+            session: None,
         }
     }
 
@@ -82,6 +93,13 @@ impl CampaignConfig {
     #[must_use]
     pub fn reset_interval(mut self, interval: u64) -> Self {
         self.reset_interval = interval;
+        self
+    }
+
+    /// Enables session campaigns with the given session shape.
+    #[must_use]
+    pub fn sessions(mut self, session: SessionConfig) -> Self {
+        self.session = Some(session);
         self
     }
 }
@@ -223,40 +241,79 @@ impl Campaign {
     }
 
     /// Runs the campaign to completion and returns the report.
+    ///
+    /// With [`CampaignConfig::session`] set and a session-capable target,
+    /// the packet stream is session-shaped (handshake → mutated payload →
+    /// teardown) and the target resets at session boundaries
+    /// ([`ResetPolicy::PerSession`]); otherwise the classic single-packet
+    /// stream with interval-scoped resets runs.
     #[must_use]
     pub fn run(self) -> CampaignReport {
         let started = Instant::now();
-        let mut rng = SmallRng::seed_from_u64(self.config.rng_seed);
-        let mut engine = Engine {
-            executor: TargetExecutor::new(self.target, self.config.reset_interval),
-            observer: CoverageObserver::new(),
-            feedback: NewCoverageFeedback::new(),
-            monitor: CampaignMonitor::new(self.config.executions, self.config.sample_interval),
-            schedule: StrategySchedule::new(self.strategy),
-        };
-        let models = engine.executor.data_models();
-        engine.run(self.config.executions, &models, &mut rng);
-
-        let target = engine.executor.target_name().to_string();
-        let (responses, protocol_errors, fault_hits) = (
-            engine.monitor.responses(),
-            engine.monitor.protocol_errors(),
-            engine.monitor.fault_hits(),
-        );
-        let (series, bugs) = engine.monitor.into_series_and_bugs();
-        CampaignReport {
+        let Self {
             target,
-            strategy: self.config.strategy,
-            executions: self.config.executions,
-            series,
-            bugs,
-            valuable_seeds: engine.feedback.retained(),
-            corpus_size: engine.schedule.corpus_size(),
-            responses,
-            protocol_errors,
-            fault_hits,
-            wall_time: started.elapsed(),
+            config,
+            strategy,
+        } = self;
+        let session = config
+            .session
+            .and_then(|opts| target.session_template().map(|template| (opts, template)));
+        match session {
+            Some((opts, template)) => {
+                let (policy, schedule) = session_setup(opts, template, strategy);
+                run_engine(target, policy, &config, schedule, started)
+            }
+            None => run_engine(
+                target,
+                ResetPolicy::Interval(config.reset_interval),
+                &config,
+                StrategySchedule::new(strategy),
+                started,
+            ),
         }
+    }
+}
+
+/// Drives the assembled engine over the full budget and folds the seams into
+/// a [`CampaignReport`]. Generic over the schedule so both the classic and
+/// the session-shaped campaign stay fully monomorphised.
+fn run_engine<S: Schedule>(
+    target: Box<dyn Target>,
+    policy: ResetPolicy,
+    config: &CampaignConfig,
+    schedule: S,
+    started: Instant,
+) -> CampaignReport {
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let mut engine = Engine {
+        executor: TargetExecutor::with_policy(target, policy),
+        observer: CoverageObserver::new(),
+        feedback: NewCoverageFeedback::new(),
+        monitor: CampaignMonitor::new(config.executions, config.sample_interval),
+        schedule,
+    };
+    let models = engine.executor.data_models();
+    engine.run(config.executions, &models, &mut rng);
+
+    let target = engine.executor.target_name().to_string();
+    let (responses, protocol_errors, fault_hits) = (
+        engine.monitor.responses(),
+        engine.monitor.protocol_errors(),
+        engine.monitor.fault_hits(),
+    );
+    let (series, bugs) = engine.monitor.into_series_and_bugs();
+    CampaignReport {
+        target,
+        strategy: config.strategy,
+        executions: config.executions,
+        series,
+        bugs,
+        valuable_seeds: engine.feedback.retained(),
+        corpus_size: engine.schedule.corpus_size(),
+        responses,
+        protocol_errors,
+        fault_hits,
+        wall_time: started.elapsed(),
     }
 }
 

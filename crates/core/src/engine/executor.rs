@@ -4,6 +4,56 @@ use peachstar_coverage::{TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
 use peachstar_protocols::{Outcome, Target};
 
+/// When the target's session state is wiped back to the just-started
+/// condition (in addition to the unconditional restart after a fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResetPolicy {
+    /// Reset before every execution that is a multiple of the interval
+    /// (0 disables periodic resets entirely) — the classic policy of the
+    /// paper's harness.
+    Interval(u64),
+    /// Reset at every *session* boundary: before executions `1`, `1 + len`,
+    /// `1 + 2·len`, … so that target state persists across all `len` packets
+    /// of a session (handshake, payload, teardown) and never leaks into the
+    /// next one. Used together with a session-aware
+    /// [`Schedule`](crate::engine::Schedule) whose sessions are `len`
+    /// packets long.
+    PerSession(u64),
+}
+
+impl ResetPolicy {
+    /// Whether the target resets before running execution number
+    /// `execution` (1-based).
+    #[must_use]
+    pub fn resets_before(self, execution: u64) -> bool {
+        match self {
+            ResetPolicy::Interval(0) => false,
+            ResetPolicy::Interval(interval) => execution.is_multiple_of(interval),
+            ResetPolicy::PerSession(length) => {
+                length > 0 && (execution - 1).is_multiple_of(length)
+            }
+        }
+    }
+
+    /// The 1-based execution numbers `1..=budget` this policy resets before
+    /// — exactly the window boundaries a sharded campaign must align to.
+    ///
+    /// Steps arithmetically (one item per boundary), so enumerating the
+    /// boundaries of a multi-million-execution campaign costs O(boundaries),
+    /// not O(budget).
+    pub fn boundaries(self, budget: u64) -> impl Iterator<Item = u64> {
+        // (first boundary, stride); `None` for policies that never reset.
+        let stride = match self {
+            ResetPolicy::Interval(0) | ResetPolicy::PerSession(0) => None,
+            ResetPolicy::Interval(interval) => Some((interval, interval)),
+            ResetPolicy::PerSession(length) => Some((1, length)),
+        };
+        stride.into_iter().flat_map(move |(first, step)| {
+            (first..=budget).step_by(usize::try_from(step).unwrap_or(usize::MAX))
+        })
+    }
+}
+
 /// Runs packets against a target and owns the *reset policy* — both the
 /// periodic session reset and the restart after a fault (the paper's harness
 /// restarts the crashed server).
@@ -11,6 +61,20 @@ use peachstar_protocols::{Outcome, Target};
 /// The campaign loop calls [`execute`](Executor::execute) once per execution
 /// and never touches the target directly, so alternative executors (batched,
 /// remote, forkserver-style) can slot in without changing the loop.
+///
+/// # Example
+///
+/// ```
+/// use peachstar::engine::{Executor, TargetExecutor};
+/// use peachstar_protocols::TargetId;
+///
+/// // Reset the Modbus target's session state every 100 executions.
+/// let mut executor = TargetExecutor::new(TargetId::Modbus.create(), 100);
+/// let request = [0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02];
+/// let (outcome, trace) = executor.execute(1, &request);
+/// assert!(outcome.response().is_some());
+/// assert!(trace.edges_hit() > 0, "every execution is instrumented");
+/// ```
 pub trait Executor {
     /// Short name of the target being executed.
     fn target_name(&self) -> &'static str;
@@ -27,22 +91,30 @@ pub trait Executor {
 
 /// The standard single-target executor: one [`Target`] instance, one reused
 /// [`TraceContext`] (reset clears only the slots the previous execution
-/// dirtied), periodic session resets every `reset_interval` executions.
+/// dirtied), and a [`ResetPolicy`] deciding when session state is wiped.
 pub struct TargetExecutor {
     target: Box<dyn Target>,
     ctx: TraceContext,
-    reset_interval: u64,
+    policy: ResetPolicy,
 }
 
 impl TargetExecutor {
     /// Wraps a target with the given periodic reset interval (0 disables
-    /// periodic resets; fault resets always happen).
+    /// periodic resets; fault resets always happen). Shorthand for
+    /// [`with_policy`](TargetExecutor::with_policy) with
+    /// [`ResetPolicy::Interval`].
     #[must_use]
     pub fn new(target: Box<dyn Target>, reset_interval: u64) -> Self {
+        Self::with_policy(target, ResetPolicy::Interval(reset_interval))
+    }
+
+    /// Wraps a target with an explicit reset policy.
+    #[must_use]
+    pub fn with_policy(target: Box<dyn Target>, policy: ResetPolicy) -> Self {
         Self {
             target,
             ctx: TraceContext::new(),
-            reset_interval,
+            policy,
         }
     }
 
@@ -51,13 +123,19 @@ impl TargetExecutor {
     pub fn target(&self) -> &dyn Target {
         self.target.as_ref()
     }
+
+    /// The reset policy in force.
+    #[must_use]
+    pub fn policy(&self) -> ResetPolicy {
+        self.policy
+    }
 }
 
 impl std::fmt::Debug for TargetExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TargetExecutor")
             .field("target", &self.target.name())
-            .field("reset_interval", &self.reset_interval)
+            .field("policy", &self.policy)
             .finish()
     }
 }
@@ -72,7 +150,7 @@ impl Executor for TargetExecutor {
     }
 
     fn execute(&mut self, execution: u64, packet: &[u8]) -> (Outcome, &TraceMap) {
-        if self.reset_interval > 0 && execution.is_multiple_of(self.reset_interval) {
+        if self.policy.resets_before(execution) {
             self.target.reset();
         }
         self.ctx.reset();
@@ -90,6 +168,42 @@ impl Executor for TargetExecutor {
 mod tests {
     use super::*;
     use peachstar_protocols::TargetId;
+
+    #[test]
+    fn interval_policy_matches_the_historic_reset_cadence() {
+        let policy = ResetPolicy::Interval(250);
+        let resets: Vec<u64> = policy.boundaries(1_000).collect();
+        assert_eq!(resets, vec![250, 500, 750, 1_000]);
+        assert!(ResetPolicy::Interval(0).boundaries(100).next().is_none());
+    }
+
+    #[test]
+    fn per_session_policy_resets_at_session_starts() {
+        let policy = ResetPolicy::PerSession(10);
+        let resets: Vec<u64> = policy.boundaries(35).collect();
+        assert_eq!(resets, vec![1, 11, 21, 31], "executions 1 + k·len");
+        assert!(!policy.resets_before(10), "never inside a session");
+        assert!(ResetPolicy::PerSession(0).boundaries(100).next().is_none());
+    }
+
+    #[test]
+    fn boundaries_agree_with_resets_before() {
+        // The arithmetic stepping must enumerate exactly the executions the
+        // per-execution predicate accepts.
+        for policy in [
+            ResetPolicy::Interval(0),
+            ResetPolicy::Interval(1),
+            ResetPolicy::Interval(7),
+            ResetPolicy::PerSession(0),
+            ResetPolicy::PerSession(1),
+            ResetPolicy::PerSession(10),
+        ] {
+            let stepped: Vec<u64> = policy.boundaries(100).collect();
+            let filtered: Vec<u64> =
+                (1..=100).filter(|&execution| policy.resets_before(execution)).collect();
+            assert_eq!(stepped, filtered, "{policy:?}");
+        }
+    }
 
     #[test]
     fn executor_exposes_target_metadata() {

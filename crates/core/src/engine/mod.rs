@@ -21,7 +21,9 @@
 //! monolithic loop used, so a campaign driven through the engine is
 //! bit-identical to the pre-refactor implementation (`tests/pinned_report.rs`
 //! holds the proof). [`shard`] builds the sharded campaign mode on the same
-//! seams.
+//! seams, and [`session`] builds stateful session fuzzing (handshake →
+//! mutated payload → teardown, with session-scoped resets) on the
+//! [`Schedule`] and [`Executor`] seams.
 //!
 //! [`TraceContext`]: peachstar_coverage::TraceContext
 
@@ -29,12 +31,14 @@ pub mod executor;
 pub mod monitor;
 pub mod observer;
 pub mod schedule;
+pub mod session;
 pub mod shard;
 
-pub use executor::{Executor, TargetExecutor};
+pub use executor::{Executor, ResetPolicy, TargetExecutor};
 pub use monitor::{CampaignMonitor, Monitor, OutcomeSummary};
 pub use observer::{CoverageObserver, Feedback, NewCoverageFeedback, Observer};
 pub use schedule::{FeedbackEvent, Schedule, StrategySchedule};
+pub use session::{PhaseMask, SessionConfig, SessionPlan, SessionSchedule};
 pub use shard::{run_sharded, ShardConfig, ShardedCampaign};
 
 use peachstar_datamodel::DataModelSet;

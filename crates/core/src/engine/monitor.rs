@@ -37,6 +37,21 @@ impl From<&Outcome> for OutcomeSummary {
 ///
 /// The monitor never influences the fuzzing loop — removing it must not
 /// change which packets run or which seeds are retained.
+///
+/// # Example
+///
+/// ```
+/// use peachstar::engine::{CampaignMonitor, Monitor, OutcomeSummary};
+/// use peachstar::seed::Seed;
+///
+/// // A 100-execution campaign sampled every 50 executions.
+/// let mut monitor = CampaignMonitor::new(100, 50);
+/// let packet = Seed::new(vec![0x68, 0x04], "startdt", false);
+/// monitor.record(1, &packet, OutcomeSummary::Response);
+/// monitor.sample(50, 12, 30);
+/// assert_eq!(monitor.responses(), 1);
+/// assert_eq!(monitor.series().final_paths(), 12);
+/// ```
 pub trait Monitor {
     /// Records one execution's outcome (called once per execution, in
     /// execution order).

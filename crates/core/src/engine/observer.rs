@@ -13,6 +13,21 @@ use crate::strategy::GeneratedPacket;
 /// sequential loop); buffered [`SparseTrace`] snapshots arrive through
 /// [`merge_sparse`](Observer::merge_sparse) (the sharded merge barrier).
 /// Both must report identical [`MergeOutcome`]s for the same execution.
+///
+/// # Example
+///
+/// ```
+/// use peachstar::engine::{CoverageObserver, Observer};
+/// use peachstar_coverage::{EdgeId, TraceContext};
+///
+/// let mut observer = CoverageObserver::new();
+/// let mut ctx = TraceContext::new();
+/// ctx.edge(EdgeId::new(7));
+/// let merge = observer.merge(ctx.trace());
+/// assert!(merge.is_interesting(), "first trace always adds coverage");
+/// assert_eq!(observer.paths_covered(), 1);
+/// assert_eq!(observer.edges_covered(), 1);
+/// ```
 pub trait Observer {
     /// Merges one execution's live trace.
     fn merge(&mut self, trace: &TraceMap) -> MergeOutcome;
@@ -72,6 +87,24 @@ impl Observer for CoverageObserver {
 /// [`is_interesting`](Feedback::is_interesting) for the verdict (which also
 /// feeds the [`Schedule`](crate::engine::Schedule)) and then hands the packet
 /// over via [`retain`](Feedback::retain).
+///
+/// # Example
+///
+/// ```
+/// use peachstar::engine::{CoverageObserver, Feedback, NewCoverageFeedback, Observer};
+/// use peachstar::seed::Seed;
+/// use peachstar_coverage::{EdgeId, TraceContext};
+///
+/// let mut observer = CoverageObserver::new();
+/// let mut feedback = NewCoverageFeedback::new();
+/// let mut ctx = TraceContext::new();
+/// ctx.edge(EdgeId::new(3));
+/// let merge = observer.merge(ctx.trace());
+/// if feedback.is_interesting(&merge) {
+///     feedback.retain(Seed::new(vec![0x42], "demo", false), &merge);
+/// }
+/// assert_eq!(feedback.retained(), 1);
+/// ```
 pub trait Feedback {
     /// Whether an execution with this merge outcome is a valuable seed.
     fn is_interesting(&self, merge: &MergeOutcome) -> bool;

@@ -29,6 +29,22 @@ pub struct FeedbackEvent<'a> {
 /// This is the engine-facing face of a generation strategy: the engine emits
 /// one [`FeedbackEvent`] per execution (in execution order), and asks for
 /// the next packet exactly once per execution.
+///
+/// # Example
+///
+/// ```
+/// use peachstar::engine::{Schedule, StrategySchedule};
+/// use peachstar::strategy::StrategyKind;
+/// use peachstar_datamodel::examples::toy_protocol;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut schedule = StrategySchedule::new(StrategyKind::PeachStar.create());
+/// let models = toy_protocol();
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let packet = schedule.next_packet(&models, &mut rng);
+/// assert!(!packet.bytes.is_empty());
+/// assert_eq!(schedule.name(), "Peach*");
+/// ```
 pub trait Schedule {
     /// Short display name of the underlying strategy.
     fn name(&self) -> &'static str;

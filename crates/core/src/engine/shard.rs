@@ -47,9 +47,10 @@ use peachstar_coverage::{SparseTrace, TraceContext};
 use peachstar_protocols::Target;
 
 use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::engine::session::session_setup;
 use crate::engine::{
     CampaignMonitor, CoverageObserver, Feedback, FeedbackEvent, Monitor, NewCoverageFeedback,
-    Observer, OutcomeSummary, Schedule, StrategySchedule,
+    Observer, OutcomeSummary, ResetPolicy, Schedule, StrategySchedule,
 };
 use crate::strategy::{GeneratedPacket, GenerationStrategy};
 
@@ -96,22 +97,19 @@ impl Default for ShardConfig {
 
 /// The reset-aligned execution windows of a campaign: `(start, end)` pairs,
 /// 1-based and inclusive, covering `1..=executions` without gaps. Every
-/// window after the first starts at a multiple of `reset_interval` — exactly
-/// the executions before which the sequential campaign resets its target.
-fn windows_for(executions: u64, reset_interval: u64) -> Vec<(u64, u64)> {
+/// window after the first starts at an execution the reset policy resets
+/// before — exactly where the sequential campaign wipes its target. For
+/// [`ResetPolicy::PerSession`] this makes every window one whole session
+/// (the last may be truncated by the budget), so a session never straddles
+/// a window boundary and therefore never straddles a merge barrier.
+fn windows_for_policy(executions: u64, policy: ResetPolicy) -> Vec<(u64, u64)> {
     if executions == 0 {
         return Vec::new();
     }
     let mut starts = vec![1u64];
-    if reset_interval > 0 {
-        let mut boundary = reset_interval;
-        while boundary <= executions {
-            starts.push(boundary);
-            boundary += reset_interval;
-        }
-    }
-    // A reset interval of 1 makes the first boundary coincide with the
-    // initial start.
+    starts.extend(policy.boundaries(executions));
+    // Interval(1) and PerSession(len) both reset before execution 1, making
+    // the first boundary coincide with the initial start.
     starts.dedup();
     starts
         .iter()
@@ -121,6 +119,12 @@ fn windows_for(executions: u64, reset_interval: u64) -> Vec<(u64, u64)> {
             (start, end)
         })
         .collect()
+}
+
+/// The classic interval-scoped windows.
+#[cfg(test)]
+fn windows_for(executions: u64, reset_interval: u64) -> Vec<(u64, u64)> {
+    windows_for_policy(executions, ResetPolicy::Interval(reset_interval))
 }
 
 /// One window's packets, headed to a worker.
@@ -233,97 +237,136 @@ impl ShardedCampaign {
     }
 
     /// Runs the campaign to completion and returns the merged report.
+    ///
+    /// As with the sequential [`Campaign`](crate::campaign::Campaign), a
+    /// [`CampaignConfig::session`] configuration on a session-capable target
+    /// switches to session-shaped windows: every window is one whole session
+    /// and the per-window worker reset *is* the session-scoped reset, so
+    /// sessions never straddle a reset or a merge barrier.
     #[must_use]
     pub fn run(self) -> CampaignReport {
         let started = Instant::now();
-        let target_name = self.target.name();
-        let models = self.target.data_models();
-        let mut rng = SmallRng::seed_from_u64(self.config.rng_seed);
-        let mut observer = CoverageObserver::new();
-        let mut feedback = NewCoverageFeedback::new();
-        let mut monitor =
-            CampaignMonitor::new(self.config.executions, self.config.sample_interval);
-        let mut schedule = StrategySchedule::new(self.strategy);
+        let Self {
+            target,
+            config,
+            shard,
+            strategy,
+        } = self;
+        let session = config
+            .session
+            .and_then(|opts| target.session_template().map(|template| (opts, template)));
+        match session {
+            Some((opts, template)) => {
+                let (policy, schedule) = session_setup(opts, template, strategy);
+                run_sharded_engine(target, &config, shard, policy, schedule, started)
+            }
+            None => run_sharded_engine(
+                target,
+                &config,
+                shard,
+                ResetPolicy::Interval(config.reset_interval),
+                StrategySchedule::new(strategy),
+                started,
+            ),
+        }
+    }
+}
 
-        let workers = self.shard.workers.max(1);
-        let mut worker_targets: Vec<Box<dyn Target + Send>> =
-            (0..workers).map(|_| self.target.clone_fresh()).collect();
+/// The generate → execute → reduce rounds of a sharded campaign, generic
+/// over the schedule so classic and session campaigns share one loop.
+fn run_sharded_engine<S: Schedule>(
+    target: Box<dyn Target>,
+    config: &CampaignConfig,
+    shard: ShardConfig,
+    policy: ResetPolicy,
+    mut schedule: S,
+    started: Instant,
+) -> CampaignReport {
+    let target_name = target.name();
+    let models = target.data_models();
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let mut observer = CoverageObserver::new();
+    let mut feedback = NewCoverageFeedback::new();
+    let mut monitor = CampaignMonitor::new(config.executions, config.sample_interval);
 
-        let windows = windows_for(self.config.executions, self.config.reset_interval);
-        for round in windows.chunks(self.shard.sync_windows.max(1)) {
-            // Phase 1 — generate: replay the strategy sequentially, in
-            // global execution order, exactly as the sequential loop would.
-            let work: VecDeque<WindowWork> = round
-                .iter()
-                .map(|&(start, end)| WindowWork {
-                    start,
-                    packets: (start..=end)
-                        .map(|_| schedule.next_packet(&models, &mut rng))
-                        .collect(),
-                })
-                .collect();
+    let workers = shard.workers.max(1);
+    let mut worker_targets: Vec<Box<dyn Target + Send>> =
+        (0..workers).map(|_| target.clone_fresh()).collect();
 
-            // Phase 2 — execute: workers drain the window queue in
-            // parallel. Which worker runs which window is scheduling noise;
-            // the buffered results are re-ordered below.
-            let queue = Mutex::new(work);
-            let done: Mutex<Vec<WindowResult>> = Mutex::new(Vec::with_capacity(round.len()));
-            let (queue_ref, done_ref) = (&queue, &done);
-            std::thread::scope(|scope| {
-                for target in &mut worker_targets {
-                    scope.spawn(move || shard_worker(target.as_mut(), queue_ref, done_ref));
+    let windows = windows_for_policy(config.executions, policy);
+    for round in windows.chunks(shard.sync_windows.max(1)) {
+        // Phase 1 — generate: replay the strategy sequentially, in
+        // global execution order, exactly as the sequential loop would.
+        let work: VecDeque<WindowWork> = round
+            .iter()
+            .map(|&(start, end)| WindowWork {
+                start,
+                packets: (start..=end)
+                    .map(|_| schedule.next_packet(&models, &mut rng))
+                    .collect(),
+            })
+            .collect();
+
+        // Phase 2 — execute: workers drain the window queue in
+        // parallel. Which worker runs which window is scheduling noise;
+        // the buffered results are re-ordered below.
+        let queue = Mutex::new(work);
+        let done: Mutex<Vec<WindowResult>> = Mutex::new(Vec::with_capacity(round.len()));
+        let (queue_ref, done_ref) = (&queue, &done);
+        std::thread::scope(|scope| {
+            for target in &mut worker_targets {
+                scope.spawn(move || shard_worker(target.as_mut(), queue_ref, done_ref));
+            }
+        });
+
+        // Phase 3 — reduce (the merge barrier): fold every window back
+        // in global execution order through the same seams the
+        // sequential engine uses.
+        let mut results = done.into_inner().expect("window results poisoned");
+        results.sort_by_key(|window| window.start);
+        for window in results {
+            for (offset, record) in window.records.into_iter().enumerate() {
+                let execution = window.start + offset as u64;
+                monitor.record(execution, &record.packet, record.outcome);
+                let merge = observer.merge_sparse(&record.trace);
+                let valuable = feedback.is_interesting(&merge);
+                schedule.feedback(&FeedbackEvent {
+                    execution,
+                    packet: &record.packet,
+                    valuable,
+                    merge: &merge,
+                    models: &models,
+                });
+                if valuable {
+                    feedback.retain(record.packet, &merge);
                 }
-            });
-
-            // Phase 3 — reduce (the merge barrier): fold every window back
-            // in global execution order through the same seams the
-            // sequential engine uses.
-            let mut results = done.into_inner().expect("window results poisoned");
-            results.sort_by_key(|window| window.start);
-            for window in results {
-                for (offset, record) in window.records.into_iter().enumerate() {
-                    let execution = window.start + offset as u64;
-                    monitor.record(execution, &record.packet, record.outcome);
-                    let merge = observer.merge_sparse(&record.trace);
-                    let valuable = feedback.is_interesting(&merge);
-                    schedule.feedback(&FeedbackEvent {
-                        execution,
-                        packet: &record.packet,
-                        valuable,
-                        merge: &merge,
-                        models: &models,
-                    });
-                    if valuable {
-                        feedback.retain(record.packet, &merge);
-                    }
-                    monitor.sample(
-                        execution,
-                        observer.paths_covered(),
-                        observer.edges_covered(),
-                    );
-                }
+                monitor.sample(
+                    execution,
+                    observer.paths_covered(),
+                    observer.edges_covered(),
+                );
             }
         }
+    }
 
-        let (responses, protocol_errors, fault_hits) = (
-            monitor.responses(),
-            monitor.protocol_errors(),
-            monitor.fault_hits(),
-        );
-        let (series, bugs) = monitor.into_series_and_bugs();
-        CampaignReport {
-            target: target_name.to_string(),
-            strategy: self.config.strategy,
-            executions: self.config.executions,
-            series,
-            bugs,
-            valuable_seeds: feedback.retained(),
-            corpus_size: schedule.corpus_size(),
-            responses,
-            protocol_errors,
-            fault_hits,
-            wall_time: started.elapsed(),
-        }
+    let (responses, protocol_errors, fault_hits) = (
+        monitor.responses(),
+        monitor.protocol_errors(),
+        monitor.fault_hits(),
+    );
+    let (series, bugs) = monitor.into_series_and_bugs();
+    CampaignReport {
+        target: target_name.to_string(),
+        strategy: config.strategy,
+        executions: config.executions,
+        series,
+        bugs,
+        valuable_seeds: feedback.retained(),
+        corpus_size: schedule.corpus_size(),
+        responses,
+        protocol_errors,
+        fault_hits,
+        wall_time: started.elapsed(),
     }
 }
 
@@ -362,6 +405,39 @@ mod tests {
             next = end + 1;
         }
         assert_eq!(next, 2_001);
+    }
+
+    #[test]
+    fn per_session_windows_are_whole_sessions() {
+        // 3 sessions of 10 packets + one truncated by the budget: every
+        // window is one session, so no session can straddle a window
+        // boundary — and merge barriers only ever fall between windows.
+        let windows = windows_for_policy(35, ResetPolicy::PerSession(10));
+        assert_eq!(windows, vec![(1, 10), (11, 20), (21, 30), (31, 35)]);
+        // Exact multiple: no truncated tail.
+        let windows = windows_for_policy(30, ResetPolicy::PerSession(10));
+        assert_eq!(windows, vec![(1, 10), (11, 20), (21, 30)]);
+        // Session longer than the budget: one (truncated) window.
+        assert_eq!(
+            windows_for_policy(5, ResetPolicy::PerSession(10)),
+            vec![(1, 5)]
+        );
+    }
+
+    #[test]
+    fn sharded_session_campaign_produces_a_complete_report() {
+        let config = CampaignConfig::new(StrategyKind::PeachStar)
+            .executions(1_000)
+            .rng_seed(3)
+            .sample_interval(100)
+            .sessions(crate::engine::SessionConfig::new(6));
+        let report = run_sharded(TargetId::Iec104.create(), config, 2);
+        assert_eq!(report.executions, 1_000);
+        assert_eq!(
+            report.responses + report.protocol_errors + report.fault_hits,
+            1_000
+        );
+        assert!(report.final_paths() > 0);
     }
 
     #[test]

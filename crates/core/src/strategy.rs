@@ -101,7 +101,10 @@ fn instantiate_randomly(
 /// Picks a random model from the set, or `None` when the set is empty (an
 /// empty [`DataModelSet`] must not panic; both strategies fall back to an
 /// empty-bytes seed).
-fn pick_model<'set>(models: &'set DataModelSet, rng: &mut SmallRng) -> Option<&'set DataModel> {
+pub(crate) fn pick_model<'set>(
+    models: &'set DataModelSet,
+    rng: &mut SmallRng,
+) -> Option<&'set DataModel> {
     if models.is_empty() {
         return None;
     }
@@ -111,7 +114,7 @@ fn pick_model<'set>(models: &'set DataModelSet, rng: &mut SmallRng) -> Option<&'
 
 /// The seed both strategies emit when asked to generate from an empty model
 /// set: zero bytes, clearly-labelled provenance, no panic.
-fn empty_set_seed() -> GeneratedPacket {
+pub(crate) fn empty_set_seed() -> GeneratedPacket {
     Seed::new(Vec::new(), "<empty-model-set>", false)
 }
 

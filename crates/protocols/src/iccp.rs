@@ -22,7 +22,7 @@ use peachstar_datamodel::{
 };
 
 use crate::common::{read_u16_be, PointDatabase};
-use crate::{Fault, FaultKind, Outcome, Target};
+use crate::{Fault, FaultKind, Outcome, SessionPacket, SessionTemplate, Target};
 
 /// ICCP message opcodes (simplified from the MMS service mapping the real
 /// library uses).
@@ -375,6 +375,28 @@ impl Target for IccpServer {
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {
         Box::new(Self::new())
+    }
+
+    fn session_template(&self) -> Option<SessionTemplate> {
+        // TASE.2 services answer "not associated" until the associate
+        // handshake succeeds, so a session is associate → mutated service
+        // requests → conclude. Body: version 0x0001, AP title "icc1".
+        Some(SessionTemplate::new(
+            vec![SessionPacket::new(
+                vec![
+                    0x54, 0x32, // magic "T2"
+                    0x01, // ASSOCIATE
+                    0x00, 0x07, // body length
+                    0x00, 0x01, // TASE.2 version 1
+                    0x04, b'i', b'c', b'c', b'1', // AP title
+                ],
+                "associate",
+            )],
+            vec![SessionPacket::new(
+                vec![0x54, 0x32, 0x02, 0x00, 0x00],
+                "conclude",
+            )],
+        ))
     }
 }
 

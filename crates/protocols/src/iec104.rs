@@ -15,7 +15,7 @@ use peachstar_datamodel::{
 };
 
 use crate::common::{read_u16_le, read_u24_le, PointDatabase};
-use crate::{Outcome, Target};
+use crate::{Outcome, SessionPacket, SessionTemplate, Target};
 
 /// ASDU type identifiers understood by the server.
 mod type_id {
@@ -360,6 +360,22 @@ impl Target for Iec104Server {
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {
         Box::new(Self::new())
+    }
+
+    fn session_template(&self) -> Option<SessionTemplate> {
+        // The 104 link layer only accepts I-frames between STARTDT act and
+        // STOPDT act (IEC 60870-5-104 §5.3), so a session brackets its
+        // mutated ASDUs with exactly that U-frame pair.
+        Some(SessionTemplate::new(
+            vec![SessionPacket::new(
+                vec![0x68, 0x04, 0x07, 0x00, 0x00, 0x00],
+                "STARTDT act",
+            )],
+            vec![SessionPacket::new(
+                vec![0x68, 0x04, 0x13, 0x00, 0x00, 0x00],
+                "STOPDT act",
+            )],
+        ))
     }
 }
 

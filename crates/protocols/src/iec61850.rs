@@ -15,7 +15,7 @@ use peachstar_datamodel::{
 };
 
 use crate::common::PointDatabase;
-use crate::{Outcome, Target};
+use crate::{Outcome, SessionPacket, SessionTemplate, Target};
 
 /// MMS PDU tags (simplified confirmed-request choice values).
 mod service {
@@ -345,6 +345,30 @@ impl Target for MmsServer {
 
     fn reset(&mut self) {
         *self = Self::new();
+    }
+
+    fn session_template(&self) -> Option<SessionTemplate> {
+        // MMS confirmed services are only served inside an association, so
+        // a session is initiate-Request → mutated requests → conclude-Request
+        // (TPKT + COTP data TPDU framing, as `process` expects).
+        Some(SessionTemplate::new(
+            vec![SessionPacket::new(
+                vec![
+                    0x03, 0x00, 0x00, 0x0d, // TPKT: version 3, length 13
+                    0x02, 0xf0, 0x80, // COTP data TPDU
+                    0xa8, 0x04, 0x80, 0x02, 0x00, 0x01, // initiate-RequestPDU
+                ],
+                "initiate-Request",
+            )],
+            vec![SessionPacket::new(
+                vec![
+                    0x03, 0x00, 0x00, 0x09, // TPKT: version 3, length 9
+                    0x02, 0xf0, 0x80, // COTP data TPDU
+                    0x8b, 0x00, // conclude-RequestPDU
+                ],
+                "conclude-Request",
+            )],
+        ))
     }
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {

@@ -148,6 +148,61 @@ impl Outcome {
     }
 }
 
+/// One fixed packet of a [`SessionTemplate`]: known-good wire bytes plus a
+/// display label naming the protocol step they perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionPacket {
+    /// The wire bytes of the packet, exactly as the target accepts them.
+    pub bytes: Vec<u8>,
+    /// Human-readable name of the step, e.g. `"STARTDT act"`.
+    pub label: &'static str,
+}
+
+impl SessionPacket {
+    /// Creates a template packet.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>, label: &'static str) -> Self {
+        Self { bytes, label }
+    }
+}
+
+/// The session lifecycle of a session-capable target: the handshake packets
+/// that unlock deep protocol state on a freshly reset target, and the
+/// teardown packets that close the session cleanly.
+///
+/// Stateful ICS endpoints gate most of their decoder behind a link/
+/// association handshake (IEC 104 STARTDT, MMS initiate, TASE.2 associate),
+/// so a fuzzer that sends one packet at a time against a fresh target never
+/// reaches the post-activation code. Session-aware campaigns
+/// (`SessionSchedule` in the `peachstar` core crate) replay these packets
+/// verbatim at the start and end of every fuzzing *session*, with the
+/// mutated payload packets in between.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTemplate {
+    /// Packets that open the session, in send order. Every packet must be
+    /// accepted by a freshly reset target (each elicits a `Response`).
+    pub handshake: Vec<SessionPacket>,
+    /// Packets that close the session, in send order.
+    pub teardown: Vec<SessionPacket>,
+}
+
+impl SessionTemplate {
+    /// Creates a template from handshake and teardown packet lists.
+    #[must_use]
+    pub fn new(handshake: Vec<SessionPacket>, teardown: Vec<SessionPacket>) -> Self {
+        Self {
+            handshake,
+            teardown,
+        }
+    }
+
+    /// Total number of fixed packets (handshake plus teardown).
+    #[must_use]
+    pub fn fixed_packets(&self) -> u64 {
+        (self.handshake.len() + self.teardown.len()) as u64
+    }
+}
+
 /// A fuzzing target: an instrumented protocol server the fuzzer feeds
 /// packets to.
 ///
@@ -177,6 +232,17 @@ pub trait Target {
     /// slice of a campaign on a fresh copy produces exactly the outcomes the
     /// sequential campaign would.
     fn clone_fresh(&self) -> Box<dyn Target + Send>;
+
+    /// The session lifecycle of this target, when it has one.
+    ///
+    /// Session-capable targets (protocols whose deep state hides behind a
+    /// handshake) advertise known-good handshake and teardown packets here;
+    /// session-aware campaigns replay them around every burst of mutated
+    /// payload packets. Sessionless targets (Modbus, DNP3 in this crate —
+    /// every request is self-contained) keep the default `None`.
+    fn session_template(&self) -> Option<SessionTemplate> {
+        None
+    }
 }
 
 /// Identifier of one of the six built-in targets.
@@ -331,6 +397,48 @@ mod tests {
             let clone_run = drive(clone.as_mut());
             assert_eq!(fresh_run, clone_run, "{id}: clone_fresh != fresh");
         }
+    }
+
+    #[test]
+    fn session_templates_open_deep_state_on_a_fresh_target() {
+        // The contract session campaigns rely on: every handshake packet of
+        // a session template is accepted (elicits a response) by a freshly
+        // reset target, in order, and so is every teardown packet afterwards.
+        let mut capable = 0;
+        for id in TargetId::ALL {
+            let mut target = id.create();
+            let Some(template) = target.session_template() else {
+                continue;
+            };
+            capable += 1;
+            assert!(
+                !template.handshake.is_empty(),
+                "{id}: a session template needs at least one handshake packet"
+            );
+            let mut ctx = TraceContext::new();
+            for packet in template.handshake.iter().chain(&template.teardown) {
+                let outcome = target.process(&packet.bytes, &mut ctx);
+                assert!(
+                    outcome.response().is_some(),
+                    "{id}: template packet `{}` rejected: {outcome:?}",
+                    packet.label
+                );
+            }
+            // The template must be stable: a reset target accepts it again.
+            target.reset();
+            let mut ctx = TraceContext::new();
+            for packet in &template.handshake {
+                assert!(
+                    target.process(&packet.bytes, &mut ctx).response().is_some(),
+                    "{id}: handshake `{}` rejected after reset",
+                    packet.label
+                );
+            }
+        }
+        assert_eq!(
+            capable, 4,
+            "iec104, lib60870, iec61850 and iccp advertise session templates"
+        );
     }
 
     #[test]

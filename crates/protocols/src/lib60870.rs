@@ -21,7 +21,7 @@ use peachstar_datamodel::{
 };
 
 use crate::common::{read_u16_le, read_u24_le, PointDatabase};
-use crate::{Fault, FaultKind, Outcome, Target};
+use crate::{Fault, FaultKind, Outcome, SessionPacket, SessionTemplate, Target};
 
 /// ASDU type identifiers relevant to this target.
 mod type_id {
@@ -383,6 +383,22 @@ impl Target for Lib60870Server {
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {
         Box::new(Self::new())
+    }
+
+    fn session_template(&self) -> Option<SessionTemplate> {
+        // Same CS 104 link layer as the IEC104 target: I-frames (and with
+        // them every planted ASDU bug) are reachable only between STARTDT
+        // act and STOPDT act.
+        Some(SessionTemplate::new(
+            vec![SessionPacket::new(
+                vec![0x68, 0x04, 0x07, 0x00, 0x00, 0x00],
+                "STARTDT act",
+            )],
+            vec![SessionPacket::new(
+                vec![0x68, 0x04, 0x13, 0x00, 0x00, 0x00],
+                "STOPDT act",
+            )],
+        ))
     }
 }
 

@@ -16,7 +16,7 @@
 //! at the merge barrier rather than per execution), which is why guarantee 1
 //! is asserted for it separately.
 
-use peachstar::campaign::{Campaign, CampaignConfig, ShardConfig, ShardedCampaign};
+use peachstar::campaign::{Campaign, CampaignConfig, SessionConfig, ShardConfig, ShardedCampaign};
 use peachstar::strategy::StrategyKind;
 use peachstar::CampaignReport;
 use peachstar_protocols::TargetId;
@@ -104,6 +104,64 @@ fn sharded_peach_baseline_equals_sequential_campaign() {
             assert_eq!(
                 sequential, parallel,
                 "Peach on {target} seed {seed}: sharded ({workers}w) != sequential"
+            );
+        }
+    }
+}
+
+/// Session-shaped config: sessions of 1 handshake + 6 payload + 1 teardown
+/// packets, so windows are 8-execution sessions.
+fn session_config(strategy: StrategyKind, seed: u64) -> CampaignConfig {
+    CampaignConfig::new(strategy)
+        .executions(2_000)
+        .rng_seed(seed)
+        .sample_interval(200)
+        .sessions(SessionConfig::new(6))
+}
+
+#[test]
+fn worker_count_never_changes_a_session_campaign_report() {
+    // Same guarantee as the classic campaign, property-style over seeds ×
+    // session-capable targets × strategies: windows are whole sessions and
+    // results merge in global execution order, so the worker count cannot
+    // leak into the report.
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        for (target, seed) in [
+            (TargetId::Iec104, 3),
+            (TargetId::Lib60870, 7),
+            (TargetId::Iec61850, 21),
+            (TargetId::Iccp, 77),
+        ] {
+            let one = sharded(target, session_config(strategy, seed), 1);
+            for workers in [2, 4] {
+                let many = sharded(target, session_config(strategy, seed), workers);
+                assert_eq!(
+                    one, many,
+                    "{strategy} sessions on {target} seed {seed}: {workers} workers diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_session_peach_baseline_equals_sequential_campaign() {
+    // The feedback-free baseline's session stream depends only on the RNG
+    // and the session plan; every sharded window replays one whole session
+    // from the just-reset target state — exactly what the sequential
+    // per-session reset policy produces.
+    for (target, seed) in [
+        (TargetId::Iec104, 1),
+        (TargetId::Lib60870, 5),
+        (TargetId::Iccp, 42),
+    ] {
+        let cfg = session_config(StrategyKind::Peach, seed);
+        let sequential = deterministic(&Campaign::new(target.create(), cfg).run());
+        for workers in [1, 4] {
+            let parallel = sharded(target, cfg, workers);
+            assert_eq!(
+                sequential, parallel,
+                "Peach sessions on {target} seed {seed}: sharded ({workers}w) != sequential"
             );
         }
     }
