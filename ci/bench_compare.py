@@ -3,7 +3,8 @@
 
 Usage:
     bench_compare.py BASELINE.json FRESH.json [FRESH2.json ...]
-                     [--threshold 0.25] [--groups campaign,coverage_map]
+                     [--threshold 0.25]
+                     [--groups campaign,coverage_map,generation,targets]
 
 All files are flat ``{"group/bench": median_ns}`` objects as written by the
 vendored criterion harness. When several fresh files are given (repeated
@@ -14,7 +15,9 @@ baseline and the fresh results, the relative regression
 ``fresh / baseline - 1`` is computed; the script exits non-zero when any
 regression exceeds the threshold, or when a gated baseline bench
 disappeared from the fresh results. Benches new in the fresh results are
-reported but never fail the check (they have no baseline yet).
+reported but never fail the check (they have no baseline yet). On failure,
+the stderr summary lists the per-bench deltas of every offender, and the
+stdout table has already printed the delta of every gated bench.
 
 Medians are wall-clock and therefore machine-dependent: the committed
 baseline is meaningful on hardware comparable to the machine that produced
@@ -58,8 +61,11 @@ def main():
     )
     parser.add_argument(
         "--groups",
-        default="campaign,coverage_map",
-        help="comma-separated bench groups to gate (default: campaign,coverage_map)",
+        default="campaign,coverage_map,generation,targets",
+        help=(
+            "comma-separated bench groups to gate "
+            "(default: campaign,coverage_map,generation,targets)"
+        ),
     )
     args = parser.parse_args()
 

@@ -84,6 +84,41 @@ fn bench_campaign_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched end-to-end throughput: the same campaigns as [`bench_campaign`]
+/// — identical config, identical reports for Peach — driven through
+/// `Engine::run_batched` with 250-packet windows. The delta against the
+/// unsuffixed entries is the pure dispatch amortisation: pooled packet
+/// arena instead of a fresh seed per execution, one (devirtualised)
+/// target call per window instead of per packet, and no per-execution
+/// reset-policy checks.
+fn bench_campaign_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    for (target, label) in [(TargetId::Modbus, "modbus"), (TargetId::Iec104, "iec104")] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let name = format!(
+                "{label}_{}_batched_2k_execs",
+                match strategy {
+                    StrategyKind::Peach => "peach",
+                    StrategyKind::PeachStar => "peachstar",
+                }
+            );
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let config = CampaignConfig::new(strategy)
+                        .executions(EXECUTIONS)
+                        .rng_seed(7)
+                        .sample_interval(500)
+                        .batch(250);
+                    let report = Campaign::new(target.create(), config).run();
+                    report.final_paths()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Session-campaign throughput: the same 2 000-execution budget reshaped
 /// into 10-packet sessions (STARTDT + 8 mutated ASDUs + STOPDT) with
 /// session-scoped resets. Prices the session machinery — the schedule
@@ -118,6 +153,7 @@ fn bench_campaign_sessions(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_campaign,
+    bench_campaign_batched,
     bench_campaign_sharded,
     bench_campaign_sessions
 );

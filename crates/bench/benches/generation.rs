@@ -36,7 +36,9 @@ fn bench_generation(c: &mut Criterion) {
                 for _ in 0..100 {
                     bytes += strategy.next_packet(&models, &mut rng).len();
                 }
-                bytes
+                // Returning the strategy keeps its teardown (scratch
+                // buffers) out of the timed region.
+                (bytes, strategy)
             },
             BatchSize::SmallInput,
         );
@@ -75,7 +77,12 @@ fn bench_generation(c: &mut Criterion) {
                     for _ in 0..100 {
                         bytes += strategy.next_packet(&models, &mut rng).len();
                     }
-                    bytes
+                    // Returning the strategy keeps the teardown of its
+                    // corpus and remaining queue out of the timed region —
+                    // dropping a primed strategy costs several times the
+                    // 100 queue pops being measured and made these medians
+                    // bimodal.
+                    (bytes, strategy)
                 },
                 BatchSize::SmallInput,
             );

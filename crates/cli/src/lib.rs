@@ -94,6 +94,11 @@ pub struct CliOptions {
     /// Worker threads *inside* each campaign (1 = the classic sequential
     /// loop; >= 2 = the sharded engine with that many workers).
     pub shards: usize,
+    /// Batched window execution: at most this many packets per executor
+    /// dispatch (`None` = the classic per-execution loop). Composes with
+    /// `--shards` (caps the per-worker dispatch chunk) and `--sessions`
+    /// (windows are whole sessions).
+    pub batch: Option<u64>,
     /// Run stateful session campaigns (handshake → mutated payload →
     /// teardown, with session-scoped resets) instead of the single-packet
     /// stream. Requires session-capable targets.
@@ -118,6 +123,7 @@ impl Default for CliOptions {
             json: false,
             no_baseline: false,
             shards: 1,
+            batch: None,
             sessions: false,
             session_payload: SessionConfig::DEFAULT_PAYLOAD_PACKETS,
             mutate: PhaseMask::default(),
@@ -163,6 +169,14 @@ OPTIONS:
                              classic sequential loop, >= 2 runs the sharded
                              engine (reset-aligned windows executed in
                              parallel, merged deterministically) [default: 1]
+    --batch <N>              Batched window execution: generate up to N
+                             packets, execute them in one target call, then
+                             reduce — amortising per-packet dispatch on one
+                             core. Peach reports are bit-identical to the
+                             per-execution loop; Peach* digests feedback at
+                             batch ends (deterministic, barrier-fed like
+                             --shards). With --shards, caps the per-worker
+                             dispatch chunk instead (never changes results).
     --sessions               Stateful session fuzzing: every session replays
                              the target's handshake (e.g. STARTDT act), runs
                              mutated payload packets against the opened
@@ -262,6 +276,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     return Err("--shards must be at least 1".into());
                 }
                 options.shards = usize::try_from(shards).unwrap_or(1);
+            }
+            "--batch" => {
+                let batch = number("--batch", value("--batch", &mut iter)?)?;
+                if batch == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+                options.batch = Some(batch);
             }
             "--sessions" => options.sessions = true,
             "--session-payload" => {
@@ -484,6 +505,9 @@ pub fn run(options: &CliOptions) -> RunOutcome {
                         SessionConfig::new(options.session_payload).mutate(options.mutate),
                     );
                 }
+                if let Some(batch) = options.batch {
+                    config = config.batch(batch);
+                }
                 let report = if options.shards >= 2 {
                     ShardedCampaign::new(
                         item.target.create(),
@@ -562,12 +586,17 @@ pub fn render_report(outcome: &RunOutcome) -> String {
     let options = &outcome.options;
     let mut out = String::new();
     out.push_str(&format!(
-        "peachstar campaign run: {} executions x {} repetition(s), base seed {}{}{}\n",
+        "peachstar campaign run: {} executions x {} repetition(s), base seed {}{}{}{}\n",
         options.executions,
         options.repetitions,
         options.seed,
         if options.shards >= 2 {
             format!(", {} shard workers", options.shards)
+        } else {
+            String::new()
+        },
+        if let Some(batch) = options.batch {
+            format!(", batched windows of {batch}")
         } else {
             String::new()
         },
@@ -747,6 +776,9 @@ pub fn render_json(outcome: &RunOutcome) -> String {
             json_escape(&mutated_phases(options.mutate))
         ));
     }
+    if let Some(batch) = options.batch {
+        out.push_str(&format!("  \"batch\": {batch},\n"));
+    }
     out.push_str("  \"campaigns\": [\n");
     for (index, merged) in outcome.campaigns.iter().enumerate() {
         let last = merged.merged_series.points().last();
@@ -797,6 +829,22 @@ pub fn render_json(outcome: &RunOutcome) -> String {
     out
 }
 
+/// The single-core honesty check for `--shards`: oversubscribed workers
+/// time-slice the same cores, so the sharded campaign usually runs *slower*
+/// than the sequential loop while producing the same report. Returns the
+/// warning text when `shards` exceeds `available` hardware parallelism.
+#[must_use]
+pub fn shard_parallelism_warning(shards: usize, available: usize) -> Option<String> {
+    (shards >= 2 && shards > available).then(|| {
+        format!(
+            "--shards {shards} exceeds the available parallelism ({available}): \
+             workers will time-slice the same core(s), which usually runs slower \
+             than the sequential loop. On a single core prefer --batch N, which \
+             amortises per-packet dispatch without threads."
+        )
+    })
+}
+
 /// Entry point used by the binary: parse, run, print, exit code.
 pub fn run_main(args: &[String]) -> ExitCode {
     match parse_args(args) {
@@ -815,6 +863,10 @@ pub fn run_main(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Run(options)) => {
+            let available = std::thread::available_parallelism().map_or(1, usize::from);
+            if let Some(warning) = shard_parallelism_warning(options.shards, available) {
+                eprintln!("warning: {warning}");
+            }
             let outcome = run(&options);
             if options.json {
                 print!("{}", render_json(&outcome));
@@ -898,6 +950,88 @@ mod tests {
         assert!(parse_args(&args(&["--shards", "0"])).is_err());
         assert!(parse_args(&args(&["--shards"])).is_err());
         assert!(parse_args(&args(&["--shards", "two"])).is_err());
+    }
+
+    #[test]
+    fn parses_batch_flag_and_rejects_zero() {
+        let Command::Run(options) = parse_args(&args(&["--batch", "250"])).unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.batch, Some(250));
+        let Command::Run(options) = parse_args(&[]).unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.batch, None);
+        assert!(parse_args(&args(&["--batch", "0"])).is_err());
+        assert!(parse_args(&args(&["--batch"])).is_err());
+        assert!(parse_args(&args(&["--batch", "many"])).is_err());
+        // Composes with --shards and --sessions.
+        let Command::Run(options) = parse_args(&args(&[
+            "--target", "iec104", "--batch", "64", "--shards", "2", "--sessions",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.batch, Some(64));
+        assert_eq!(options.shards, 2);
+        assert!(options.sessions);
+    }
+
+    #[test]
+    fn batched_run_matches_sequential_run_for_the_baseline() {
+        // --batch amortises dispatch; for the feedback-free baseline the
+        // report must be bit-identical to the per-execution loop.
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 1_000,
+            jobs: 1,
+            ..CliOptions::default()
+        };
+        let sequential = run(&options);
+        let batched = run(&CliOptions {
+            batch: Some(128),
+            ..options
+        });
+        let a = sequential.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
+        let b = batched.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
+        assert_eq!(a.final_paths(), b.final_paths());
+        assert_eq!(a.reports[0].responses, b.reports[0].responses);
+        assert_eq!(a.unique_bugs(options.seed), b.unique_bugs(options.seed));
+    }
+
+    #[test]
+    fn batch_surfaces_in_report_and_json() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 600,
+            jobs: 1,
+            batch: Some(200),
+            ..CliOptions::default()
+        };
+        let outcome = run(&options);
+        assert!(render_report(&outcome).contains("batched windows of 200"));
+        let json = render_json(&outcome);
+        assert!(json.contains("\"batch\": 200"));
+        // Absent when off.
+        let outcome = run(&CliOptions {
+            batch: None,
+            ..options
+        });
+        assert!(!render_json(&outcome).contains("\"batch\""));
+    }
+
+    #[test]
+    fn shard_warning_fires_only_when_oversubscribed() {
+        assert!(shard_parallelism_warning(4, 1).is_some());
+        let text = shard_parallelism_warning(8, 2).unwrap();
+        assert!(text.contains("--shards 8"));
+        assert!(text.contains("(2)"));
+        assert!(text.contains("--batch"), "points at the single-core alternative");
+        assert!(shard_parallelism_warning(4, 4).is_none());
+        assert!(shard_parallelism_warning(2, 8).is_none());
+        assert!(shard_parallelism_warning(1, 1).is_none(), "sequential never warns");
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub struct CampaignConfig {
     /// [`session_template`](peachstar_protocols::Target::session_template);
     /// sessionless targets fall back to the classic campaign.
     pub session: Option<SessionConfig>,
+    /// Execute in batched windows of at most this many packets
+    /// ([`Engine::run_batched`]) instead of the per-execution loop.
+    ///
+    /// Batched Peach campaigns are bit-identical to sequential ones for any
+    /// batch size; Peach\* receives feedback at batch ends, so its stream is
+    /// deterministic but barrier-fed like a sharded campaign's. Under a
+    /// [`ShardedCampaign`] this instead caps the per-worker dispatch chunk,
+    /// which never changes the report.
+    pub batch: Option<u64>,
 }
 
 impl CampaignConfig {
@@ -65,6 +74,7 @@ impl CampaignConfig {
             sample_interval: 250,
             reset_interval: 2_000,
             session: None,
+            batch: None,
         }
     }
 
@@ -100,6 +110,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn sessions(mut self, session: SessionConfig) -> Self {
         self.session = Some(session);
+        self
+    }
+
+    /// Enables batched window execution with at most `batch` packets per
+    /// window (clamped to at least 1).
+    #[must_use]
+    pub fn batch(mut self, batch: u64) -> Self {
+        self.batch = Some(batch.max(1));
         self
     }
 }
@@ -293,7 +311,13 @@ fn run_engine<S: Schedule>(
         schedule,
     };
     let models = engine.executor.data_models();
-    engine.run(config.executions, &models, &mut rng);
+    match config.batch {
+        // The batched driver generates, executes and reduces one
+        // reset-aligned window at a time; Peach reports are bit-identical
+        // to the per-execution loop below (tests/batch_equivalence.rs).
+        Some(batch) => engine.run_batched(config.executions, policy, batch, &models, &mut rng),
+        None => engine.run(config.executions, &models, &mut rng),
+    }
 
     let target = engine.executor.target_name().to_string();
     let (responses, protocol_errors, fault_hits) = (

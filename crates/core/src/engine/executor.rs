@@ -2,7 +2,7 @@
 
 use peachstar_coverage::{TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
-use peachstar_protocols::{Outcome, Target};
+use peachstar_protocols::{Outcome, Target, WindowResults};
 
 /// When the target's session state is wiped back to the just-started
 /// condition (in addition to the unconditional restart after a fault).
@@ -87,6 +87,32 @@ pub trait Executor {
     /// the target after a fault, and returns the outcome together with the
     /// execution's coverage trace.
     fn execute(&mut self, execution: u64, packet: &[u8]) -> (Outcome, &TraceMap);
+
+    /// Runs one *window* of packets — executions `first_execution ..` in
+    /// order — in a single call, replacing `out`'s previous contents with
+    /// one `(summary, snapshot)` pair per packet.
+    ///
+    /// This is the batch entry point the amortised campaign drivers use: a
+    /// window crosses the executor seam once instead of once per execution,
+    /// so implementations can hoist per-packet dispatch (see
+    /// [`Target::process_batch`]) while the default keeps every existing
+    /// executor working by looping [`execute`](Executor::execute).
+    ///
+    /// The per-packet outcomes and traces must be identical to calling
+    /// `execute` for each packet — batched campaigns are required to be
+    /// bit-identical to sequential ones.
+    fn execute_window(
+        &mut self,
+        first_execution: u64,
+        packets: &[&[u8]],
+        out: &mut WindowResults,
+    ) {
+        out.begin();
+        for (offset, packet) in packets.iter().enumerate() {
+            let (outcome, trace) = self.execute(first_execution + offset as u64, packet);
+            out.record(&outcome, trace);
+        }
+    }
 }
 
 /// The standard single-target executor: one [`Target`] instance, one reused
@@ -162,6 +188,37 @@ impl Executor for TargetExecutor {
         }
         (outcome, self.ctx.trace())
     }
+
+    fn execute_window(
+        &mut self,
+        first_execution: u64,
+        packets: &[&[u8]],
+        out: &mut WindowResults,
+    ) {
+        // A window with a reset boundary strictly inside it cannot be handed
+        // to the target wholesale (the target would miss a mid-window
+        // reset); fall back to the per-execution path, which applies the
+        // policy at every step. Reset-aligned drivers never hit this branch.
+        let interior_reset = (1..packets.len() as u64)
+            .any(|offset| self.policy.resets_before(first_execution + offset));
+        if interior_reset {
+            out.begin();
+            for (offset, packet) in packets.iter().enumerate() {
+                let (outcome, trace) = self.execute(first_execution + offset as u64, packet);
+                out.record(&outcome, trace);
+            }
+            return;
+        }
+        // The whole window runs inside one target call: the per-execution
+        // policy check collapses to a single window-start check, and the
+        // target's `process_batch` (overridable per protocol) owns the
+        // packet loop — one virtual dispatch per window instead of one per
+        // packet.
+        if self.policy.resets_before(first_execution) {
+            self.target.reset();
+        }
+        self.target.process_batch(packets, &mut self.ctx, out);
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +268,41 @@ mod tests {
         assert_eq!(executor.target_name(), "libmodbus");
         assert!(!executor.data_models().is_empty());
         assert_eq!(executor.target().name(), "libmodbus");
+    }
+
+    #[test]
+    fn execute_window_matches_the_per_execution_path() {
+        // Ground truth: the per-execution `execute` loop with its
+        // every-step reset-policy check. `execute_window` must match it both
+        // on reset-aligned windows (fast path: one `process_batch` call) and
+        // on windows with an interior reset boundary (fallback path).
+        let request = vec![0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02];
+        let garbage = vec![0xFF, 0x00, 0x01];
+        let window: Vec<&[u8]> = vec![&request, &garbage, &request, &request, &garbage];
+        for first_execution in [1u64, 3, 6, 7] {
+            let mut reference = TargetExecutor::new(TargetId::Modbus.create(), 3);
+            let expected: Vec<_> = window
+                .iter()
+                .enumerate()
+                .map(|(offset, packet)| {
+                    let (outcome, trace) =
+                        reference.execute(first_execution + offset as u64, packet);
+                    (
+                        peachstar_protocols::OutcomeSummary::from(&outcome),
+                        trace.to_sparse(),
+                    )
+                })
+                .collect();
+
+            let mut batched = TargetExecutor::new(TargetId::Modbus.create(), 3);
+            let mut results = WindowResults::new();
+            batched.execute_window(first_execution, &window, &mut results);
+            assert_eq!(results.len(), window.len());
+            for (offset, (summary, trace)) in results.iter().enumerate() {
+                assert_eq!(*summary, expected[offset].0, "start {first_execution} offset {offset}");
+                assert_eq!(*trace, expected[offset].1, "start {first_execution} offset {offset}");
+            }
+        }
     }
 
     #[test]

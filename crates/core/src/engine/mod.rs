@@ -20,13 +20,17 @@
 //! [`Engine::step`] wires the seams together in exactly the order the
 //! monolithic loop used, so a campaign driven through the engine is
 //! bit-identical to the pre-refactor implementation (`tests/pinned_report.rs`
-//! holds the proof). [`shard`] builds the sharded campaign mode on the same
-//! seams, and [`session`] builds stateful session fuzzing (handshake →
-//! mutated payload → teardown, with session-scoped resets) on the
-//! [`Schedule`] and [`Executor`] seams.
+//! holds the proof). Three execution modes build on the same seams:
+//! [`batch`] amortises per-execution dispatch by running reset-aligned
+//! windows through one [`Executor::execute_window`] call each
+//! ([`Engine::run_batched`]), [`shard`] executes those windows on parallel
+//! workers with a deterministic merge barrier, and [`session`] builds
+//! stateful session fuzzing (handshake → mutated payload → teardown, with
+//! session-scoped resets) on the [`Schedule`] and [`Executor`] seams.
 //!
 //! [`TraceContext`]: peachstar_coverage::TraceContext
 
+pub mod batch;
 pub mod executor;
 pub mod monitor;
 pub mod observer;

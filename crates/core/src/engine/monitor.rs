@@ -3,34 +3,14 @@
 
 use std::collections::HashSet;
 
-use peachstar_protocols::{Fault, Outcome};
-
 use crate::campaign::BugRecord;
 use crate::stats::{CoverageSeries, SeriesPoint};
 use crate::strategy::GeneratedPacket;
 
-/// What the monitor needs to know about one execution's outcome — the
-/// variant plus the fault record, without the response/rejection payloads,
-/// so sharded workers can buffer it compactly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OutcomeSummary {
-    /// The packet was processed and answered.
-    Response,
-    /// The packet was rejected by protocol validation.
-    ProtocolError,
-    /// The packet reached a planted vulnerability.
-    Fault(Fault),
-}
-
-impl From<&Outcome> for OutcomeSummary {
-    fn from(outcome: &Outcome) -> Self {
-        match outcome {
-            Outcome::Response(_) => OutcomeSummary::Response,
-            Outcome::ProtocolError(_) => OutcomeSummary::ProtocolError,
-            Outcome::Fault(fault) => OutcomeSummary::Fault(*fault),
-        }
-    }
-}
+// The summary now lives next to `Outcome` in the protocols crate, where
+// `Target::process_batch` buffers one per packet; re-exported here so the
+// engine-facing path `engine::OutcomeSummary` keeps working.
+pub use peachstar_protocols::OutcomeSummary;
 
 /// Observes the campaign from the side: tallies outcomes, deduplicates bugs
 /// by fault site, and samples the coverage growth series.
@@ -165,7 +145,7 @@ impl Monitor for CampaignMonitor {
 mod tests {
     use super::*;
     use crate::seed::Seed;
-    use peachstar_protocols::FaultKind;
+    use peachstar_protocols::{Fault, FaultKind, Outcome};
 
     fn packet() -> GeneratedPacket {
         Seed::new(vec![1, 2, 3], "m", false)

@@ -52,6 +52,19 @@ pub trait Schedule {
     /// Produces the next packet to execute.
     fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket;
 
+    /// Produces the next packet into a reusable slot, overwriting every
+    /// field — the batched engine's packet-arena entry point. Must be
+    /// observationally identical to
+    /// [`next_packet`](Schedule::next_packet); the default delegates to it.
+    fn next_packet_into(
+        &mut self,
+        models: &DataModelSet,
+        rng: &mut SmallRng,
+        slot: &mut GeneratedPacket,
+    ) {
+        *slot = self.next_packet(models, rng);
+    }
+
     /// Digests the feedback for a previously generated packet.
     fn feedback(&mut self, event: &FeedbackEvent<'_>);
 
@@ -94,6 +107,15 @@ impl Schedule for StrategySchedule {
 
     fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
         self.strategy.next_packet(models, rng)
+    }
+
+    fn next_packet_into(
+        &mut self,
+        models: &DataModelSet,
+        rng: &mut SmallRng,
+        slot: &mut GeneratedPacket,
+    ) {
+        self.strategy.next_packet_into(models, rng, slot);
     }
 
     fn feedback(&mut self, event: &FeedbackEvent<'_>) {

@@ -44,9 +44,10 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use peachstar_coverage::{SparseTrace, TraceContext};
-use peachstar_protocols::Target;
+use peachstar_protocols::{Target, WindowResults};
 
 use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::engine::batch::windows_for_policy;
 use crate::engine::session::session_setup;
 use crate::engine::{
     CampaignMonitor, CoverageObserver, Feedback, FeedbackEvent, Monitor, NewCoverageFeedback,
@@ -95,38 +96,6 @@ impl Default for ShardConfig {
     }
 }
 
-/// The reset-aligned execution windows of a campaign: `(start, end)` pairs,
-/// 1-based and inclusive, covering `1..=executions` without gaps. Every
-/// window after the first starts at an execution the reset policy resets
-/// before — exactly where the sequential campaign wipes its target. For
-/// [`ResetPolicy::PerSession`] this makes every window one whole session
-/// (the last may be truncated by the budget), so a session never straddles
-/// a window boundary and therefore never straddles a merge barrier.
-fn windows_for_policy(executions: u64, policy: ResetPolicy) -> Vec<(u64, u64)> {
-    if executions == 0 {
-        return Vec::new();
-    }
-    let mut starts = vec![1u64];
-    starts.extend(policy.boundaries(executions));
-    // Interval(1) and PerSession(len) both reset before execution 1, making
-    // the first boundary coincide with the initial start.
-    starts.dedup();
-    starts
-        .iter()
-        .enumerate()
-        .map(|(index, &start)| {
-            let end = starts.get(index + 1).map_or(executions, |&next| next - 1);
-            (start, end)
-        })
-        .collect()
-}
-
-/// The classic interval-scoped windows.
-#[cfg(test)]
-fn windows_for(executions: u64, reset_interval: u64) -> Vec<(u64, u64)> {
-    windows_for_policy(executions, ResetPolicy::Interval(reset_interval))
-}
-
 /// One window's packets, headed to a worker.
 struct WindowWork {
     start: u64,
@@ -147,13 +116,23 @@ struct WindowResult {
 }
 
 /// Worker loop: pull windows off the queue, execute them on this worker's
-/// private target copy, push buffered results.
+/// private target copy through the batched [`Target::process_batch`] seam,
+/// push buffered results.
+///
+/// `chunk` caps how many packets go into one `process_batch` call — the
+/// sharded face of the `--batch` knob. It is pure dispatch granularity:
+/// results are buffered to the merge barrier either way, so the chunk size
+/// provably never changes the report (chunks of one window share the
+/// worker's target state back to back, exactly like the old per-packet
+/// loop).
 fn shard_worker(
     target: &mut (dyn Target + Send),
+    chunk: usize,
     queue: &Mutex<VecDeque<WindowWork>>,
     done: &Mutex<Vec<WindowResult>>,
 ) {
     let mut ctx = TraceContext::new();
+    let mut results = WindowResults::new();
     loop {
         let Some(work) = queue.lock().expect("window queue poisoned").pop_front() else {
             return;
@@ -163,22 +142,26 @@ fn shard_worker(
         // first window or reset it at the window boundary, and `reset` is
         // documented to restore exactly that state.
         target.reset();
-        let records = work
-            .packets
-            .into_iter()
-            .map(|packet| {
-                ctx.reset();
-                let outcome = target.process(&packet.bytes, &mut ctx);
-                if outcome.is_fault() {
-                    target.reset();
-                }
-                ExecRecord {
-                    outcome: OutcomeSummary::from(&outcome),
-                    trace: ctx.trace().to_sparse(),
+        let mut remaining = work.packets;
+        let mut records: Vec<ExecRecord> = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let rest = remaining.split_off(remaining.len().min(chunk.max(1)));
+            let refs: Vec<&[u8]> = remaining.iter().map(|p| p.bytes.as_slice()).collect();
+            // One virtual dispatch per chunk instead of one per packet —
+            // the same amortisation (and the same protocol overrides) the
+            // batched sequential engine gets. Draining moves the snapshots
+            // straight into the records headed for the merge barrier.
+            target.process_batch(&refs, &mut ctx, &mut results);
+            drop(refs);
+            records.extend(remaining.drain(..).zip(results.drain()).map(
+                |(packet, (outcome, trace))| ExecRecord {
                     packet,
-                }
-            })
-            .collect();
+                    outcome,
+                    trace,
+                },
+            ));
+            remaining = rest;
+        }
         done.lock()
             .expect("window results poisoned")
             .push(WindowResult {
@@ -292,6 +275,13 @@ fn run_sharded_engine<S: Schedule>(
     let workers = shard.workers.max(1);
     let mut worker_targets: Vec<Box<dyn Target + Send>> =
         (0..workers).map(|_| target.clone_fresh()).collect();
+    // The per-worker dispatch granularity: `--batch N` caps each
+    // `process_batch` call at N packets; without it a whole window goes into
+    // one call. Never affects the report — only how often the worker crosses
+    // the target seam.
+    let chunk = config
+        .batch
+        .map_or(usize::MAX, |batch| usize::try_from(batch.max(1)).unwrap_or(usize::MAX));
 
     let windows = windows_for_policy(config.executions, policy);
     for round in windows.chunks(shard.sync_windows.max(1)) {
@@ -315,7 +305,7 @@ fn run_sharded_engine<S: Schedule>(
         let (queue_ref, done_ref) = (&queue, &done);
         std::thread::scope(|scope| {
             for target in &mut worker_targets {
-                scope.spawn(move || shard_worker(target.as_mut(), queue_ref, done_ref));
+                scope.spawn(move || shard_worker(target.as_mut(), chunk, queue_ref, done_ref));
             }
         });
 
@@ -388,40 +378,32 @@ mod tests {
     use peachstar_protocols::TargetId;
 
     #[test]
-    fn windows_cover_the_budget_and_align_to_resets() {
-        assert_eq!(windows_for(3_000, 2_000), vec![(1, 1_999), (2_000, 3_000)]);
-        assert_eq!(windows_for(5, 10), vec![(1, 5)]);
-        assert_eq!(windows_for(10, 0), vec![(1, 10)]);
-        assert_eq!(windows_for(0, 100), Vec::<(u64, u64)>::new());
-        assert_eq!(windows_for(3, 1), vec![(1, 1), (2, 2), (3, 3)]);
-        let windows = windows_for(2_000, 250);
-        assert_eq!(windows.first(), Some(&(1, 249)));
-        assert_eq!(windows.last(), Some(&(2_000, 2_000)));
-        // Gapless, contiguous cover of 1..=2000.
-        let mut next = 1;
-        for (start, end) in windows {
-            assert_eq!(start, next);
-            assert!(end >= start || (start, end) == (1, 0));
-            next = end + 1;
+    fn worker_chunk_size_never_changes_the_report() {
+        // The per-worker dispatch granularity (`--batch` under `--shards`)
+        // must be invisible in the result: chunks of one window run back to
+        // back on the same worker target, so any chunking is equivalent to
+        // the historic per-packet loop.
+        let run = |batch: Option<u64>| {
+            let config = CampaignConfig {
+                batch,
+                ..CampaignConfig::new(crate::strategy::StrategyKind::PeachStar)
+                    .executions(1_000)
+                    .rng_seed(7)
+                    .sample_interval(100)
+                    .reset_interval(250)
+            };
+            let report = run_sharded(TargetId::Iec104.create(), config, 2);
+            (
+                report.final_paths(),
+                report.responses,
+                report.valuable_seeds,
+                report.corpus_size,
+            )
+        };
+        let whole_window = run(None);
+        for batch in [1, 16, 250, 10_000] {
+            assert_eq!(run(Some(batch)), whole_window, "chunk {batch} diverged");
         }
-        assert_eq!(next, 2_001);
-    }
-
-    #[test]
-    fn per_session_windows_are_whole_sessions() {
-        // 3 sessions of 10 packets + one truncated by the budget: every
-        // window is one session, so no session can straddle a window
-        // boundary — and merge barriers only ever fall between windows.
-        let windows = windows_for_policy(35, ResetPolicy::PerSession(10));
-        assert_eq!(windows, vec![(1, 10), (11, 20), (21, 30), (31, 35)]);
-        // Exact multiple: no truncated tail.
-        let windows = windows_for_policy(30, ResetPolicy::PerSession(10));
-        assert_eq!(windows, vec![(1, 10), (11, 20), (21, 30)]);
-        // Session longer than the budget: one (truncated) window.
-        assert_eq!(
-            windows_for_policy(5, ResetPolicy::PerSession(10)),
-            vec![(1, 5)]
-        );
     }
 
     #[test]

@@ -29,10 +29,26 @@ fn boundary_values(width: NumberWidth) -> [u64; 6] {
 /// Panics if `chunk` is not a leaf (number, bytes or string).
 #[must_use]
 pub fn generate_leaf(chunk: &Chunk, rng: &mut SmallRng) -> Vec<u8> {
+    let mut out = Vec::new();
+    generate_leaf_into(chunk, rng, &mut out);
+    out
+}
+
+/// [`generate_leaf`] appended to a caller-provided buffer.
+///
+/// Consumes the RNG exactly as [`generate_leaf`] does (campaigns are seeded,
+/// so the two must be drop-in interchangeable without moving the stream),
+/// but writes into a reusable buffer so the generation hot path allocates
+/// nothing per leaf.
+///
+/// # Panics
+///
+/// Panics if `chunk` is not a leaf (number, bytes or string).
+pub fn generate_leaf_into(chunk: &Chunk, rng: &mut SmallRng, out: &mut Vec<u8>) {
     match &chunk.kind {
-        ChunkKind::Number(spec) => generate_number(spec, rng),
-        ChunkKind::Bytes(spec) => generate_bytes(&spec.length, &spec.default, rng),
-        ChunkKind::Str(spec) => generate_string(&spec.length, &spec.default, rng),
+        ChunkKind::Number(spec) => generate_number_into(spec, rng, out),
+        ChunkKind::Bytes(spec) => generate_bytes_into(&spec.length, &spec.default, rng, out),
+        ChunkKind::Str(spec) => generate_string_into(&spec.length, &spec.default, rng, out),
         ChunkKind::Block(_) | ChunkKind::Choice(_) => {
             panic!("generate_leaf called on structural chunk `{}`", chunk.name)
         }
@@ -44,6 +60,12 @@ pub fn generate_leaf(chunk: &Chunk, rng: &mut SmallRng) -> Vec<u8> {
 pub fn generate_number(spec: &NumberSpec, rng: &mut SmallRng) -> Vec<u8> {
     let value = pick_number_value(spec, rng);
     spec.encode(value)
+}
+
+/// [`generate_number`] appended to a caller-provided buffer.
+pub fn generate_number_into(spec: &NumberSpec, rng: &mut SmallRng, out: &mut Vec<u8>) {
+    let value = pick_number_value(spec, rng);
+    spec.encode_into(value, out);
 }
 
 /// Picks a raw numeric value for a numeric chunk (before encoding).
@@ -85,6 +107,19 @@ pub fn pick_number_value(spec: &NumberSpec, rng: &mut SmallRng) -> u64 {
 /// Generates content for a raw-bytes chunk.
 #[must_use]
 pub fn generate_bytes(length: &LengthSpec, default: &[u8], rng: &mut SmallRng) -> Vec<u8> {
+    let mut out = Vec::new();
+    generate_bytes_into(length, default, rng, &mut out);
+    out
+}
+
+/// [`generate_bytes`] appended to a caller-provided buffer. Same RNG stream,
+/// no allocation.
+pub fn generate_bytes_into(
+    length: &LengthSpec,
+    default: &[u8],
+    rng: &mut SmallRng,
+    out: &mut Vec<u8>,
+) {
     let target_len = match length {
         LengthSpec::Fixed(len) => *len,
         LengthSpec::FromField(_) | LengthSpec::Remainder => {
@@ -99,23 +134,36 @@ pub fn generate_bytes(length: &LengthSpec, default: &[u8], rng: &mut SmallRng) -
         }
     };
     let roll: f64 = rng.gen();
+    let start = out.len();
     if roll < 0.45 && !default.is_empty() {
         // Default content resized to the target length.
-        let mut content: Vec<u8> = default.iter().copied().cycle().take(target_len).collect();
-        content.resize(target_len, 0);
-        content
+        out.extend(default.iter().copied().cycle().take(target_len));
+        out.resize(start + target_len, 0);
     } else if roll < 0.7 {
         // A repeated single byte.
-        let byte = rng.gen();
-        vec![byte; target_len]
+        let byte: u8 = rng.gen();
+        out.resize(start + target_len, byte);
     } else {
-        (0..target_len).map(|_| rng.gen()).collect()
+        out.extend((0..target_len).map(|_| rng.gen::<u8>()));
     }
 }
 
 /// Generates content for a string chunk.
 #[must_use]
 pub fn generate_string(length: &LengthSpec, default: &str, rng: &mut SmallRng) -> Vec<u8> {
+    let mut out = Vec::new();
+    generate_string_into(length, default, rng, &mut out);
+    out
+}
+
+/// [`generate_string`] appended to a caller-provided buffer. Same RNG
+/// stream, no allocation.
+pub fn generate_string_into(
+    length: &LengthSpec,
+    default: &str,
+    rng: &mut SmallRng,
+    out: &mut Vec<u8>,
+) {
     let target_len = match length {
         LengthSpec::Fixed(len) => *len,
         LengthSpec::FromField(_) | LengthSpec::Remainder => {
@@ -126,15 +174,13 @@ pub fn generate_string(length: &LengthSpec, default: &str, rng: &mut SmallRng) -
             }
         }
     };
+    let start = out.len();
     if rng.gen_bool(0.55) && !default.is_empty() {
-        let mut content: Vec<u8> = default.bytes().cycle().take(target_len).collect();
-        content.resize(target_len, b' ');
-        content
+        out.extend(default.bytes().cycle().take(target_len));
+        out.resize(start + target_len, b' ');
     } else {
         const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/$._-";
-        (0..target_len)
-            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
-            .collect()
+        out.extend((0..target_len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())]));
     }
 }
 
@@ -222,6 +268,32 @@ mod tests {
         let mut rng = rng();
         let block = Chunk::block("blk", vec![Chunk::number("x", NumberSpec::u8())]);
         let _ = generate_leaf(&block, &mut rng);
+    }
+
+    #[test]
+    fn into_variants_match_the_allocating_variants_draw_for_draw() {
+        // The buffer-reusing hot path must consume the RNG exactly as the
+        // allocating functions do: a seeded campaign's packet stream may not
+        // move when a strategy switches to the `_into` variants.
+        let chunks = [
+            Chunk::number("n", NumberSpec::u32_be()),
+            Chunk::bytes("fixed", BytesSpec::fixed(5).default_content(vec![1, 2])),
+            Chunk::bytes("rem", BytesSpec::remainder().default_content(vec![7, 8, 9])),
+            Chunk::bytes("rem_empty", BytesSpec::remainder()),
+            Chunk::str("s", StrSpec::fixed(6).default_content("abc")),
+            Chunk::str("s_var", StrSpec::remainder()),
+        ];
+        for chunk in &chunks {
+            let mut rng_a = SmallRng::seed_from_u64(99);
+            let mut rng_b = SmallRng::seed_from_u64(99);
+            let mut reused = Vec::new();
+            for round in 0..200 {
+                let allocated = generate_leaf(chunk, &mut rng_a);
+                reused.clear();
+                generate_leaf_into(chunk, &mut rng_b, &mut reused);
+                assert_eq!(allocated, reused, "chunk `{}` round {round}", chunk.name);
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use peachstar_datamodel::emit::{emit_values_with, EmitScratch, ValueAssignment};
+use peachstar_datamodel::emit::{
+    emit_into, emit_values_with, EmitScratch, LeafSource, ValueAssignment,
+};
 use peachstar_datamodel::{DataModel, DataModelSet};
 
 use crate::corpus::PuzzleCorpus;
@@ -63,6 +65,23 @@ pub trait GenerationStrategy {
     /// Produces the next packet to execute.
     fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket;
 
+    /// Produces the next packet into a reusable slot, overwriting every
+    /// field — the batched engine's packet-arena entry point.
+    ///
+    /// Must be observationally identical to
+    /// [`next_packet`](GenerationStrategy::next_packet): same packet for the
+    /// same RNG state, same strategy-side bookkeeping. The default delegates
+    /// to `next_packet`; strategies on the hot path override it to emit into
+    /// the slot's existing buffers instead of allocating a fresh seed.
+    fn next_packet_into(
+        &mut self,
+        models: &DataModelSet,
+        rng: &mut SmallRng,
+        slot: &mut GeneratedPacket,
+    ) {
+        *slot = self.next_packet(models, rng);
+    }
+
     /// Observes the execution result of a previously generated packet.
     /// `valuable` is `true` when the packet triggered new coverage.
     fn observe(&mut self, packet: &GeneratedPacket, valuable: bool, models: &DataModelSet);
@@ -74,28 +93,88 @@ pub trait GenerationStrategy {
     }
 }
 
+/// Reusable random-instantiation workspace: one content buffer per leaf
+/// position plus a presence mask, implementing [`LeafSource`] directly over
+/// the buffers. Together with [`emit_into`] this makes one iteration of
+/// Algorithm 1 allocation-free in the steady state — no per-packet
+/// assignment map, no per-leaf `Vec`/`Arc` conversions.
+#[derive(Debug, Default)]
+struct GenScratch {
+    bufs: Vec<Vec<u8>>,
+    used: Vec<bool>,
+}
+
+impl GenScratch {
+    /// Clears the presence mask for a model with `leaves` leaf positions,
+    /// keeping every content buffer for reuse.
+    fn reset(&mut self, leaves: usize) {
+        self.used.clear();
+        self.used.resize(leaves, false);
+        if self.bufs.len() < leaves {
+            self.bufs.resize_with(leaves, Vec::new);
+        }
+    }
+
+    /// Marks position `index` as generated and hands out its cleared buffer.
+    fn buf(&mut self, index: usize) -> &mut Vec<u8> {
+        self.used[index] = true;
+        let buf = &mut self.bufs[index];
+        buf.clear();
+        buf
+    }
+}
+
+impl LeafSource for GenScratch {
+    fn leaf(&self, index: usize) -> Option<&[u8]> {
+        self.used
+            .get(index)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.bufs[index].as_slice())
+    }
+}
+
 /// Instantiates `model` by generating every leaf with the type mutators and
 /// emitting with relations and fixups repaired — one iteration of
-/// Algorithm 1.
+/// Algorithm 1 — into a reusable output buffer.
 ///
-/// Uses the model's cached linear layout (no tree walk) and the caller's
-/// [`EmitScratch`] (no per-packet span-table allocation).
-fn instantiate_randomly(
+/// Uses the model's cached linear layout (no tree walk), the caller's
+/// [`EmitScratch`] (no per-packet span-table allocation) and the caller's
+/// [`GenScratch`] (no per-leaf content allocation). Consumes the RNG exactly
+/// as the historic allocating implementation did, so seeded packet streams
+/// are unchanged.
+fn instantiate_randomly_into(
     model: &DataModel,
     rng: &mut SmallRng,
     repair: bool,
     scratch: &mut EmitScratch,
-) -> Vec<u8> {
+    values: &mut GenScratch,
+    out: &mut Vec<u8>,
+) {
     let linear = model.linear();
-    let mut assignment = ValueAssignment::new();
+    values.reset(linear.len());
     for (index, leaf) in linear.iter().enumerate() {
         // Keep the default value sometimes; otherwise run the mutator.
         if rng.gen_bool(0.15) {
             continue;
         }
-        assignment.set(index, mutator::generate_leaf(&leaf.chunk, rng));
+        mutator::generate_leaf_into(&leaf.chunk, rng, values.buf(index));
     }
-    emit_values_with(model, &assignment, repair, scratch).unwrap_or_default()
+    // The only emit error is an out-of-range assignment, which a
+    // layout-sized scratch cannot produce; mirror the historic
+    // `unwrap_or_default` by emitting empty bytes anyway.
+    if emit_into(model, values, repair, scratch, out).is_err() {
+        out.clear();
+    }
+}
+
+/// Overwrites `slot` with the degenerate empty-model-set seed (the in-place
+/// twin of [`empty_set_seed`]).
+fn set_empty_seed(slot: &mut GeneratedPacket) {
+    slot.bytes.clear();
+    slot.model.clear();
+    slot.model.push_str("<empty-model-set>");
+    slot.semantic = false;
 }
 
 /// Picks a random model from the set, or `None` when the set is empty (an
@@ -123,6 +202,7 @@ pub(crate) fn empty_set_seed() -> GeneratedPacket {
 pub struct RandomGenerationStrategy {
     generated: u64,
     scratch: EmitScratch,
+    values: GenScratch,
 }
 
 impl RandomGenerationStrategy {
@@ -145,12 +225,33 @@ impl GenerationStrategy for RandomGenerationStrategy {
     }
 
     fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
+        let mut seed = Seed::new(Vec::new(), "", false);
+        self.next_packet_into(models, rng, &mut seed);
+        seed
+    }
+
+    fn next_packet_into(
+        &mut self,
+        models: &DataModelSet,
+        rng: &mut SmallRng,
+        slot: &mut GeneratedPacket,
+    ) {
         self.generated += 1;
         let Some(model) = pick_model(models, rng) else {
-            return empty_set_seed();
+            set_empty_seed(slot);
+            return;
         };
-        let bytes = instantiate_randomly(model, rng, true, &mut self.scratch);
-        Seed::new(bytes, model.name(), false)
+        instantiate_randomly_into(
+            model,
+            rng,
+            true,
+            &mut self.scratch,
+            &mut self.values,
+            &mut slot.bytes,
+        );
+        slot.model.clear();
+        slot.model.push_str(model.name());
+        slot.semantic = false;
     }
 
     fn observe(&mut self, _packet: &GeneratedPacket, _valuable: bool, _models: &DataModelSet) {
@@ -204,6 +305,7 @@ pub struct SemanticAwareStrategy {
     semantic_generated: u64,
     random_generated: u64,
     scratch: EmitScratch,
+    values: GenScratch,
 }
 
 impl std::fmt::Debug for SemanticAwareStrategy {
@@ -229,6 +331,7 @@ impl SemanticAwareStrategy {
             semantic_generated: 0,
             random_generated: 0,
             scratch: EmitScratch::new(),
+            values: GenScratch::default(),
         }
     }
 
@@ -331,19 +434,41 @@ impl GenerationStrategy for SemanticAwareStrategy {
     }
 
     fn next_packet(&mut self, models: &DataModelSet, rng: &mut SmallRng) -> GeneratedPacket {
+        let mut seed = Seed::new(Vec::new(), "", false);
+        self.next_packet_into(models, rng, &mut seed);
+        seed
+    }
+
+    fn next_packet_into(
+        &mut self,
+        models: &DataModelSet,
+        rng: &mut SmallRng,
+        slot: &mut GeneratedPacket,
+    ) {
         // Drain the batch queued after the last valuable seed first; fall
         // back to the inherent (random) generation strategy otherwise —
         // exactly the control flow described in §IV-A of the paper.
         if let Some(seed) = self.queue.pop_front() {
             self.semantic_generated += 1;
-            return seed;
+            *slot = seed;
+            return;
         }
         self.random_generated += 1;
         let Some(model) = pick_model(models, rng) else {
-            return empty_set_seed();
+            set_empty_seed(slot);
+            return;
         };
-        let bytes = instantiate_randomly(model, rng, true, &mut self.scratch);
-        Seed::new(bytes, model.name(), false)
+        instantiate_randomly_into(
+            model,
+            rng,
+            true,
+            &mut self.scratch,
+            &mut self.values,
+            &mut slot.bytes,
+        );
+        slot.model.clear();
+        slot.model.push_str(model.name());
+        slot.semantic = false;
     }
 
     fn observe(&mut self, packet: &GeneratedPacket, valuable: bool, models: &DataModelSet) {
@@ -501,6 +626,33 @@ mod tests {
             }
         }
         assert!(reused, "donated device address should reappear in new packets");
+    }
+
+    #[test]
+    fn next_packet_into_matches_next_packet_for_both_strategies() {
+        // The arena entry point must be a drop-in for the allocating one:
+        // same packets for the same RNG stream, same bookkeeping — including
+        // when a pre-populated slot carries stale bytes from an earlier,
+        // longer packet.
+        let models = toy_protocol();
+        for kind in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let mut by_value = kind.create();
+            let mut in_place = kind.create();
+            let mut rng_a = SmallRng::seed_from_u64(17);
+            let mut rng_b = SmallRng::seed_from_u64(17);
+            let mut slot = Seed::new(vec![0xEE; 300], "stale-model-name", true);
+            for round in 0..150 {
+                let fresh = by_value.next_packet(&models, &mut rng_a);
+                in_place.next_packet_into(&models, &mut rng_b, &mut slot);
+                assert_eq!(slot, fresh, "{kind} round {round}");
+                // Exercise the feedback path too, so Peach* queues semantic
+                // batches on both sides identically.
+                if round == 10 {
+                    by_value.observe(&fresh, true, &models);
+                    in_place.observe(&slot, true, &models);
+                }
+            }
+        }
     }
 
     #[test]

@@ -192,13 +192,29 @@ impl TraceMap {
     /// [`merge`](crate::CoverageMap::merge) of the live trace.
     #[must_use]
     pub fn to_sparse(&self) -> SparseTrace {
-        let mut hits: Vec<(u16, u8)> = self
-            .dirty
-            .iter()
-            .map(|&slot| (slot, self.bytes[slot as usize]))
-            .collect();
-        hits.sort_unstable_by_key(|&(slot, _)| slot);
-        SparseTrace { hits }
+        let mut sparse = SparseTrace::default();
+        self.snapshot_into(&mut sparse);
+        sparse
+    }
+
+    /// [`to_sparse`](TraceMap::to_sparse) into a caller-provided snapshot,
+    /// reusing its buffer — the batched execution hot path snapshots one
+    /// trace per execution and pools the snapshots across windows, so the
+    /// steady state allocates nothing.
+    ///
+    /// Note the snapshot's sort is not added cost relative to the live-merge
+    /// path: [`CoverageMap::merge`](crate::CoverageMap::merge) sorts the same
+    /// hit list per execution to compute the path id, while
+    /// [`merge_sparse`](crate::CoverageMap::merge_sparse) consumes the
+    /// already-sorted snapshot without sorting again.
+    pub fn snapshot_into(&self, out: &mut SparseTrace) {
+        out.hits.clear();
+        out.hits.extend(
+            self.dirty
+                .iter()
+                .map(|&slot| (slot, self.bytes[slot as usize])),
+        );
+        out.hits.sort_unstable_by_key(|&(slot, _)| slot);
     }
 
     /// Resets the map to the all-zero state by clearing only the slots that
@@ -254,13 +270,20 @@ fn fnv_path_id<I: Iterator<Item = (u16, u8)>>(sorted_hits: I) -> PathId {
 /// [`CoverageMap::merge_sparse`](crate::CoverageMap::merge_sparse) folds them
 /// into the campaign-global map with outcomes bit-identical to merging the
 /// live trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseTrace {
     /// `(slot, hit count)` pairs, ascending by slot.
     hits: Vec<(u16, u8)>,
 }
 
 impl SparseTrace {
+    /// Creates an empty snapshot (a reusable buffer for
+    /// [`TraceMap::snapshot_into`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Number of distinct map slots hit during the execution.
     #[must_use]
     pub fn edges_hit(&self) -> usize {
@@ -511,6 +534,20 @@ mod tests {
         assert_eq!(from_sparse, from_trace);
         let slots: Vec<usize> = sparse.iter_hits().map(|(slot, _)| slot).collect();
         assert!(slots.windows(2).all(|w| w[0] < w[1]), "ascending slot order");
+    }
+
+    #[test]
+    fn snapshot_into_reuses_the_buffer_and_matches_to_sparse() {
+        let mut reused = SparseTrace::new();
+        for ids in [vec![1u32, 2, 3], vec![900, 3, 77, 3], vec![5]] {
+            let mut ctx = TraceContext::new();
+            for id in &ids {
+                ctx.edge(EdgeId::new(*id));
+            }
+            ctx.trace().snapshot_into(&mut reused);
+            assert_eq!(reused, ctx.trace().to_sparse(), "ids {ids:?}");
+            assert_eq!(reused.path_id(), ctx.trace().path_id());
+        }
     }
 
     #[test]

@@ -167,12 +167,21 @@ impl NumberSpec {
     /// Encodes `value` at this spec's width and endianness.
     #[must_use]
     pub fn encode(&self, value: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.width.bytes());
+        self.encode_into(value, &mut out);
+        out
+    }
+
+    /// [`encode`](NumberSpec::encode) appended to a caller-provided buffer —
+    /// the per-leaf emission path uses this so that emitting a packet never
+    /// allocates one small vector per number field.
+    pub fn encode_into(&self, value: u64, out: &mut Vec<u8>) {
         let bytes = value.to_be_bytes();
         let width = self.width.bytes();
         let slice = &bytes[8 - width..];
         match self.endian {
-            Endianness::Big => slice.to_vec(),
-            Endianness::Little => slice.iter().rev().copied().collect(),
+            Endianness::Big => out.extend_from_slice(slice),
+            Endianness::Little => out.extend(slice.iter().rev().copied()),
         }
     }
 

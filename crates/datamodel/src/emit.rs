@@ -70,6 +70,42 @@ impl FromIterator<(usize, Vec<u8>)> for ValueAssignment {
     }
 }
 
+/// A source of leaf content for emission: one optional byte slice per leaf
+/// position of the model's [`LinearLayout`] (`None` falls back to the leaf's
+/// default value).
+///
+/// [`ValueAssignment`] is the shared-ownership implementation (corpus donors
+/// as `Arc<[u8]>`); generation hot paths can implement the trait over plain
+/// reusable buffers instead and emit via [`emit_into`] without building an
+/// assignment map per packet.
+pub trait LeafSource {
+    /// The content for the leaf at linear position `index`, if any.
+    fn leaf(&self, index: usize) -> Option<&[u8]>;
+
+    /// A position `>= leaves` this source explicitly assigns content to, if
+    /// any — emission rejects such sources with
+    /// [`ModelError::ValueIndexOutOfRange`]. Sources that cannot hold
+    /// out-of-range positions keep the default `None`.
+    fn invalid_index(&self, leaves: usize) -> Option<usize> {
+        let _ = leaves;
+        None
+    }
+}
+
+impl LeafSource for ValueAssignment {
+    fn leaf(&self, index: usize) -> Option<&[u8]> {
+        self.get(index)
+    }
+
+    fn invalid_index(&self, leaves: usize) -> Option<usize> {
+        self.values
+            .keys()
+            .copied()
+            .filter(|&index| index >= leaves)
+            .min()
+    }
+}
+
 /// Reusable emission workspace: the per-chunk span table and the checksum
 /// input buffer.
 ///
@@ -83,6 +119,8 @@ pub struct EmitScratch {
     spans: Vec<Option<Range<usize>>>,
     /// Concatenation buffer for multi-field fixup coverage.
     covered: Vec<u8>,
+    /// Encoding buffer for repaired relation/fixup fields.
+    encoded: Vec<u8>,
 }
 
 impl EmitScratch {
@@ -150,13 +188,33 @@ pub fn emit_values_with(
     repair: bool,
     scratch: &mut EmitScratch,
 ) -> Result<Vec<u8>, ModelError> {
+    let mut bytes = Vec::new();
+    emit_into(model, assignment, repair, scratch, &mut bytes)?;
+    Ok(bytes)
+}
+
+/// Emits the model with leaf content from any [`LeafSource`], appending into
+/// a caller-provided buffer (cleared first), so a generation loop can emit
+/// every packet into one reused allocation.
+///
+/// This is the allocation-free core of all `emit_*` entry points: together
+/// with a reused [`EmitScratch`] and a buffer-backed source, emitting a
+/// packet allocates nothing once the buffers have warmed up.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ValueIndexOutOfRange`] when the source assigns
+/// content to a position beyond the linear model.
+pub fn emit_into<S: LeafSource + ?Sized>(
+    model: &DataModel,
+    source: &S,
+    repair: bool,
+    scratch: &mut EmitScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), ModelError> {
     let layout = model.linear();
     let leaves = layout.len();
-    if let Some(&bad) = assignment
-        .values
-        .keys()
-        .find(|&&index| index >= leaves)
-    {
+    if let Some(bad) = source.invalid_index(leaves) {
         return Err(ModelError::ValueIndexOutOfRange {
             index: bad,
             leaves,
@@ -164,18 +222,25 @@ pub fn emit_values_with(
     }
 
     scratch.reset(layout.chunk_count());
-    let mut bytes = Vec::new();
+    out.clear();
     let mut emitter = Emitter {
-        bytes: &mut bytes,
+        bytes: out,
         spans: &mut scratch.spans,
         layout,
+        visit: 0,
     };
     let mut leaf_index = 0usize;
-    emitter.emit_chunk(model.root(), assignment, &mut leaf_index);
+    emitter.emit_chunk(model.root(), source, &mut leaf_index);
     if repair {
-        repair_in_place(model, layout, &scratch.spans, &mut scratch.covered, &mut bytes);
+        repair_in_place(
+            layout,
+            &scratch.spans,
+            &mut scratch.covered,
+            &mut scratch.encoded,
+            out,
+        );
     }
-    Ok(bytes)
+    Ok(())
 }
 
 /// Re-emits an instantiation tree, optionally repairing relations and fixups.
@@ -216,117 +281,126 @@ struct Emitter<'a> {
     /// Emitted byte range per chunk ordinal (leaves and blocks).
     spans: &'a mut Vec<Option<Range<usize>>>,
     layout: &'a LinearLayout,
+    /// Index of the next chunk in the layout's precomputed visit order —
+    /// span ordinals come from an array lookup instead of hashing each
+    /// chunk's name per packet.
+    visit: usize,
 }
 
 impl Emitter<'_> {
-    fn emit_chunk(&mut self, chunk: &Chunk, assignment: &ValueAssignment, leaf_index: &mut usize) {
+    fn emit_chunk<S: LeafSource + ?Sized>(
+        &mut self,
+        chunk: &Chunk,
+        source: &S,
+        leaf_index: &mut usize,
+    ) {
         let start = self.bytes.len();
+        let ordinal = self.layout.visit_ordinals()[self.visit];
+        self.visit += 1;
         match &chunk.kind {
             ChunkKind::Number(spec) => {
-                let provided = assignment.get(*leaf_index);
+                let provided = source.leaf(*leaf_index);
                 *leaf_index += 1;
-                let value_bytes = match provided {
+                let value = match provided {
                     // Provided content is wire bytes in the field's own
                     // endianness — the convention shared by the cracker and
                     // the mutators. Round-tripping through the decoded value
                     // normalises wrong-width content to the field width and
                     // leaves correctly-sized content untouched.
-                    Some(bytes) => spec.encode(spec.decode_lossy(bytes)),
-                    None => spec.encode(spec.default),
+                    Some(bytes) => spec.decode_lossy(bytes),
+                    None => spec.default,
                 };
-                self.bytes.extend_from_slice(&value_bytes);
+                spec.encode_into(value, self.bytes);
             }
             ChunkKind::Bytes(spec) => {
-                let provided = assignment.get(*leaf_index).map(<[u8]>::to_vec);
+                let provided = source.leaf(*leaf_index);
                 *leaf_index += 1;
-                let mut content = provided.unwrap_or_else(|| spec.default.clone());
+                // Emit straight from the borrowed content; a fixed length
+                // pads/truncates in place on the output buffer, so neither
+                // provided content nor the default is ever cloned.
+                self.bytes
+                    .extend_from_slice(provided.unwrap_or(&spec.default));
                 if let crate::types::LengthSpec::Fixed(len) = spec.length {
-                    content.resize(len, 0);
+                    self.bytes.resize(start + len, 0);
                 }
-                self.bytes.extend_from_slice(&content);
             }
             ChunkKind::Str(spec) => {
-                let provided = assignment.get(*leaf_index).map(<[u8]>::to_vec);
+                let provided = source.leaf(*leaf_index);
                 *leaf_index += 1;
-                let mut content = provided.unwrap_or_else(|| spec.default.clone().into_bytes());
+                self.bytes
+                    .extend_from_slice(provided.unwrap_or(spec.default.as_bytes()));
                 if let crate::types::LengthSpec::Fixed(len) = spec.length {
-                    content.resize(len, b' ');
+                    self.bytes.resize(start + len, b' ');
                 }
-                self.bytes.extend_from_slice(&content);
             }
             ChunkKind::Block(children) => {
                 for child in children {
-                    self.emit_chunk(child, assignment, leaf_index);
+                    self.emit_chunk(child, source, leaf_index);
                 }
             }
             ChunkKind::Choice(options) => {
                 if let Some(first) = options.first() {
-                    self.emit_chunk(first, assignment, leaf_index);
+                    self.emit_chunk(first, source, leaf_index);
                 }
             }
         }
-        if let Some(ordinal) = self.layout.ordinal(&chunk.name) {
-            self.spans[ordinal] = Some(start..self.bytes.len());
-        }
+        self.spans[ordinal] = Some(start..self.bytes.len());
     }
-}
-
-/// Looks up the emitted span of the chunk named `name`, if it was emitted.
-fn span_of<'spans>(
-    layout: &LinearLayout,
-    spans: &'spans [Option<Range<usize>>],
-    name: &str,
-) -> Option<&'spans Range<usize>> {
-    layout
-        .ordinal(name)
-        .and_then(|ordinal| spans[ordinal].as_ref())
 }
 
 /// Recomputes relation fields first and fixup fields second, overwriting
 /// their emitted bytes in place.
+///
+/// Both passes walk the layout's *precompiled* repair plans (built once per
+/// model) instead of re-walking the chunk tree and re-hashing field names
+/// per packet; the per-packet work is exactly the repairs themselves.
 fn repair_in_place(
-    model: &DataModel,
     layout: &LinearLayout,
     spans: &[Option<Range<usize>>],
     covered: &mut Vec<u8>,
+    encoded: &mut Vec<u8>,
     bytes: &mut [u8],
 ) {
     // Pass 1: relations (sizes and counts).
-    for chunk in model.root().iter() {
-        let ChunkKind::Number(spec) = &chunk.kind else {
+    for repair in layout.relation_repairs() {
+        let (Some(own), Some(target)) = (spans[repair.own].as_ref(), spans[repair.target].as_ref())
+        else {
             continue;
         };
-        let Some(relation) = &spec.relation else {
-            continue;
-        };
-        let (Some(own), Some(target)) = (
-            span_of(layout, spans, &chunk.name),
-            span_of(layout, spans, relation.target().name()),
-        ) else {
-            continue;
-        };
+        let relation = repair
+            .spec
+            .relation
+            .as_ref()
+            .expect("precompiled from a relation field");
         let value = relation.value_for_size(target.len());
-        let encoded = spec.encode(value & spec.width.max_value());
-        bytes[own.clone()].copy_from_slice(&encoded);
+        encoded.clear();
+        repair
+            .spec
+            .encode_into(value & repair.spec.width.max_value(), encoded);
+        bytes[own.clone()].copy_from_slice(encoded);
     }
     // Pass 2: fixups (checksums), computed over the repaired bytes.
-    for chunk in model.root().iter() {
-        let ChunkKind::Number(spec) = &chunk.kind else {
-            continue;
-        };
-        let Some(fixup) = &spec.fixup else { continue };
-        let Some(own) = span_of(layout, spans, &chunk.name) else {
+    for repair in layout.fixup_repairs() {
+        let Some(own) = spans[repair.own].as_ref() else {
             continue;
         };
         covered.clear();
-        for target in &fixup.over {
-            if let Some(span) = span_of(layout, spans, target.name()) {
+        for &target in &repair.over {
+            if let Some(span) = spans[target].as_ref() {
                 covered.extend_from_slice(&bytes[span.clone()]);
             }
         }
+        let fixup = repair
+            .spec
+            .fixup
+            .as_ref()
+            .expect("precompiled from a fixup field");
         let value = fixup.kind.compute(covered);
-        let encoded = spec.encode(value & spec.width.max_value());
-        bytes[own.clone()].copy_from_slice(&encoded);
+        encoded.clear();
+        repair
+            .spec
+            .encode_into(value & repair.spec.width.max_value(), encoded);
+        bytes[own.clone()].copy_from_slice(encoded);
     }
 }
 

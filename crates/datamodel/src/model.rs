@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use crate::chunk::{Chunk, ChunkKind, RuleId};
+use crate::chunk::{Chunk, ChunkKind, NumberSpec, RuleId};
 use crate::error::ModelError;
 
 /// A complete data model for one packet type, i.e. one `Mᵢ` of the paper.
@@ -206,6 +206,34 @@ pub struct LinearLayout {
     /// injective; the emitter indexes its span table with these ordinals
     /// instead of allocating `String` keys per packet.
     ordinals: HashMap<String, usize>,
+    /// Span-table ordinal of the n-th chunk the *emitter* visits (its DFS
+    /// descends only into the first option of a choice, so this is a strict
+    /// subsequence of `ordinals`). Precomputed so the per-packet emission
+    /// loop indexes an array instead of hashing a chunk name per node.
+    visit_ordinals: Vec<usize>,
+    /// Relation fields to repair after emission, in tree order.
+    relation_repairs: Vec<RelationRepair>,
+    /// Fixup fields to repair after emission (after all relations), in tree
+    /// order.
+    fixup_repairs: Vec<FixupRepair>,
+}
+
+/// One precompiled relation repair: re-encode the field at span ordinal
+/// `own` from the emitted length of span ordinal `target`.
+#[derive(Debug, Clone)]
+pub(crate) struct RelationRepair {
+    pub(crate) own: usize,
+    pub(crate) target: usize,
+    pub(crate) spec: NumberSpec,
+}
+
+/// One precompiled fixup repair: re-encode the checksum at span ordinal
+/// `own` over the emitted bytes of the spans in `over`.
+#[derive(Debug, Clone)]
+pub(crate) struct FixupRepair {
+    pub(crate) own: usize,
+    pub(crate) over: Vec<usize>,
+    pub(crate) spec: NumberSpec,
 }
 
 impl LinearLayout {
@@ -217,7 +245,59 @@ impl LinearLayout {
             let ordinal = layout.ordinals.len();
             layout.ordinals.insert(chunk.name.clone(), ordinal);
         }
+        layout.collect_visit_ordinals(root);
+        // Precompile the File Fixup passes (relations first, then fixups,
+        // both in tree order — the order `repair` historically applied
+        // them). Model validation guarantees every referenced field exists,
+        // so the ordinal lookups cannot fail here.
+        for chunk in root.iter() {
+            let ChunkKind::Number(spec) = &chunk.kind else {
+                continue;
+            };
+            let own = layout.ordinals[&chunk.name];
+            if let Some(relation) = &spec.relation {
+                if let Some(&target) = layout.ordinals.get(relation.target().name()) {
+                    layout.relation_repairs.push(RelationRepair {
+                        own,
+                        target,
+                        spec: spec.clone(),
+                    });
+                }
+            }
+            if let Some(fixup) = &spec.fixup {
+                let over = fixup
+                    .over
+                    .iter()
+                    .filter_map(|field| layout.ordinals.get(field.name()).copied())
+                    .collect();
+                layout.fixup_repairs.push(FixupRepair {
+                    own,
+                    over,
+                    spec: spec.clone(),
+                });
+            }
+        }
         layout
+    }
+
+    /// Mirrors the emitter's traversal (all block children, only the first
+    /// choice option), recording each visited chunk's span ordinal in visit
+    /// order.
+    fn collect_visit_ordinals(&mut self, chunk: &Chunk) {
+        self.visit_ordinals.push(self.ordinals[&chunk.name]);
+        match &chunk.kind {
+            ChunkKind::Block(children) => {
+                for child in children {
+                    self.collect_visit_ordinals(child);
+                }
+            }
+            ChunkKind::Choice(options) => {
+                if let Some(first) = options.first() {
+                    self.collect_visit_ordinals(first);
+                }
+            }
+            _ => {}
+        }
     }
 
     fn collect(&mut self, chunk: &Chunk, path: &mut Vec<String>) {
@@ -284,6 +364,21 @@ impl LinearLayout {
     #[must_use]
     pub fn chunk_count(&self) -> usize {
         self.ordinals.len()
+    }
+
+    /// Span ordinals in emitter visit order (see `visit_ordinals`).
+    pub(crate) fn visit_ordinals(&self) -> &[usize] {
+        &self.visit_ordinals
+    }
+
+    /// The precompiled relation repairs, in tree order.
+    pub(crate) fn relation_repairs(&self) -> &[RelationRepair] {
+        &self.relation_repairs
+    }
+
+    /// The precompiled fixup repairs, in tree order.
+    pub(crate) fn fixup_repairs(&self) -> &[FixupRepair] {
+        &self.fixup_repairs
     }
 }
 

@@ -48,7 +48,7 @@ pub mod modbus;
 
 use std::fmt;
 
-use peachstar_coverage::TraceContext;
+use peachstar_coverage::{SparseTrace, TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
 
 /// The memory-safety-analogue failure classes reported by targets.
@@ -148,6 +148,101 @@ impl Outcome {
     }
 }
 
+/// What a campaign needs to know about one execution's outcome — the
+/// variant plus the fault record, without the response/rejection payloads,
+/// so batched and sharded engines can buffer it compactly per execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeSummary {
+    /// The packet was processed and answered.
+    Response,
+    /// The packet was rejected by protocol validation.
+    ProtocolError,
+    /// The packet reached a planted vulnerability.
+    Fault(Fault),
+}
+
+impl From<&Outcome> for OutcomeSummary {
+    fn from(outcome: &Outcome) -> Self {
+        match outcome {
+            Outcome::Response(_) => OutcomeSummary::Response,
+            Outcome::ProtocolError(_) => OutcomeSummary::ProtocolError,
+            Outcome::Fault(fault) => OutcomeSummary::Fault(*fault),
+        }
+    }
+}
+
+/// One window's buffered execution results: an [`OutcomeSummary`] and a
+/// [`SparseTrace`] snapshot per packet, in execution order.
+///
+/// This is the result sink of [`Target::process_batch`]. The buffer is
+/// *pooled*: [`begin`](WindowResults::begin) rewinds it without freeing, and
+/// [`record`](WindowResults::record) reuses the snapshot allocations of
+/// earlier windows, so in the steady state a batched campaign records a
+/// whole window of executions without allocating.
+#[derive(Debug, Default)]
+pub struct WindowResults {
+    summaries: Vec<OutcomeSummary>,
+    traces: Vec<SparseTrace>,
+    len: usize,
+}
+
+impl WindowResults {
+    /// Creates an empty result buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewinds the buffer for the next window, keeping every allocation.
+    pub fn begin(&mut self) {
+        self.summaries.clear();
+        self.len = 0;
+    }
+
+    /// Records one execution's outcome and trace snapshot, in execution
+    /// order, reusing a pooled snapshot buffer when one is available.
+    pub fn record(&mut self, outcome: &Outcome, trace: &TraceMap) {
+        if self.len == self.traces.len() {
+            self.traces.push(SparseTrace::new());
+        }
+        trace.snapshot_into(&mut self.traces[self.len]);
+        self.summaries.push(OutcomeSummary::from(outcome));
+        self.len += 1;
+    }
+
+    /// Number of executions recorded since the last
+    /// [`begin`](WindowResults::begin).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded since the last
+    /// [`begin`](WindowResults::begin).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The recorded `(summary, snapshot)` pairs, in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (&OutcomeSummary, &SparseTrace)> {
+        self.summaries[..self.len]
+            .iter()
+            .zip(&self.traces[..self.len])
+    }
+
+    /// Moves the recorded results out of the buffer, in execution order,
+    /// surrendering their snapshot allocations to the caller — for
+    /// consumers that must ship owned snapshots elsewhere (a sharded
+    /// worker's merge barrier). Snapshots pooled beyond the recorded length
+    /// stay behind for the next window.
+    pub fn drain(&mut self) -> impl Iterator<Item = (OutcomeSummary, SparseTrace)> + '_ {
+        let len = self.len;
+        self.len = 0;
+        self.summaries.drain(..len).zip(self.traces.drain(..len))
+    }
+}
+
 /// One fixed packet of a [`SessionTemplate`]: known-good wire bytes plus a
 /// display label naming the protocol step they perform.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -219,6 +314,46 @@ pub trait Target {
 
     /// Processes one packet, recording coverage on `ctx`.
     fn process(&mut self, packet: &[u8], ctx: &mut TraceContext) -> Outcome;
+
+    /// Processes one reset-aligned *window* of packets in a single call,
+    /// replacing `out`'s previous contents with one `(summary, snapshot)`
+    /// pair per packet in execution order.
+    ///
+    /// The default implementation loops [`process`](Target::process) —
+    /// resetting `ctx` before each packet and restarting the target after a
+    /// fault, exactly as the per-execution executor does — so every target
+    /// supports batching out of the box. Servers can override it to hoist
+    /// per-packet setup out of the loop: the override runs its packet loop
+    /// with *static* dispatch (one virtual call per window instead of one
+    /// per packet), and can prevalidate window-constant framing in a tight
+    /// prepass over the headers (the seam a SIMD/vectorised decoder plugs
+    /// into).
+    ///
+    /// # Contract
+    ///
+    /// For every packet the recorded outcome and trace must be **identical**
+    /// to what a [`process`](Target::process) loop over the same packets
+    /// would record — batched campaigns are required to be bit-identical to
+    /// sequential ones, so an override must not skip or reorder any
+    /// instrumented work whose edges land in the trace. After a
+    /// [`Outcome::Fault`] the target must restart itself (via
+    /// [`reset`](Target::reset)) before the next packet.
+    fn process_batch(
+        &mut self,
+        packets: &[&[u8]],
+        ctx: &mut TraceContext,
+        out: &mut WindowResults,
+    ) {
+        out.begin();
+        for packet in packets {
+            ctx.reset();
+            let outcome = self.process(packet, ctx);
+            if outcome.is_fault() {
+                self.reset();
+            }
+            out.record(&outcome, ctx.trace());
+        }
+    }
 
     /// Resets all session state to the just-started condition.
     fn reset(&mut self);
@@ -438,6 +573,95 @@ mod tests {
         assert_eq!(
             capable, 4,
             "iec104, lib60870, iec61850 and iccp advertise session templates"
+        );
+    }
+
+    #[test]
+    fn process_batch_matches_a_sequential_process_loop() {
+        // The batched entry point's contract: per-packet outcomes and trace
+        // snapshots are identical to looping `process`, for the default
+        // implementation and for every override (modbus and iec104 ship
+        // devirtualised overrides with a framing prescan). Drive each target
+        // with a window mixing well-formed packets, malformed frames and
+        // repeats, comparing against an independent per-packet loop.
+        use peachstar_datamodel::emit::emit_default;
+        for id in TargetId::ALL {
+            let mut sequential = id.create();
+            let mut batched = id.create();
+            let mut window: Vec<Vec<u8>> = sequential
+                .data_models()
+                .models()
+                .iter()
+                .map(|model| emit_default(model).expect("default emission"))
+                .collect();
+            window.push(Vec::new()); // empty frame
+            window.push(vec![0xFF; 3]); // short garbage
+            window.push(vec![0x68, 0x04, 0x07, 0x00, 0x00, 0x00]); // 104 STARTDT bytes
+            let mut corrupted = window[0].clone();
+            if let Some(byte) = corrupted.get_mut(1) {
+                *byte ^= 0xA5;
+            }
+            window.push(corrupted);
+            let repeat = window[0].clone();
+            window.push(repeat); // state-dependent repeat at the window end
+
+            // Reference: the per-execution loop, exactly as the default impl
+            // documents it.
+            let mut ctx = TraceContext::new();
+            let mut expected: Vec<(OutcomeSummary, peachstar_coverage::SparseTrace)> = Vec::new();
+            for packet in &window {
+                ctx.reset();
+                let outcome = sequential.process(packet, &mut ctx);
+                if outcome.is_fault() {
+                    sequential.reset();
+                }
+                expected.push((OutcomeSummary::from(&outcome), ctx.trace().to_sparse()));
+            }
+
+            let refs: Vec<&[u8]> = window.iter().map(Vec::as_slice).collect();
+            let mut ctx = TraceContext::new();
+            let mut results = WindowResults::new();
+            // Two rounds through the same pooled buffer: the second proves
+            // `begin` + pooled snapshots leave no stale state behind.
+            batched.process_batch(&refs, &mut ctx, &mut results);
+            batched.reset();
+            batched.process_batch(&refs, &mut ctx, &mut results);
+            assert_eq!(results.len(), window.len(), "{id}");
+            for (index, (summary, trace)) in results.iter().enumerate() {
+                assert_eq!(*summary, expected[index].0, "{id}: packet {index} outcome");
+                assert_eq!(*trace, expected[index].1, "{id}: packet {index} trace");
+            }
+        }
+    }
+
+    #[test]
+    fn window_results_pool_and_rewind() {
+        let mut results = WindowResults::new();
+        assert!(results.is_empty());
+        let mut ctx = TraceContext::new();
+        ctx.edge(peachstar_coverage::EdgeId::new(7));
+        results.record(&Outcome::Response(vec![1]), ctx.trace());
+        results.record(
+            &Outcome::Fault(Fault::new(FaultKind::Segv, "x")),
+            ctx.trace(),
+        );
+        assert_eq!(results.len(), 2);
+        let summaries: Vec<OutcomeSummary> = results.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            summaries,
+            vec![
+                OutcomeSummary::Response,
+                OutcomeSummary::Fault(Fault::new(FaultKind::Segv, "x"))
+            ]
+        );
+        results.begin();
+        assert!(results.is_empty());
+        assert_eq!(results.iter().count(), 0, "rewound results are invisible");
+        results.record(&Outcome::ProtocolError("bad".into()), ctx.trace());
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results.iter().next().map(|(s, _)| *s),
+            Some(OutcomeSummary::ProtocolError)
         );
     }
 

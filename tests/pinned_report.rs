@@ -26,11 +26,7 @@ struct PinnedReport {
     corpus_size: usize,
 }
 
-fn run(target: TargetId, strategy: StrategyKind, seed: u64, executions: u64) -> PinnedReport {
-    let config = CampaignConfig::new(strategy)
-        .executions(executions)
-        .rng_seed(seed)
-        .sample_interval(200);
+fn run_config(target: TargetId, config: CampaignConfig) -> PinnedReport {
     let report = Campaign::new(target.create(), config).run();
     let last = report
         .series
@@ -47,6 +43,14 @@ fn run(target: TargetId, strategy: StrategyKind, seed: u64, executions: u64) -> 
         valuable_seeds: report.valuable_seeds,
         corpus_size: report.corpus_size,
     }
+}
+
+fn run(target: TargetId, strategy: StrategyKind, seed: u64, executions: u64) -> PinnedReport {
+    let config = CampaignConfig::new(strategy)
+        .executions(executions)
+        .rng_seed(seed)
+        .sample_interval(200);
+    run_config(target, config)
 }
 
 #[test]
@@ -81,6 +85,35 @@ fn modbus_peach_baseline_report_is_pinned() {
             corpus_size: 0,
         }
     );
+}
+
+#[test]
+fn batched_modbus_peach_baseline_matches_the_pinned_report() {
+    // The batched driver (PR 5) against the constants captured from the
+    // *pre-PR-2 dense* implementation, deliberately un-recaptured: batching
+    // amortises dispatch but may not move a single count of the
+    // feedback-free baseline, whatever the batch size.
+    for batch in [64, 250, 4_000] {
+        let config = CampaignConfig::new(StrategyKind::Peach)
+            .executions(3_000)
+            .rng_seed(3)
+            .sample_interval(200)
+            .batch(batch);
+        assert_eq!(
+            run_config(TargetId::Modbus, config),
+            PinnedReport {
+                final_paths: 89,
+                final_edges: 125,
+                responses: 953,
+                protocol_errors: 2_040,
+                fault_hits: 7,
+                unique_bugs: 2,
+                valuable_seeds: 89,
+                corpus_size: 0,
+            },
+            "batch {batch}"
+        );
+    }
 }
 
 #[test]
