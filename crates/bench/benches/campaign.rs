@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use peachstar::campaign::{Campaign, CampaignConfig, SessionConfig, ShardConfig, ShardedCampaign};
+use peachstar::snapshot::{CampaignSnapshot, CheckpointConfig};
 use peachstar::strategy::StrategyKind;
 use peachstar_protocols::TargetId;
 
@@ -150,11 +151,80 @@ fn bench_campaign_sessions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checkpointed throughput: the same campaigns as [`bench_campaign`] with a
+/// snapshot written to disk at every 4th window boundary (plus the final
+/// one). The delta against the unsuffixed entries is the full checkpoint
+/// cost — state capture, canonical encoding and the atomic temp-file +
+/// rename write — and the `ci/bench_compare.py` gate holds it under the
+/// regression threshold, demonstrating that checkpointing is cheap enough
+/// to leave on for real campaigns.
+fn bench_campaign_checkpointed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    let path = std::env::temp_dir().join(format!("peachstar-bench-{}.snap", std::process::id()));
+    for (target, label) in [(TargetId::Modbus, "modbus"), (TargetId::Iec104, "iec104")] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let name = format!(
+                "{label}_{}_checkpointed_2k_execs",
+                match strategy {
+                    StrategyKind::Peach => "peach",
+                    StrategyKind::PeachStar => "peachstar",
+                }
+            );
+            let checkpoint = CheckpointConfig::new(path.clone(), 4);
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let config = CampaignConfig::new(strategy)
+                        .executions(EXECUTIONS)
+                        .rng_seed(7)
+                        .sample_interval(500);
+                    let report = Campaign::new(target.create(), config)
+                        .run_checkpointed(&checkpoint)
+                        .expect("checkpointed campaign");
+                    report.final_paths()
+                });
+            });
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+/// Snapshot write+read round-trip in isolation: capture the final state of
+/// a finished 2 000-execution Peach\* campaign once, then measure encode →
+/// atomic write → read → decode against a tmpfs-backed path. This is the
+/// unit the per-window checkpoint cadence multiplies.
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    let config = CampaignConfig::new(StrategyKind::PeachStar)
+        .executions(EXECUTIONS)
+        .rng_seed(7)
+        .sample_interval(500);
+    let (_, snapshot) = Campaign::new(TargetId::Modbus.create(), config).run_with_final_snapshot();
+    let path = std::env::temp_dir().join(format!(
+        "peachstar-bench-roundtrip-{}.snap",
+        std::process::id()
+    ));
+    group.bench_function("modbus_peachstar_snapshot_roundtrip", |b| {
+        b.iter(|| {
+            snapshot.write_atomic(&path).expect("snapshot write");
+            CampaignSnapshot::read_from(&path)
+                .expect("snapshot read")
+                .completed
+        });
+    });
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_campaign,
     bench_campaign_batched,
     bench_campaign_sharded,
-    bench_campaign_sessions
+    bench_campaign_sessions,
+    bench_campaign_checkpointed,
+    bench_snapshot_roundtrip
 );
 criterion_main!(benches);

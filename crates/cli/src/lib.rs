@@ -20,14 +20,16 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use peachstar::campaign::{
-    Campaign, CampaignConfig, CampaignReport, PhaseMask, SessionConfig, ShardConfig,
-    ShardedCampaign,
+    run_repetitions_shared, Campaign, CampaignConfig, CampaignReport, PhaseMask, SessionConfig,
+    ShardConfig, ShardedCampaign,
 };
+use peachstar::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError};
 use peachstar::stats::CoverageSeries;
 use peachstar::strategy::StrategyKind;
 use peachstar_protocols::TargetId;
@@ -107,6 +109,22 @@ pub struct CliOptions {
     pub session_payload: u64,
     /// Which session phases are mutated (with `--sessions`).
     pub mutate: PhaseMask,
+    /// Write a resumable campaign snapshot to this path (atomic temp +
+    /// rename) at window boundaries. Requires exactly one target, one
+    /// fuzzer and a single repetition.
+    pub checkpoint: Option<PathBuf>,
+    /// Completed windows between periodic checkpoints (with `--checkpoint`).
+    pub checkpoint_every: u64,
+    /// Resume a snapshotted campaign from this path instead of starting
+    /// fresh; the final report is bit-identical to the uninterrupted run.
+    pub resume: Option<PathBuf>,
+    /// Stop at the first window boundary at or past this execution, write
+    /// the snapshot to the `--checkpoint` path and exit — a controlled
+    /// interruption for checkpoint/resume pipelines.
+    pub stop_after: Option<u64>,
+    /// Chain Peach\* repetitions through a merged puzzle corpus so later
+    /// seeds start from earlier discoveries.
+    pub shared_corpus: bool,
 }
 
 impl Default for CliOptions {
@@ -127,8 +145,18 @@ impl Default for CliOptions {
             sessions: false,
             session_payload: SessionConfig::DEFAULT_PAYLOAD_PACKETS,
             mutate: PhaseMask::default(),
+            checkpoint: None,
+            checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
+            resume: None,
+            stop_after: None,
+            shared_corpus: false,
         }
     }
+}
+
+impl CliOptions {
+    /// Default checkpoint cadence: every 8 completed windows.
+    pub const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
 }
 
 /// What the command line asked for.
@@ -190,6 +218,27 @@ OPTIONS:
                              handshake/teardown phases replay the template
                              verbatim, an unmutated payload phase sends
                              model-default packets. [default: payload]
+    --checkpoint <PATH>      Write a resumable campaign snapshot to PATH
+                             (atomically: temp file + rename) every
+                             --checkpoint-every windows and at the end.
+                             Requires exactly one target, one fuzzer
+                             (--strategy peach, or peachstar with
+                             --no-baseline) and --repetitions 1.
+    --checkpoint-every <N>   Completed windows between periodic checkpoints
+                             [default: 8]
+    --resume <PATH>          Resume a snapshotted campaign: restores the
+                             puzzle corpus, coverage map, RNG stream and
+                             schedule cursor, then continues to the original
+                             budget. The final report is bit-identical to
+                             the uninterrupted run. Composes with
+                             --checkpoint to keep snapshotting.
+    --stop-after <N>         With --checkpoint: run to the first window
+                             boundary at or past execution N, write the
+                             snapshot, and exit (a controlled interruption)
+    --shared-corpus          With --repetitions >= 2: chain the Peach*
+                             repetitions through a merged puzzle corpus so
+                             each seed starts from the donors every earlier
+                             seed discovered
     --csv                    Also print the merged coverage series as CSV
     --json                   Print the report as machine-readable JSON
                              instead of the table
@@ -200,6 +249,10 @@ OPTIONS:
 EXAMPLES:
     peachstar-cli --target modbus --strategy peachstar --executions 5000 --jobs 4
     peachstar-cli --target all --repetitions 3 --jobs 8 --csv
+    peachstar-cli --target modbus --strategy peachstar --no-baseline \\
+        --checkpoint run.snap --stop-after 10000   # interrupt at a boundary
+    peachstar-cli --target modbus --strategy peachstar --no-baseline \\
+        --resume run.snap                          # finish the campaign
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -212,6 +265,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut targets: Vec<TargetId> = Vec::new();
     let mut mutate: Option<PhaseMask> = None;
     let mut session_payload: Option<u64> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut iter = args.iter();
 
     fn value<'a>(
@@ -305,6 +359,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 });
                 set(mask);
             }
+            "--checkpoint" => {
+                options.checkpoint = Some(PathBuf::from(value("--checkpoint", &mut iter)?));
+            }
+            "--checkpoint-every" => {
+                let every =
+                    number("--checkpoint-every", value("--checkpoint-every", &mut iter)?)?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                checkpoint_every = Some(every);
+            }
+            "--resume" => {
+                options.resume = Some(PathBuf::from(value("--resume", &mut iter)?));
+            }
+            "--stop-after" => {
+                let stop = number("--stop-after", value("--stop-after", &mut iter)?)?;
+                if stop == 0 {
+                    return Err("--stop-after must be at least 1".into());
+                }
+                options.stop_after = Some(stop);
+            }
+            "--shared-corpus" => options.shared_corpus = true,
             "--csv" => options.csv = true,
             "--json" => options.json = true,
             "--no-baseline" => options.no_baseline = true,
@@ -348,6 +424,70 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 sessionless.join(", "),
                 capable.join(", ")
             ));
+        }
+    }
+    if let Some(every) = checkpoint_every {
+        if options.checkpoint.is_none() {
+            return Err("--checkpoint-every requires --checkpoint".into());
+        }
+        options.checkpoint_every = every;
+    }
+    if options.stop_after.is_some() && options.checkpoint.is_none() {
+        return Err("--stop-after requires --checkpoint <path> to hold the snapshot".into());
+    }
+    if let Some(stop) = options.stop_after {
+        if stop > options.executions {
+            return Err(format!(
+                "--stop-after {stop} exceeds the execution budget ({})",
+                options.executions
+            ));
+        }
+    }
+    if options.checkpoint.is_some() || options.resume.is_some() {
+        if options.shared_corpus {
+            return Err("--shared-corpus cannot be combined with --checkpoint/--resume".into());
+        }
+        if options.targets.len() != 1 {
+            return Err(
+                "--checkpoint/--resume snapshots exactly one campaign: give one --target \
+                 (not `all`)"
+                    .into(),
+            );
+        }
+        if options.strategy.kinds(options.no_baseline).len() != 1 {
+            return Err(
+                "--checkpoint/--resume snapshots exactly one campaign: use --strategy peach, \
+                 or --strategy peachstar with --no-baseline"
+                    .into(),
+            );
+        }
+        if options.repetitions != 1 {
+            return Err("--checkpoint/--resume requires --repetitions 1".into());
+        }
+    }
+    if options.shared_corpus {
+        if options.repetitions < 2 {
+            return Err(
+                "--shared-corpus needs --repetitions >= 2 (a single run has nothing to share)"
+                    .into(),
+            );
+        }
+        if !options
+            .strategy
+            .kinds(options.no_baseline)
+            .contains(&StrategyKind::PeachStar)
+        {
+            return Err(
+                "--shared-corpus shares the Peach* puzzle corpus; --strategy peach keeps none"
+                    .into(),
+            );
+        }
+        if options.shards >= 2 {
+            return Err(
+                "--shared-corpus chains repetitions sequentially through one corpus; \
+                 drop --shards"
+                    .into(),
+            );
         }
     }
     Ok(Command::Run(options))
@@ -438,6 +578,10 @@ pub struct RunOutcome {
     pub campaigns: Vec<MergedCampaign>,
     /// Wall-clock seconds the whole run took.
     pub wall_seconds: f64,
+    /// Set when `--stop-after` ended the run at this window boundary instead
+    /// of completion; `campaigns` is empty and the snapshot sits at the
+    /// `--checkpoint` path, ready for `--resume`.
+    pub stopped_at: Option<u64>,
 }
 
 impl RunOutcome {
@@ -450,11 +594,40 @@ impl RunOutcome {
     }
 }
 
+/// The per-campaign configuration a [`WorkItem`]'s options translate to.
+fn build_config(
+    options: &CliOptions,
+    strategy: StrategyKind,
+    seed: u64,
+    sample_interval: u64,
+) -> CampaignConfig {
+    let mut config = CampaignConfig::new(strategy)
+        .executions(options.executions)
+        .rng_seed(seed)
+        .sample_interval(sample_interval);
+    if options.sessions {
+        config =
+            config.sessions(SessionConfig::new(options.session_payload).mutate(options.mutate));
+    }
+    if let Some(batch) = options.batch {
+        config = config.batch(batch);
+    }
+    config
+}
+
 /// Runs all requested campaigns, distributing repetitions over `jobs`
 /// worker threads, and merges each (target, strategy) group's coverage
 /// series.
-#[must_use]
-pub fn run(options: &CliOptions) -> RunOutcome {
+///
+/// `--checkpoint`/`--resume`/`--stop-after` runs drive the single campaign
+/// through the snapshot seams instead of the thread pool; `--shared-corpus`
+/// chains the repetitions sequentially through one merged puzzle corpus.
+///
+/// # Errors
+///
+/// Returns a human-readable message when a snapshot cannot be read,
+/// written, or does not match the requested campaign.
+pub fn run(options: &CliOptions) -> Result<RunOutcome, String> {
     let start = Instant::now();
     let kinds = options.strategy.kinds(options.no_baseline);
     let sample_interval = if options.sample_interval > 0 {
@@ -462,6 +635,13 @@ pub fn run(options: &CliOptions) -> RunOutcome {
     } else {
         (options.executions / 100).max(1)
     };
+
+    if options.checkpoint.is_some() || options.resume.is_some() {
+        return run_checkpointable(options, kinds[0], sample_interval, start);
+    }
+    if options.shared_corpus {
+        return Ok(run_shared(options, &kinds, sample_interval, start));
+    }
 
     let mut queue: VecDeque<WorkItem> = VecDeque::new();
     for &target in &options.targets {
@@ -496,18 +676,7 @@ pub fn run(options: &CliOptions) -> RunOutcome {
                 let Some(item) = queue.lock().expect("queue lock").pop_front() else {
                     return;
                 };
-                let mut config = CampaignConfig::new(item.strategy)
-                    .executions(options.executions)
-                    .rng_seed(item.seed)
-                    .sample_interval(sample_interval);
-                if options.sessions {
-                    config = config.sessions(
-                        SessionConfig::new(options.session_payload).mutate(options.mutate),
-                    );
-                }
-                if let Some(batch) = options.batch {
-                    config = config.batch(batch);
-                }
+                let config = build_config(options, item.strategy, item.seed, sample_interval);
                 let report = if options.shards >= 2 {
                     ShardedCampaign::new(
                         item.target.create(),
@@ -549,10 +718,154 @@ pub fn run(options: &CliOptions) -> RunOutcome {
         }
     }
 
+    Ok(RunOutcome {
+        options: options.clone(),
+        campaigns,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        stopped_at: None,
+    })
+}
+
+/// The `--checkpoint`/`--resume`/`--stop-after` path: exactly one campaign
+/// (parse-time validated), driven through the snapshot seams of
+/// [`Campaign`] or [`ShardedCampaign`].
+fn run_checkpointable(
+    options: &CliOptions,
+    strategy: StrategyKind,
+    sample_interval: u64,
+    start: Instant,
+) -> Result<RunOutcome, String> {
+    let target = options.targets[0];
+    let config = build_config(options, strategy, options.seed, sample_interval);
+    let resumed = options
+        .resume
+        .as_ref()
+        .map(|path| {
+            CampaignSnapshot::read_from(path)
+                .map_err(|error| format!("--resume {}: {error}", path.display()))
+        })
+        .transpose()?;
+    let checkpoint = options
+        .checkpoint
+        .as_ref()
+        .map(|path| CheckpointConfig::new(path.clone(), options.checkpoint_every));
+    let campaign_error = |error: SnapshotError| format!("checkpointable campaign: {error}");
+
+    // A controlled interruption: run to the first boundary at or past
+    // --stop-after, persist the snapshot, and report where we stopped.
+    if let Some(stop) = options.stop_after {
+        let path = options
+            .checkpoint
+            .as_ref()
+            .expect("parse_args requires --checkpoint with --stop-after");
+        let snapshot = if options.shards >= 2 {
+            let campaign = ShardedCampaign::new(
+                target.create(),
+                config,
+                ShardConfig::with_workers(options.shards),
+            );
+            let boundary = first_boundary(&campaign.round_boundaries(), stop)?;
+            match &resumed {
+                Some(from) => campaign.resume_to_boundary(from, boundary),
+                None => campaign.run_to_boundary(boundary),
+            }
+            .map_err(campaign_error)?
+        } else {
+            let campaign = Campaign::new(target.create(), config);
+            let boundary = first_boundary(&campaign.window_boundaries(), stop)?;
+            match &resumed {
+                Some(from) => campaign.resume_to_boundary(from, boundary),
+                None => campaign.run_to_boundary(boundary),
+            }
+            .map_err(campaign_error)?
+        };
+        let stopped_at = snapshot.completed;
+        snapshot
+            .write_atomic(path)
+            .map_err(|error| format!("--checkpoint {}: {error}", path.display()))?;
+        return Ok(RunOutcome {
+            options: options.clone(),
+            campaigns: Vec::new(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            stopped_at: Some(stopped_at),
+        });
+    }
+
+    let report = if options.shards >= 2 {
+        let campaign = ShardedCampaign::new(
+            target.create(),
+            config,
+            ShardConfig::with_workers(options.shards),
+        );
+        match (&resumed, &checkpoint) {
+            (Some(from), Some(to)) => campaign.resume_checkpointed(from, to),
+            (Some(from), None) => campaign.resume(from),
+            (None, Some(to)) => campaign.run_checkpointed(to),
+            (None, None) => unreachable!("parse_args requires --checkpoint or --resume"),
+        }
+    } else {
+        let campaign = Campaign::new(target.create(), config);
+        match (&resumed, &checkpoint) {
+            (Some(from), Some(to)) => campaign.resume_checkpointed(from, to),
+            (Some(from), None) => campaign.resume(from),
+            (None, Some(to)) => campaign.run_checkpointed(to),
+            (None, None) => unreachable!("parse_args requires --checkpoint or --resume"),
+        }
+    }
+    .map_err(campaign_error)?;
+
+    let merged = MergedCampaign {
+        target,
+        strategy,
+        merged_series: report.series.clone(),
+        reports: vec![report],
+    };
+    Ok(RunOutcome {
+        options: options.clone(),
+        campaigns: vec![merged],
+        wall_seconds: start.elapsed().as_secs_f64(),
+        stopped_at: None,
+    })
+}
+
+/// The first reset-aligned boundary at or past `stop` — where a
+/// `--stop-after` interruption can actually land.
+fn first_boundary(boundaries: &[u64], stop: u64) -> Result<u64, String> {
+    boundaries
+        .iter()
+        .copied()
+        .find(|&end| end >= stop)
+        .ok_or_else(|| format!("--stop-after {stop} lies past every window boundary"))
+}
+
+/// The `--shared-corpus` path: every (target, strategy) group runs its
+/// repetitions sequentially, Peach\* seeds chained through one merged
+/// puzzle corpus (the baseline falls back to isolated repetitions).
+fn run_shared(
+    options: &CliOptions,
+    kinds: &[StrategyKind],
+    sample_interval: u64,
+    start: Instant,
+) -> RunOutcome {
+    let mut campaigns = Vec::new();
+    for &target in &options.targets {
+        for &strategy in kinds {
+            let config = build_config(options, strategy, options.seed, sample_interval);
+            let (merged_series, reports) =
+                run_repetitions_shared(|| target.create(), config, options.repetitions);
+            campaigns.push(MergedCampaign {
+                target,
+                strategy,
+                merged_series,
+                reports,
+            });
+        }
+    }
     RunOutcome {
         options: options.clone(),
         campaigns,
         wall_seconds: start.elapsed().as_secs_f64(),
+        stopped_at: None,
     }
 }
 
@@ -610,6 +923,27 @@ pub fn render_report(outcome: &RunOutcome) -> String {
             String::new()
         }
     ));
+    if options.shared_corpus {
+        out.push_str("repetitions share one merged puzzle corpus (--shared-corpus)\n");
+    }
+    if let Some(resume) = &options.resume {
+        out.push_str(&format!("resumed from snapshot {}\n", resume.display()));
+    }
+    if let Some(stopped) = outcome.stopped_at {
+        let path = options
+            .checkpoint
+            .as_ref()
+            .map_or_else(String::new, |p| p.display().to_string());
+        out.push_str(&format!(
+            "stopped at execution {stopped}; snapshot written to {path} \
+             (continue with --resume {path})\n"
+        ));
+        out.push_str(&format!(
+            "\ntotal wall time: {:.1}s\n",
+            outcome.wall_seconds
+        ));
+        return out;
+    }
 
     for &target in &options.targets {
         let peach = outcome.find(target, StrategyKind::Peach);
@@ -779,6 +1113,9 @@ pub fn render_json(outcome: &RunOutcome) -> String {
     if let Some(batch) = options.batch {
         out.push_str(&format!("  \"batch\": {batch},\n"));
     }
+    if let Some(stopped) = outcome.stopped_at {
+        out.push_str(&format!("  \"stopped_at\": {stopped},\n"));
+    }
     out.push_str("  \"campaigns\": [\n");
     for (index, merged) in outcome.campaigns.iter().enumerate() {
         let last = merged.merged_series.points().last();
@@ -867,13 +1204,20 @@ pub fn run_main(args: &[String]) -> ExitCode {
             if let Some(warning) = shard_parallelism_warning(options.shards, available) {
                 eprintln!("warning: {warning}");
             }
-            let outcome = run(&options);
-            if options.json {
-                print!("{}", render_json(&outcome));
-            } else {
-                print!("{}", render_report(&outcome));
+            match run(&options) {
+                Ok(outcome) => {
+                    if options.json {
+                        print!("{}", render_json(&outcome));
+                    } else {
+                        print!("{}", render_report(&outcome));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
             }
-            ExitCode::SUCCESS
         }
         Err(message) => {
             eprintln!("error: {message}");
@@ -988,11 +1332,12 @@ mod tests {
             jobs: 1,
             ..CliOptions::default()
         };
-        let sequential = run(&options);
+        let sequential = run(&options).expect("run");
         let batched = run(&CliOptions {
             batch: Some(128),
             ..options
-        });
+        })
+        .expect("run");
         let a = sequential.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
         let b = batched.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
         assert_eq!(a.final_paths(), b.final_paths());
@@ -1010,7 +1355,7 @@ mod tests {
             batch: Some(200),
             ..CliOptions::default()
         };
-        let outcome = run(&options);
+        let outcome = run(&options).expect("run");
         assert!(render_report(&outcome).contains("batched windows of 200"));
         let json = render_json(&outcome);
         assert!(json.contains("\"batch\": 200"));
@@ -1018,7 +1363,8 @@ mod tests {
         let outcome = run(&CliOptions {
             batch: None,
             ..options
-        });
+        })
+        .expect("run");
         assert!(!render_json(&outcome).contains("\"batch\""));
     }
 
@@ -1096,7 +1442,7 @@ mod tests {
             session_payload: 4,
             ..CliOptions::default()
         };
-        let outcome = run(&options);
+        let outcome = run(&options).expect("run");
         let merged = outcome.find(TargetId::Iec104, StrategyKind::Peach).unwrap();
         assert!(merged.final_paths() > 0);
         let report = render_report(&outcome);
@@ -1162,7 +1508,7 @@ mod tests {
             jobs: 4,
             ..CliOptions::default()
         };
-        let outcome = run(&options);
+        let outcome = run(&options).expect("run");
         assert_eq!(outcome.campaigns.len(), 2, "Peach and Peach* both ran");
         let peach = outcome.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
         let star = outcome
@@ -1188,8 +1534,8 @@ mod tests {
             jobs: 4,
             ..CliOptions::default()
         };
-        let parallel = run(&options);
-        let sequential = run(&CliOptions { jobs: 1, ..options });
+        let parallel = run(&options).expect("run");
+        let sequential = run(&CliOptions { jobs: 1, ..options }).expect("run");
         for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
             let a = parallel.find(TargetId::Iec104, strategy).unwrap();
             let b = sequential.find(TargetId::Iec104, strategy).unwrap();
@@ -1212,11 +1558,12 @@ mod tests {
             jobs: 1,
             ..CliOptions::default()
         };
-        let sequential = run(&options);
+        let sequential = run(&options).expect("run");
         let sharded = run(&CliOptions {
             shards: 3,
             ..options
-        });
+        })
+        .expect("run");
         let a = sequential.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
         let b = sharded.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
         assert_eq!(a.final_paths(), b.final_paths());
@@ -1236,7 +1583,7 @@ mod tests {
             json: true,
             ..CliOptions::default()
         };
-        let outcome = run(&options);
+        let outcome = run(&options).expect("run");
         let json = render_json(&outcome);
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
@@ -1272,7 +1619,7 @@ mod tests {
             jobs: 2,
             ..CliOptions::default()
         };
-        let outcome = run(&options);
+        let outcome = run(&options).expect("run");
         let report = render_report(&outcome);
         assert!(report.contains("executions,peach_paths,peachstar_paths"));
         let csv_lines = report
@@ -1280,5 +1627,235 @@ mod tests {
             .filter(|line| line.chars().next().is_some_and(char::is_numeric))
             .count();
         assert!(csv_lines > 2, "series rows rendered");
+    }
+
+    fn scratch_snapshot_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "peachstar-cli-{name}-{}.snap",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let Command::Run(options) = parse_args(&args(&[
+            "--target",
+            "modbus",
+            "--strategy",
+            "peach",
+            "--checkpoint",
+            "run.snap",
+            "--checkpoint-every",
+            "4",
+            "--stop-after",
+            "500",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.checkpoint, Some(PathBuf::from("run.snap")));
+        assert_eq!(options.checkpoint_every, 4);
+        assert_eq!(options.stop_after, Some(500));
+        assert!(options.resume.is_none());
+
+        // --resume alone, default cadence.
+        let Command::Run(options) = parse_args(&args(&[
+            "--target", "modbus", "--strategy", "peach", "--resume", "run.snap",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.resume, Some(PathBuf::from("run.snap")));
+        assert_eq!(
+            options.checkpoint_every,
+            CliOptions::DEFAULT_CHECKPOINT_EVERY
+        );
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        // Cadence and stop-after are meaningless without a checkpoint path.
+        assert!(parse_args(&args(&["--checkpoint-every", "4"])).is_err());
+        assert!(parse_args(&args(&["--stop-after", "500"])).is_err());
+        assert!(parse_args(&args(&["--checkpoint", "x", "--checkpoint-every", "0"])).is_err());
+        assert!(parse_args(&args(&["--checkpoint", "x", "--stop-after", "0"])).is_err());
+        // A snapshot pins exactly one campaign.
+        let single = ["--strategy", "peach", "--checkpoint", "x"];
+        assert!(parse_args(&args(&single)).is_ok());
+        assert!(parse_args(&args(&["--target", "all", "--strategy", "peach", "--checkpoint", "x"])).is_err());
+        assert!(parse_args(&args(&["--strategy", "both", "--checkpoint", "x"])).is_err());
+        assert!(parse_args(&args(&["--strategy", "peachstar", "--checkpoint", "x"])).is_err());
+        assert!(parse_args(&args(&[
+            "--strategy", "peachstar", "--no-baseline", "--checkpoint", "x"
+        ]))
+        .is_ok());
+        assert!(parse_args(&args(&[
+            "--strategy", "peach", "--repetitions", "2", "--checkpoint", "x"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["--strategy", "peach", "--resume", "x", "--target", "all"])).is_err());
+        // Stop-after cannot lie past the budget.
+        assert!(parse_args(&args(&[
+            "--strategy", "peach", "--executions", "100", "--checkpoint", "x",
+            "--stop-after", "101"
+        ]))
+        .is_err());
+        // Shared corpus constraints.
+        assert!(parse_args(&args(&["--shared-corpus"])).is_err(), "one repetition");
+        assert!(parse_args(&args(&[
+            "--shared-corpus", "--repetitions", "2", "--strategy", "peach"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--shared-corpus", "--repetitions", "2", "--shards", "2"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--shared-corpus", "--repetitions", "2", "--checkpoint", "x"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["--shared-corpus", "--repetitions", "2"])).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_stop_and_resume_matches_uninterrupted_run() {
+        let path = scratch_snapshot_path("stop-resume");
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::PeachStar,
+            no_baseline: true,
+            executions: 2_000,
+            jobs: 1,
+            ..CliOptions::default()
+        };
+        let complete = run(&options).expect("complete run");
+
+        // Interrupt at a boundary, then resume from the written snapshot.
+        let stopped = run(&CliOptions {
+            checkpoint: Some(path.clone()),
+            stop_after: Some(900),
+            ..options.clone()
+        })
+        .expect("stopped run");
+        assert!(stopped.campaigns.is_empty());
+        let boundary = stopped.stopped_at.expect("stopped at a boundary");
+        assert!(boundary >= 900, "stop lands on the next boundary");
+        assert!(render_report(&stopped).contains("stopped at execution"));
+        assert!(render_json(&stopped).contains("\"stopped_at\":"));
+
+        let resumed = run(&CliOptions {
+            resume: Some(path.clone()),
+            ..options.clone()
+        })
+        .expect("resumed run");
+        std::fs::remove_file(&path).ok();
+
+        let a = complete.campaigns.first().expect("complete campaign");
+        let b = resumed.campaigns.first().expect("resumed campaign");
+        let (a, b) = (&a.reports[0], &b.reports[0]);
+        assert_eq!(a.series.final_paths(), b.series.final_paths());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.protocol_errors, b.protocol_errors);
+        assert_eq!(a.fault_hits, b.fault_hits);
+        assert_eq!(a.corpus_size, b.corpus_size);
+        assert_eq!(a.valuable_seeds, b.valuable_seeds);
+        assert_eq!(a.bugs, b.bugs);
+        assert!(render_report(&resumed).contains("resumed from snapshot"));
+    }
+
+    #[test]
+    fn checkpointed_run_writes_a_readable_snapshot_and_matches_plain_run() {
+        let path = scratch_snapshot_path("periodic");
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 1_500,
+            jobs: 1,
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            ..CliOptions::default()
+        };
+        let checkpointed = run(&options).expect("checkpointed run");
+        let snapshot = CampaignSnapshot::read_from(&path).expect("final snapshot readable");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(snapshot.completed, 1_500, "final checkpoint covers the budget");
+
+        let plain = run(&CliOptions {
+            checkpoint: None,
+            ..options
+        })
+        .expect("plain run");
+        let a = &checkpointed.campaigns[0].reports[0];
+        let b = &plain.campaigns[0].reports[0];
+        assert_eq!(a.series.final_paths(), b.series.final_paths());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.bugs, b.bugs);
+    }
+
+    #[test]
+    fn resume_of_a_missing_or_mismatched_snapshot_fails_cleanly() {
+        let missing = scratch_snapshot_path("missing");
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 1_000,
+            jobs: 1,
+            resume: Some(missing.clone()),
+            ..CliOptions::default()
+        };
+        assert!(run(&options).is_err(), "missing snapshot is an error, not a panic");
+
+        // A snapshot from a different campaign shape is rejected by name.
+        let path = scratch_snapshot_path("mismatch");
+        let stopped = run(&CliOptions {
+            resume: None,
+            checkpoint: Some(path.clone()),
+            stop_after: Some(500),
+            ..options.clone()
+        })
+        .expect("stopped run");
+        assert!(stopped.stopped_at.is_some());
+        let error = run(&CliOptions {
+            executions: 3_000,
+            resume: Some(path.clone()),
+            ..options
+        })
+        .expect_err("budget mismatch rejected");
+        std::fs::remove_file(&path).ok();
+        assert!(error.contains("executions"), "error names the field: {error}");
+    }
+
+    #[test]
+    fn shared_corpus_run_chains_repetitions() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::PeachStar,
+            no_baseline: true,
+            executions: 1_200,
+            repetitions: 2,
+            jobs: 1,
+            shared_corpus: true,
+            ..CliOptions::default()
+        };
+        let shared = run(&options).expect("shared run");
+        let merged = shared
+            .find(TargetId::Modbus, StrategyKind::PeachStar)
+            .expect("peachstar group");
+        assert_eq!(merged.reports.len(), 2);
+        assert!(merged.final_paths() > 0);
+        assert!(render_report(&shared).contains("--shared-corpus"));
+
+        // Pooling discoveries can only help: the shared run's later seed
+        // starts from the first seed's donors, so the union of corpus sizes
+        // is at least the isolated run's.
+        let isolated = run(&CliOptions {
+            shared_corpus: false,
+            ..options
+        })
+        .expect("isolated run");
+        let isolated = isolated
+            .find(TargetId::Modbus, StrategyKind::PeachStar)
+            .expect("peachstar group");
+        assert!(merged.corpus_size() >= isolated.corpus_size());
     }
 }

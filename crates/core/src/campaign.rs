@@ -14,15 +14,20 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use peachstar_protocols::{Fault, Target};
+use peachstar_protocols::{Fault, Target, WindowResults};
 
+use crate::corpus::PuzzleCorpus;
+use crate::engine::batch::{windows_for_policy, PacketArena};
 use crate::engine::session::session_setup;
 use crate::engine::{
     CampaignMonitor, CoverageObserver, Engine, Executor, Feedback, NewCoverageFeedback,
-    ResetPolicy, Schedule, StrategySchedule, TargetExecutor,
+    ResetPolicy, Schedule, SessionPlan, StrategySchedule, TargetExecutor,
 };
+use crate::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError, SnapshotMeta};
 use crate::stats::CoverageSeries;
-use crate::strategy::{GenerationStrategy, StrategyKind};
+use crate::strategy::{
+    GenerationStrategy, SemanticAwareConfig, SemanticAwareStrategy, StrategyKind, StrategyState,
+};
 
 pub use crate::engine::session::{PhaseMask, SessionConfig};
 pub use crate::engine::shard::{run_sharded, ShardConfig, ShardedCampaign};
@@ -267,41 +272,200 @@ impl Campaign {
     /// stream with interval-scoped resets runs.
     #[must_use]
     pub fn run(self) -> CampaignReport {
+        let (report, _) = self
+            .launch(DriveOptions::default())
+            .expect("a plain campaign performs no fallible snapshot operations");
+        report
+    }
+
+    /// The reset policy this campaign will run under — the same derivation
+    /// [`run`](Campaign::run) performs, exposed so checkpoint alignment can
+    /// be computed without consuming the campaign.
+    fn policy(&self) -> ResetPolicy {
+        let session = self
+            .config
+            .session
+            .and_then(|opts| self.target.session_template().map(|template| (opts, template)));
+        match session {
+            Some((opts, template)) => ResetPolicy::PerSession(
+                SessionPlan::new(template, opts.payload_packets).session_len(),
+            ),
+            None => ResetPolicy::Interval(self.config.reset_interval),
+        }
+    }
+
+    /// The reset-aligned window boundaries of this campaign, ascending; the
+    /// last is always the execution budget. These are the only executions a
+    /// checkpoint can land on ([`run_to_boundary`](Campaign::run_to_boundary)
+    /// rejects anything else with [`SnapshotError::Unaligned`]).
+    #[must_use]
+    pub fn window_boundaries(&self) -> Vec<u64> {
+        windows_for_policy(self.config.executions, self.policy())
+            .iter()
+            .map(|&(_, end)| end)
+            .collect()
+    }
+
+    /// Runs the campaign to completion, writing a checkpoint to
+    /// `checkpoint.path` every `checkpoint.every_windows` windows (and at
+    /// the final one).
+    pub fn run_checkpointed(
+        self,
+        checkpoint: &CheckpointConfig,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            checkpoint: Some(checkpoint),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Runs the campaign up to (and including) execution `stop_after` —
+    /// which must be one of [`window_boundaries`](Campaign::window_boundaries)
+    /// — and returns the snapshot taken there. Resuming that snapshot with
+    /// [`resume`](Campaign::resume) produces a report bit-identical to an
+    /// uninterrupted [`run`](Campaign::run).
+    pub fn run_to_boundary(self, stop_after: u64) -> Result<CampaignSnapshot, SnapshotError> {
+        let (_, snapshot) = self.launch(DriveOptions {
+            stop_after: Some(stop_after),
+            ..DriveOptions::default()
+        })?;
+        Ok(snapshot.expect("a validated stop boundary always yields a snapshot"))
+    }
+
+    /// Runs the campaign to completion and also returns the final-state
+    /// snapshot — the entry point shared-corpus repetitions use to harvest
+    /// the finished corpus.
+    #[must_use]
+    pub fn run_with_final_snapshot(self) -> (CampaignReport, CampaignSnapshot) {
+        let (report, snapshot) = self
+            .launch(DriveOptions {
+                capture_final: true,
+                ..DriveOptions::default()
+            })
+            .expect("a capture-only campaign performs no fallible snapshot operations");
+        (
+            report,
+            snapshot.expect("capture_final always yields a snapshot"),
+        )
+    }
+
+    /// Resumes a snapshotted campaign to completion. The campaign must be
+    /// configured identically to the one that produced the snapshot
+    /// ([`SnapshotMeta::ensure_matches`] is enforced), and the resumed
+    /// report is bit-identical to the uninterrupted run's.
+    pub fn resume(self, snapshot: &CampaignSnapshot) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            resume: Some(snapshot),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Resumes a snapshotted campaign to completion while continuing to
+    /// write periodic checkpoints — the `--resume` + `--checkpoint` CLI
+    /// path. The checkpoint cadence counts absolute windows from the start
+    /// of the campaign, so an interrupted-and-resumed run checkpoints at
+    /// the same boundaries as an uninterrupted one.
+    pub fn resume_checkpointed(
+        self,
+        snapshot: &CampaignSnapshot,
+        checkpoint: &CheckpointConfig,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            resume: Some(snapshot),
+            checkpoint: Some(checkpoint),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Resumes a snapshot and stops again at a later window boundary —
+    /// lets a campaign be carried across any number of interruptions.
+    pub fn resume_to_boundary(
+        self,
+        snapshot: &CampaignSnapshot,
+        stop_after: u64,
+    ) -> Result<CampaignSnapshot, SnapshotError> {
+        let (_, out) = self.launch(DriveOptions {
+            resume: Some(snapshot),
+            stop_after: Some(stop_after),
+            ..DriveOptions::default()
+        })?;
+        Ok(out.expect("a validated stop boundary always yields a snapshot"))
+    }
+
+    /// Dispatches to the session-shaped or classic engine and drives it
+    /// window by window under the given snapshot options.
+    fn launch(
+        self,
+        opts: DriveOptions<'_>,
+    ) -> Result<(CampaignReport, Option<CampaignSnapshot>), SnapshotError> {
         let started = Instant::now();
         let Self {
             target,
             config,
             strategy,
         } = self;
+        let meta = SnapshotMeta::for_campaign(target.name(), &config);
         let session = config
             .session
             .and_then(|opts| target.session_template().map(|template| (opts, template)));
         match session {
-            Some((opts, template)) => {
-                let (policy, schedule) = session_setup(opts, template, strategy);
-                run_engine(target, policy, &config, schedule, started)
+            Some((session_opts, template)) => {
+                let (policy, schedule) = session_setup(session_opts, template, strategy);
+                drive_engine(target, policy, &config, schedule, started, meta, opts)
             }
-            None => run_engine(
+            None => drive_engine(
                 target,
                 ResetPolicy::Interval(config.reset_interval),
                 &config,
                 StrategySchedule::new(strategy),
                 started,
+                meta,
+                opts,
             ),
         }
     }
 }
 
-/// Drives the assembled engine over the full budget and folds the seams into
-/// a [`CampaignReport`]. Generic over the schedule so both the classic and
+/// Snapshot-related options of one engine drive. The default (all `None`,
+/// no capture) is a plain uninterrupted campaign. Shared by the sequential
+/// and the sharded driver.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct DriveOptions<'a> {
+    /// Restore this snapshot before executing anything, then skip every
+    /// window it already covers.
+    pub(crate) resume: Option<&'a CampaignSnapshot>,
+    /// Write periodic checkpoints (cadence counts absolute windows from the
+    /// campaign start, so it is invariant under interruption).
+    pub(crate) checkpoint: Option<&'a CheckpointConfig>,
+    /// Stop after the window (or, sharded, the round) ending exactly here
+    /// and return its snapshot.
+    pub(crate) stop_after: Option<u64>,
+    /// Capture (and return) a snapshot of the completed campaign.
+    pub(crate) capture_final: bool,
+}
+
+/// Drives the assembled engine window by window and folds the seams into a
+/// [`CampaignReport`]. Generic over the schedule so both the classic and
 /// the session-shaped campaign stay fully monomorphised.
-fn run_engine<S: Schedule>(
+///
+/// The window walk replicates [`Engine::run`] / [`Engine::run_batched`]
+/// exactly — same windows, same RNG stream, same reduce order — it only adds
+/// pause points between windows, which is what makes a checkpoint taken at a
+/// window boundary resume bit-exactly: every boundary is an execution the
+/// reset policy wipes the target before, so no target state needs saving.
+fn drive_engine<S: Schedule>(
     target: Box<dyn Target>,
     policy: ResetPolicy,
     config: &CampaignConfig,
     schedule: S,
     started: Instant,
-) -> CampaignReport {
+    meta: SnapshotMeta,
+    opts: DriveOptions<'_>,
+) -> Result<(CampaignReport, Option<CampaignSnapshot>), SnapshotError> {
+    let windows = windows_for_policy(config.executions, policy);
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
     let mut engine = Engine {
         executor: TargetExecutor::with_policy(target, policy),
@@ -311,12 +475,74 @@ fn run_engine<S: Schedule>(
         schedule,
     };
     let models = engine.executor.data_models();
-    match config.batch {
-        // The batched driver generates, executes and reduces one
-        // reset-aligned window at a time; Peach reports are bit-identical
-        // to the per-execution loop below (tests/batch_equivalence.rs).
-        Some(batch) => engine.run_batched(config.executions, policy, batch, &models, &mut rng),
-        None => engine.run(config.executions, &models, &mut rng),
+
+    let resumed_from = match opts.resume {
+        Some(snapshot) => {
+            snapshot.meta.ensure_matches(&meta)?;
+            if snapshot.completed != 0
+                && !windows.iter().any(|&(_, end)| end == snapshot.completed)
+            {
+                return Err(SnapshotError::Unaligned(snapshot.completed));
+            }
+            engine.restore(snapshot, &mut rng)?;
+            snapshot.completed
+        }
+        None => 0,
+    };
+    if let Some(stop) = opts.stop_after {
+        if stop <= resumed_from || !windows.iter().any(|&(_, end)| end == stop) {
+            return Err(SnapshotError::Unaligned(stop));
+        }
+    }
+
+    let mut arena = PacketArena::default();
+    let mut results = WindowResults::new();
+    let mut out_snapshot = None;
+    let mut completed = resumed_from;
+    for (index, &(start, end)) in windows.iter().enumerate() {
+        if end <= resumed_from {
+            continue;
+        }
+        match config.batch {
+            // The batched body generates, executes and reduces the window
+            // exactly as Engine::run_batched would (tests/batch_equivalence.rs
+            // pins the Peach bit-equivalence).
+            Some(batch) => engine.run_window_batched(
+                start,
+                end,
+                batch,
+                &models,
+                &mut rng,
+                &mut arena,
+                &mut results,
+            ),
+            None => engine.run_span(start, end, &models, &mut rng),
+        }
+        completed = end;
+
+        let windows_done = (index + 1) as u64;
+        let stop_here = opts.stop_after == Some(end);
+        let final_window = end == config.executions;
+        let write_checkpoint = opts.checkpoint.is_some_and(|checkpoint| {
+            windows_done.is_multiple_of(checkpoint.every_windows) || final_window || stop_here
+        });
+        if write_checkpoint || stop_here || (opts.capture_final && final_window) {
+            let snapshot = engine.checkpoint(meta.clone(), end, &rng);
+            if let Some(checkpoint) = opts.checkpoint.filter(|_| write_checkpoint) {
+                snapshot.write_atomic(&checkpoint.path)?;
+            }
+            if stop_here || (opts.capture_final && final_window) {
+                out_snapshot = Some(snapshot);
+            }
+        }
+        if stop_here {
+            break;
+        }
+    }
+    // A zero-execution campaign (or a resume of an already-complete
+    // snapshot) never enters the loop; capture the standing state directly.
+    if opts.capture_final && out_snapshot.is_none() {
+        out_snapshot = Some(engine.checkpoint(meta, completed, &rng));
     }
 
     let target = engine.executor.target_name().to_string();
@@ -326,10 +552,10 @@ fn run_engine<S: Schedule>(
         engine.monitor.fault_hits(),
     );
     let (series, bugs) = engine.monitor.into_series_and_bugs();
-    CampaignReport {
+    let report = CampaignReport {
         target,
         strategy: config.strategy,
-        executions: config.executions,
+        executions: completed,
         series,
         bugs,
         valuable_seeds: engine.feedback.retained(),
@@ -338,7 +564,8 @@ fn run_engine<S: Schedule>(
         protocol_errors,
         fault_hits,
         wall_time: started.elapsed(),
-    }
+    };
+    Ok((report, out_snapshot))
 }
 
 /// Runs `repetitions` campaigns with different RNG seeds and returns the
@@ -354,6 +581,43 @@ pub fn run_repetitions(
     for repetition in 0..repetitions {
         let run_config = config.rng_seed(config.rng_seed + repetition);
         reports.push(Campaign::new(make_target(), run_config).run());
+    }
+    let series: Vec<CoverageSeries> = reports.iter().map(|r| r.series.clone()).collect();
+    (CoverageSeries::average(&series), reports)
+}
+
+/// Like [`run_repetitions`], but Peach\* repetitions share their puzzle
+/// discoveries: each repetition starts from the merged corpus of every
+/// earlier one (via [`PuzzleCorpus::merge`]), the corpus-side counterpart of
+/// pooling coverage with `CoverageMap::absorb`. Later repetitions therefore
+/// begin with donors the first repetition had to discover, which is the
+/// `--shared-corpus` CLI mode.
+///
+/// The baseline keeps no corpus, so for Peach this is exactly
+/// [`run_repetitions`].
+#[must_use]
+pub fn run_repetitions_shared(
+    make_target: impl Fn() -> Box<dyn Target>,
+    config: CampaignConfig,
+    repetitions: u64,
+) -> (CoverageSeries, Vec<CampaignReport>) {
+    if config.strategy != StrategyKind::PeachStar {
+        return run_repetitions(make_target, config, repetitions);
+    }
+    let mut shared = PuzzleCorpus::new();
+    let mut reports = Vec::with_capacity(repetitions as usize);
+    for repetition in 0..repetitions {
+        let run_config = config.rng_seed(config.rng_seed + repetition);
+        let strategy = Box::new(SemanticAwareStrategy::with_corpus(
+            SemanticAwareConfig::default(),
+            shared.clone(),
+        ));
+        let campaign = Campaign::with_strategy(make_target(), run_config, strategy);
+        let (report, snapshot) = campaign.run_with_final_snapshot();
+        if let StrategyState::PeachStar { corpus, .. } = &snapshot.schedule.strategy {
+            shared.merge(corpus);
+        }
+        reports.push(report);
     }
     let series: Vec<CoverageSeries> = reports.iter().map(|r| r.series.clone()).collect();
     (CoverageSeries::average(&series), reports)

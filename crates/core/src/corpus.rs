@@ -18,7 +18,7 @@ use peachstar_datamodel::{Puzzle, RuleId};
 /// Contents are stored as `Arc<[u8]>` so the semantic-aware generator's
 /// donor sampling and cross-product expansion share the bytes by reference
 /// count instead of deep-cloning a vector per candidate packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PuzzleCorpus {
     by_rule: HashMap<RuleId, Vec<Arc<[u8]>>>,
     capacity_per_rule: usize,
@@ -123,6 +123,94 @@ impl PuzzleCorpus {
     #[must_use]
     pub fn rejected_duplicates(&self) -> u64 {
         self.rejected_duplicates
+    }
+
+    /// The per-rule capacity this corpus was created with.
+    #[must_use]
+    pub fn capacity_per_rule(&self) -> usize {
+        self.capacity_per_rule
+    }
+
+    /// Iterates every `(rule, donors)` entry, in unspecified order.
+    ///
+    /// Snapshot encoders must sort by [`RuleId::raw`] themselves to obtain a
+    /// canonical byte stream (hash-map iteration order is not deterministic).
+    pub fn iter_rules(&self) -> impl Iterator<Item = (RuleId, &[Arc<[u8]>])> + '_ {
+        self.by_rule
+            .iter()
+            .map(|(rule, donors)| (*rule, donors.as_slice()))
+    }
+
+    /// Resets the corpus to the empty state — donors *and* the
+    /// `inserted`/`rejected_duplicates` counters, so a cleared corpus can
+    /// never leak stale statistics into a later report.
+    pub fn clear(&mut self) {
+        self.by_rule.clear();
+        self.inserted = 0;
+        self.rejected_duplicates = 0;
+    }
+
+    /// Rebuilds a corpus from decoded snapshot parts, restoring the exact
+    /// counters (which `insert` replays could not: `inserted` can exceed the
+    /// stored donor count once capacity eviction has happened).
+    ///
+    /// Callers must pre-validate `capacity > 0`; empty donor lists are
+    /// dropped so the rebuilt corpus compares equal to one that never held
+    /// the rule.
+    pub(crate) fn from_snapshot_parts(
+        capacity: usize,
+        entries: impl IntoIterator<Item = (RuleId, Vec<Arc<[u8]>>)>,
+        inserted: u64,
+        rejected_duplicates: u64,
+    ) -> Self {
+        let mut corpus = Self::with_capacity_per_rule(capacity);
+        for (rule, donors) in entries {
+            if !donors.is_empty() {
+                corpus.by_rule.insert(rule, donors);
+            }
+        }
+        corpus.inserted = inserted;
+        corpus.rejected_duplicates = rejected_duplicates;
+        corpus
+    }
+
+    /// Absorbs every donor of `other` that this corpus does not already
+    /// hold, returning how many were added.
+    ///
+    /// This is the corpus-side counterpart of `CoverageMap::absorb`, used by
+    /// shared-corpus repetition runs to pool discoveries across seeds. The
+    /// algebra is deliberately clean:
+    ///
+    /// * donors already present are skipped *silently* — they are not
+    ///   failed insert attempts, so `rejected_duplicates` does not move and
+    ///   `a.merge(&a)` is a complete no-op (idempotence);
+    /// * novel donors count into `inserted`, exactly as if the cracker had
+    ///   produced them here;
+    /// * rules are visited in ascending [`RuleId::raw`] order and donors in
+    ///   their stored order, so capacity eviction (and therefore the merged
+    ///   contents) is deterministic regardless of hash-map iteration order.
+    pub fn merge(&mut self, other: &PuzzleCorpus) -> usize {
+        let mut rules: Vec<RuleId> = other.by_rule.keys().copied().collect();
+        rules.sort_unstable_by_key(|rule| rule.raw());
+        let mut added = 0;
+        for rule in rules {
+            for donor in &other.by_rule[&rule] {
+                let entry = self.by_rule.entry(rule).or_default();
+                if entry
+                    .iter()
+                    .any(|existing| existing.as_ref() == donor.as_ref())
+                {
+                    continue;
+                }
+                if entry.len() == self.capacity_per_rule {
+                    entry.remove(0);
+                }
+                entry.push(Arc::clone(donor));
+                self.inserted += 1;
+                added += 1;
+            }
+        }
+        added
     }
 }
 

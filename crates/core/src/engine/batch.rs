@@ -76,7 +76,7 @@ pub(crate) fn windows_for_policy(executions: u64, policy: ResetPolicy) -> Vec<(u
 /// phase reuses the packet byte buffers and model-name strings of earlier
 /// windows instead of allocating one fresh seed per execution.
 #[derive(Debug, Default)]
-struct PacketArena {
+pub(crate) struct PacketArena {
     packets: Vec<GeneratedPacket>,
 }
 
@@ -128,10 +128,39 @@ where
         models: &DataModelSet,
         rng: &mut SmallRng,
     ) {
-        let batch = batch.max(1);
         let mut arena = PacketArena::default();
         let mut results = WindowResults::new();
         for (window_start, window_end) in windows_for_policy(budget, policy) {
+            self.run_window_batched(
+                window_start,
+                window_end,
+                batch,
+                models,
+                rng,
+                &mut arena,
+                &mut results,
+            );
+        }
+    }
+
+    /// Runs one reset-aligned window `window_start..=window_end` in batched
+    /// slices — the per-window body of [`run_batched`](Engine::run_batched),
+    /// exposed separately so the checkpointing campaign driver can pause
+    /// between windows. `arena` and `results` are caller-held so their
+    /// allocations amortise across windows exactly as in `run_batched`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_window_batched(
+        &mut self,
+        window_start: u64,
+        window_end: u64,
+        batch: u64,
+        models: &DataModelSet,
+        rng: &mut SmallRng,
+        arena: &mut PacketArena,
+        results: &mut WindowResults,
+    ) {
+        let batch = batch.max(1);
+        {
             // Large reset windows split into `batch`-sized slices: no reset
             // falls inside a slice (target state flows through untouched,
             // exactly as in the sequential loop), while feedback reduces at
@@ -150,7 +179,7 @@ where
                 // the whole batch.)
                 let refs: Vec<&[u8]> =
                     arena.packets.iter().map(|p| p.bytes.as_slice()).collect();
-                self.executor.execute_window(start, &refs, &mut results);
+                self.executor.execute_window(start, &refs, results);
                 drop(refs);
                 debug_assert_eq!(results.len(), count, "one result per packet");
 

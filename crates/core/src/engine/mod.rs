@@ -39,14 +39,16 @@ pub mod session;
 pub mod shard;
 
 pub use executor::{Executor, ResetPolicy, TargetExecutor};
-pub use monitor::{CampaignMonitor, Monitor, OutcomeSummary};
+pub use monitor::{CampaignMonitor, Monitor, MonitorState, OutcomeSummary};
 pub use observer::{CoverageObserver, Feedback, NewCoverageFeedback, Observer};
-pub use schedule::{FeedbackEvent, Schedule, StrategySchedule};
+pub use schedule::{FeedbackEvent, Schedule, ScheduleState, StrategySchedule};
 pub use session::{PhaseMask, SessionConfig, SessionPlan, SessionSchedule};
 pub use shard::{run_sharded, ShardConfig, ShardedCampaign};
 
 use peachstar_datamodel::DataModelSet;
 use rand::rngs::SmallRng;
+
+use crate::snapshot::{CampaignSnapshot, SnapshotError, SnapshotMeta};
 
 /// The assembled fuzzing engine: one instance of every seam.
 ///
@@ -109,9 +111,56 @@ where
 
     /// Runs executions `1..=budget` through [`step`](Engine::step).
     pub fn run(&mut self, budget: u64, models: &DataModelSet, rng: &mut SmallRng) {
-        for execution in 1..=budget {
+        self.run_span(1, budget, models, rng);
+    }
+
+    /// Runs executions `start..=end` (1-based, inclusive) through
+    /// [`step`](Engine::step) — the window body of the sequential engine,
+    /// used by the checkpointing campaign driver to pause between windows.
+    pub(crate) fn run_span(&mut self, start: u64, end: u64, models: &DataModelSet, rng: &mut SmallRng) {
+        for execution in start..=end {
             self.step(execution, models, rng);
         }
+    }
+}
+
+impl<S: Schedule> Engine<TargetExecutor, CoverageObserver, NewCoverageFeedback, CampaignMonitor, S> {
+    /// Captures a [`CampaignSnapshot`] of the engine's resumable state.
+    ///
+    /// `completed` must be a reset-aligned window boundary: the target's
+    /// internals are *not* serialised, which is only sound at an execution
+    /// index the reset policy wipes the target before anyway.
+    #[must_use]
+    pub fn checkpoint(&self, meta: SnapshotMeta, completed: u64, rng: &SmallRng) -> CampaignSnapshot {
+        CampaignSnapshot::capture(
+            meta,
+            completed,
+            rng,
+            &self.observer,
+            &self.feedback,
+            &self.monitor,
+            &self.schedule,
+        )
+    }
+
+    /// Restores a snapshot into this (freshly assembled) engine, leaving it
+    /// ready to continue from `snapshot.completed + 1`.
+    ///
+    /// The caller is responsible for having validated
+    /// [`SnapshotMeta::ensure_matches`] first; this method only rejects
+    /// strategy-state kinds the schedule cannot accept.
+    pub fn restore(
+        &mut self,
+        snapshot: &CampaignSnapshot,
+        rng: &mut SmallRng,
+    ) -> Result<(), SnapshotError> {
+        snapshot.restore_into(
+            rng,
+            &mut self.observer,
+            &mut self.feedback,
+            &mut self.monitor,
+            &mut self.schedule,
+        )
     }
 }
 

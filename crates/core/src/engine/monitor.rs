@@ -108,6 +108,51 @@ impl CampaignMonitor {
     pub fn into_series_and_bugs(self) -> (CoverageSeries, Vec<BugRecord>) {
         (self.series, self.bugs)
     }
+
+    /// Captures the monitor's resumable state for a campaign snapshot.
+    #[must_use]
+    pub fn snapshot_state(&self) -> MonitorState {
+        MonitorState {
+            series: self.series.points().to_vec(),
+            bugs: self.bugs.clone(),
+            responses: self.responses,
+            protocol_errors: self.protocol_errors,
+            fault_hits: self.fault_hits,
+        }
+    }
+
+    /// Restores state previously captured by
+    /// [`snapshot_state`](CampaignMonitor::snapshot_state). The site-dedup
+    /// set is rebuilt from the bug list — a bug and its site always enter
+    /// together, so the pair can never desynchronise across a round trip.
+    pub fn restore_state(&mut self, state: MonitorState) {
+        self.series = CoverageSeries::new();
+        for point in state.series {
+            self.series.push(point);
+        }
+        self.seen_sites = state.bugs.iter().map(|bug| bug.fault.site).collect();
+        self.bugs = state.bugs;
+        self.responses = state.responses;
+        self.protocol_errors = state.protocol_errors;
+        self.fault_hits = state.fault_hits;
+    }
+}
+
+/// The resumable state of a [`CampaignMonitor`], as captured into (and
+/// restored from) a campaign snapshot. The `seen_sites` dedup set is not
+/// part of the state: it is derived from the bug list on restore.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorState {
+    /// Sampled coverage series points so far.
+    pub series: Vec<SeriesPoint>,
+    /// Unique bugs recorded so far, in discovery order.
+    pub bugs: Vec<BugRecord>,
+    /// Packets answered by the target.
+    pub responses: u64,
+    /// Packets rejected by protocol validation.
+    pub protocol_errors: u64,
+    /// Packets that hit a fault, duplicates included.
+    pub fault_hits: u64,
 }
 
 impl Monitor for CampaignMonitor {

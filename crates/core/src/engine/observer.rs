@@ -60,6 +60,12 @@ impl CoverageObserver {
     pub fn map(&self) -> &CoverageMap {
         &self.map
     }
+
+    /// Replaces the underlying map with one restored from a campaign
+    /// snapshot.
+    pub fn restore_map(&mut self, map: CoverageMap) {
+        self.map = map;
+    }
 }
 
 impl Observer for CoverageObserver {
@@ -145,6 +151,11 @@ impl NewCoverageFeedback {
     /// Iterates over the retained seeds.
     pub fn seeds(&self) -> impl Iterator<Item = &ValuableSeed> {
         self.pool.iter()
+    }
+
+    /// Replaces the pool with one restored from a campaign snapshot.
+    pub fn restore_pool(&mut self, pool: SeedPool) {
+        self.pool = pool;
     }
 }
 

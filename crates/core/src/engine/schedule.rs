@@ -5,7 +5,7 @@ use peachstar_coverage::MergeOutcome;
 use peachstar_datamodel::DataModelSet;
 use rand::rngs::SmallRng;
 
-use crate::strategy::{GeneratedPacket, GenerationStrategy};
+use crate::strategy::{GeneratedPacket, GenerationStrategy, StrategyState};
 
 /// Everything the engine knows about one finished execution, delivered to
 /// the schedule as a single typed event (replacing the ad-hoc
@@ -22,6 +22,29 @@ pub struct FeedbackEvent<'a> {
     pub merge: &'a MergeOutcome,
     /// The data models of the target under test.
     pub models: &'a DataModelSet,
+}
+
+/// The resumable state of a [`Schedule`], as captured into (and restored
+/// from) a campaign snapshot: the wrapped strategy's state plus the
+/// session-position cursor (0 for schedules without session structure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleState {
+    /// The wrapped generation strategy's resumable state.
+    pub strategy: StrategyState,
+    /// Position within the current session (0 for non-session schedules,
+    /// and 0 at every session-aligned window boundary).
+    pub cursor: u64,
+}
+
+impl ScheduleState {
+    /// The state of a schedule with nothing to resume.
+    #[must_use]
+    pub fn stateless() -> Self {
+        Self {
+            strategy: StrategyState::Stateless,
+            cursor: 0,
+        }
+    }
 }
 
 /// Decides which packet runs next and digests per-execution feedback.
@@ -71,6 +94,23 @@ pub trait Schedule {
     /// Number of puzzles currently available (0 for feedback-free
     /// strategies).
     fn corpus_size(&self) -> usize;
+
+    /// Captures the schedule's resumable state for a campaign snapshot.
+    ///
+    /// The default returns [`ScheduleState::stateless`], correct for
+    /// schedules whose packet stream depends only on the RNG position.
+    fn snapshot_state(&self) -> ScheduleState {
+        ScheduleState::stateless()
+    }
+
+    /// Restores state previously captured by
+    /// [`snapshot_state`](Schedule::snapshot_state).
+    ///
+    /// Returns `false` (leaving the schedule untouched) when the state was
+    /// captured from an incompatible schedule or strategy kind.
+    fn restore_state(&mut self, state: ScheduleState) -> bool {
+        matches!(state.strategy, StrategyState::Stateless)
+    }
 }
 
 /// Adapts any [`GenerationStrategy`] to the [`Schedule`] seam.
@@ -125,6 +165,17 @@ impl Schedule for StrategySchedule {
 
     fn corpus_size(&self) -> usize {
         self.strategy.corpus_size()
+    }
+
+    fn snapshot_state(&self) -> ScheduleState {
+        ScheduleState {
+            strategy: self.strategy.snapshot_state(),
+            cursor: 0,
+        }
+    }
+
+    fn restore_state(&mut self, state: ScheduleState) -> bool {
+        self.strategy.restore_state(state.strategy)
     }
 }
 

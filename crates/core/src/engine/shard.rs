@@ -46,13 +46,14 @@ use rand::SeedableRng;
 use peachstar_coverage::{SparseTrace, TraceContext};
 use peachstar_protocols::{Target, WindowResults};
 
-use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::campaign::{CampaignConfig, CampaignReport, DriveOptions};
 use crate::engine::batch::windows_for_policy;
 use crate::engine::session::session_setup;
 use crate::engine::{
     CampaignMonitor, CoverageObserver, Feedback, FeedbackEvent, Monitor, NewCoverageFeedback,
-    Observer, OutcomeSummary, ResetPolicy, Schedule, StrategySchedule,
+    Observer, OutcomeSummary, ResetPolicy, Schedule, SessionPlan, StrategySchedule,
 };
+use crate::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError, SnapshotMeta};
 use crate::strategy::{GeneratedPacket, GenerationStrategy};
 
 /// How a sharded campaign spreads its work.
@@ -228,6 +229,114 @@ impl ShardedCampaign {
     /// sessions never straddle a reset or a merge barrier.
     #[must_use]
     pub fn run(self) -> CampaignReport {
+        let (report, _) = self
+            .launch(DriveOptions::default())
+            .expect("a plain sharded campaign performs no fallible snapshot operations");
+        report
+    }
+
+    /// The reset policy this campaign will shard over (same derivation as
+    /// [`run`](ShardedCampaign::run)).
+    fn policy(&self) -> ResetPolicy {
+        let session = self
+            .config
+            .session
+            .and_then(|opts| self.target.session_template().map(|template| (opts, template)));
+        match session {
+            Some((opts, template)) => ResetPolicy::PerSession(
+                SessionPlan::new(template, opts.payload_packets).session_len(),
+            ),
+            None => ResetPolicy::Interval(self.config.reset_interval),
+        }
+    }
+
+    /// The merge-barrier (round-end) executions of this campaign, ascending;
+    /// the last is always the execution budget. Sharded checkpoints can only
+    /// land here: at a barrier the campaign RNG, the strategy feedback and
+    /// the global coverage are all fully synchronised — and the layout is
+    /// worker-count-invariant, so a snapshot taken with N workers resumes
+    /// bit-exactly with any other worker count.
+    #[must_use]
+    pub fn round_boundaries(&self) -> Vec<u64> {
+        let windows = windows_for_policy(self.config.executions, self.policy());
+        windows
+            .chunks(self.shard.sync_windows.max(1))
+            .filter_map(|round| round.last().map(|&(_, end)| end))
+            .collect()
+    }
+
+    /// Runs the campaign to completion, writing a checkpoint to
+    /// `checkpoint.path` at every merge barrier that completes
+    /// `checkpoint.every_windows` more windows (and at the final one).
+    pub fn run_checkpointed(
+        self,
+        checkpoint: &CheckpointConfig,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            checkpoint: Some(checkpoint),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Runs up to (and including) execution `stop_after` — which must be one
+    /// of [`round_boundaries`](ShardedCampaign::round_boundaries) — and
+    /// returns the snapshot taken at that merge barrier.
+    pub fn run_to_boundary(self, stop_after: u64) -> Result<CampaignSnapshot, SnapshotError> {
+        let (_, snapshot) = self.launch(DriveOptions {
+            stop_after: Some(stop_after),
+            ..DriveOptions::default()
+        })?;
+        Ok(snapshot.expect("a validated stop boundary always yields a snapshot"))
+    }
+
+    /// Resumes a snapshotted sharded campaign to completion. The snapshot
+    /// must have been taken at a merge barrier of an identically configured
+    /// campaign (worker count excepted — it is not part of the fingerprint).
+    pub fn resume(self, snapshot: &CampaignSnapshot) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            resume: Some(snapshot),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Resumes a snapshot while continuing to write periodic checkpoints.
+    pub fn resume_checkpointed(
+        self,
+        snapshot: &CampaignSnapshot,
+        checkpoint: &CheckpointConfig,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            resume: Some(snapshot),
+            checkpoint: Some(checkpoint),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Resumes a snapshot and stops at a later merge barrier, returning the
+    /// snapshot taken there — the sharded form of interrupting a resumed run
+    /// again.
+    pub fn resume_to_boundary(
+        self,
+        snapshot: &CampaignSnapshot,
+        stop_after: u64,
+    ) -> Result<CampaignSnapshot, SnapshotError> {
+        let (_, out) = self.launch(DriveOptions {
+            resume: Some(snapshot),
+            stop_after: Some(stop_after),
+            ..DriveOptions::default()
+        })?;
+        Ok(out.expect("a validated stop boundary always yields a snapshot"))
+    }
+
+    /// Dispatches to the session-shaped or classic sharded engine under the
+    /// given snapshot options.
+    fn launch(
+        self,
+        opts: DriveOptions<'_>,
+    ) -> Result<(CampaignReport, Option<CampaignSnapshot>), SnapshotError> {
         let started = Instant::now();
         let Self {
             target,
@@ -235,13 +344,15 @@ impl ShardedCampaign {
             shard,
             strategy,
         } = self;
+        let meta = SnapshotMeta::for_campaign(target.name(), &config)
+            .sharded(shard.sync_windows.max(1) as u64);
         let session = config
             .session
             .and_then(|opts| target.session_template().map(|template| (opts, template)));
         match session {
-            Some((opts, template)) => {
-                let (policy, schedule) = session_setup(opts, template, strategy);
-                run_sharded_engine(target, &config, shard, policy, schedule, started)
+            Some((session_opts, template)) => {
+                let (policy, schedule) = session_setup(session_opts, template, strategy);
+                run_sharded_engine(target, &config, shard, policy, schedule, started, meta, opts)
             }
             None => run_sharded_engine(
                 target,
@@ -250,6 +361,8 @@ impl ShardedCampaign {
                 ResetPolicy::Interval(config.reset_interval),
                 StrategySchedule::new(strategy),
                 started,
+                meta,
+                opts,
             ),
         }
     }
@@ -257,6 +370,15 @@ impl ShardedCampaign {
 
 /// The generate → execute → reduce rounds of a sharded campaign, generic
 /// over the schedule so classic and session campaigns share one loop.
+///
+/// Snapshots interact with the rounds only at merge barriers: a barrier is
+/// the one instant where the campaign RNG (fully consumed by the round's
+/// sequential generation), the strategy feedback (digested in the reduce
+/// phase) and the global coverage are all synchronised, and the workers'
+/// targets hold no state a resume needs (every window begins with a reset).
+/// Resume therefore skips whole rounds, re-clones fresh worker targets and
+/// continues bit-exactly — with any worker count.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded_engine<S: Schedule>(
     target: Box<dyn Target>,
     config: &CampaignConfig,
@@ -264,13 +386,46 @@ fn run_sharded_engine<S: Schedule>(
     policy: ResetPolicy,
     mut schedule: S,
     started: Instant,
-) -> CampaignReport {
+    meta: SnapshotMeta,
+    opts: DriveOptions<'_>,
+) -> Result<(CampaignReport, Option<CampaignSnapshot>), SnapshotError> {
     let target_name = target.name();
     let models = target.data_models();
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
     let mut observer = CoverageObserver::new();
     let mut feedback = NewCoverageFeedback::new();
     let mut monitor = CampaignMonitor::new(config.executions, config.sample_interval);
+
+    let windows = windows_for_policy(config.executions, policy);
+    let sync_windows = shard.sync_windows.max(1);
+    let is_round_end = |execution: u64| {
+        windows
+            .chunks(sync_windows)
+            .filter_map(|round| round.last().map(|&(_, end)| end))
+            .any(|end| end == execution)
+    };
+    let resumed_from = match opts.resume {
+        Some(snapshot) => {
+            snapshot.meta.ensure_matches(&meta)?;
+            if snapshot.completed != 0 && !is_round_end(snapshot.completed) {
+                return Err(SnapshotError::Unaligned(snapshot.completed));
+            }
+            snapshot.restore_into(
+                &mut rng,
+                &mut observer,
+                &mut feedback,
+                &mut monitor,
+                &mut schedule,
+            )?;
+            snapshot.completed
+        }
+        None => 0,
+    };
+    if let Some(stop) = opts.stop_after {
+        if stop <= resumed_from || !is_round_end(stop) {
+            return Err(SnapshotError::Unaligned(stop));
+        }
+    }
 
     let workers = shard.workers.max(1);
     let mut worker_targets: Vec<Box<dyn Target + Send>> =
@@ -283,8 +438,16 @@ fn run_sharded_engine<S: Schedule>(
         .batch
         .map_or(usize::MAX, |batch| usize::try_from(batch.max(1)).unwrap_or(usize::MAX));
 
-    let windows = windows_for_policy(config.executions, policy);
-    for round in windows.chunks(shard.sync_windows.max(1)) {
+    let mut out_snapshot = None;
+    let mut completed = resumed_from;
+    let mut windows_done = 0u64;
+    for round in windows.chunks(sync_windows) {
+        let round_windows = round.len() as u64;
+        windows_done += round_windows;
+        let round_end = round.last().map_or(0, |&(_, end)| end);
+        if round_end <= resumed_from {
+            continue;
+        }
         // Phase 1 — generate: replay the strategy sequentially, in
         // global execution order, exactly as the sequential loop would.
         let work: VecDeque<WindowWork> = round
@@ -337,6 +500,45 @@ fn run_sharded_engine<S: Schedule>(
                 );
             }
         }
+        completed = round_end;
+
+        // Checkpoint/stop at the barrier. The cadence counts absolute
+        // windows from the campaign start ("crossed a multiple of
+        // `every_windows` within this round"), so it is invariant under
+        // interruption and worker count.
+        let stop_here = opts.stop_after == Some(round_end);
+        let final_round = round_end == config.executions;
+        let write_checkpoint = opts.checkpoint.is_some_and(|checkpoint| {
+            let every = checkpoint.every_windows.max(1);
+            let before = windows_done - round_windows;
+            windows_done / every > before / every || final_round || stop_here
+        });
+        if write_checkpoint || stop_here || (opts.capture_final && final_round) {
+            let snapshot = CampaignSnapshot::capture(
+                meta.clone(),
+                round_end,
+                &rng,
+                &observer,
+                &feedback,
+                &monitor,
+                &schedule,
+            );
+            if let Some(checkpoint) = opts.checkpoint.filter(|_| write_checkpoint) {
+                snapshot.write_atomic(&checkpoint.path)?;
+            }
+            if stop_here || (opts.capture_final && final_round) {
+                out_snapshot = Some(snapshot);
+            }
+        }
+        if stop_here {
+            break;
+        }
+    }
+    drop(worker_targets);
+    if opts.capture_final && out_snapshot.is_none() {
+        out_snapshot = Some(CampaignSnapshot::capture(
+            meta, completed, &rng, &observer, &feedback, &monitor, &schedule,
+        ));
     }
 
     let (responses, protocol_errors, fault_hits) = (
@@ -345,10 +547,10 @@ fn run_sharded_engine<S: Schedule>(
         monitor.fault_hits(),
     );
     let (series, bugs) = monitor.into_series_and_bugs();
-    CampaignReport {
+    let report = CampaignReport {
         target: target_name.to_string(),
         strategy: config.strategy,
-        executions: config.executions,
+        executions: completed,
         series,
         bugs,
         valuable_seeds: feedback.retained(),
@@ -357,7 +559,8 @@ fn run_sharded_engine<S: Schedule>(
         protocol_errors,
         fault_hits,
         wall_time: started.elapsed(),
-    }
+    };
+    Ok((report, out_snapshot))
 }
 
 /// Convenience wrapper: runs `config` against `target` with `workers`

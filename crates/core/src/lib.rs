@@ -45,6 +45,7 @@ pub mod engine;
 pub mod error;
 pub mod mutator;
 pub mod seed;
+pub mod snapshot;
 pub mod stats;
 pub mod strategy;
 
@@ -54,6 +55,7 @@ pub use corpus::PuzzleCorpus;
 pub use cracker::FileCracker;
 pub use error::FuzzError;
 pub use seed::{Seed, SeedPool};
+pub use snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError, SnapshotMeta};
 pub use stats::{CoverageSeries, SeriesPoint};
 pub use strategy::{
     GeneratedPacket, GenerationStrategy, RandomGenerationStrategy, SemanticAwareConfig,

@@ -57,6 +57,38 @@ impl std::fmt::Display for StrategyKind {
 /// A packet produced by a strategy, before execution.
 pub type GeneratedPacket = Seed;
 
+/// The resumable state of a generation strategy, as captured into (and
+/// restored from) a campaign snapshot.
+///
+/// A strategy's observable behaviour must be a function of this state plus
+/// the campaign RNG stream: restoring the state and the RNG position must
+/// reproduce the exact packet sequence an uninterrupted run would have
+/// produced. Scratch buffers (emit scratch, leaf-value buffers) are *not*
+/// part of the state — they only affect allocation, never output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyState {
+    /// No resumable state beyond the RNG stream (third-party strategies
+    /// that keep no feedback-derived state).
+    Stateless,
+    /// The Peach baseline: only the generated-packet counter.
+    Peach {
+        /// Packets generated so far.
+        generated: u64,
+    },
+    /// Peach\*: the puzzle corpus, the queued semantic batch and the
+    /// production counters.
+    PeachStar {
+        /// The rule-indexed puzzle corpus.
+        corpus: PuzzleCorpus,
+        /// Donor-built packets queued but not yet handed out, front first.
+        queue: Vec<Seed>,
+        /// Packets produced by donor-based construction so far.
+        semantic_generated: u64,
+        /// Packets produced by plain model instantiation so far.
+        random_generated: u64,
+    },
+}
+
 /// A test-case generation strategy plugged into the campaign loop.
 pub trait GenerationStrategy {
     /// Short display name ("Peach", "Peach*", …).
@@ -90,6 +122,24 @@ pub trait GenerationStrategy {
     /// feedback-free strategies).
     fn corpus_size(&self) -> usize {
         0
+    }
+
+    /// Captures the strategy's resumable state for a campaign snapshot.
+    ///
+    /// The default returns [`StrategyState::Stateless`], correct for
+    /// strategies whose packet stream depends only on the RNG position.
+    fn snapshot_state(&self) -> StrategyState {
+        StrategyState::Stateless
+    }
+
+    /// Restores state previously captured by
+    /// [`snapshot_state`](GenerationStrategy::snapshot_state).
+    ///
+    /// Returns `false` (leaving the strategy untouched) when `state` was
+    /// captured from a different strategy kind — the snapshot does not
+    /// belong to this campaign configuration.
+    fn restore_state(&mut self, state: StrategyState) -> bool {
+        matches!(state, StrategyState::Stateless)
     }
 }
 
@@ -258,6 +308,22 @@ impl GenerationStrategy for RandomGenerationStrategy {
         // The baseline discards valuable seeds — exactly the limitation the
         // paper's introduction calls out.
     }
+
+    fn snapshot_state(&self) -> StrategyState {
+        StrategyState::Peach {
+            generated: self.generated,
+        }
+    }
+
+    fn restore_state(&mut self, state: StrategyState) -> bool {
+        match state {
+            StrategyState::Peach { generated } => {
+                self.generated = generated;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Tunables of the semantic-aware strategy.
@@ -333,6 +399,16 @@ impl SemanticAwareStrategy {
             scratch: EmitScratch::new(),
             values: GenScratch::default(),
         }
+    }
+
+    /// Creates the strategy pre-seeded with an existing puzzle corpus — the
+    /// `--shared-corpus` entry point, where a later repetition inherits the
+    /// donors every earlier repetition discovered.
+    #[must_use]
+    pub fn with_corpus(config: SemanticAwareConfig, corpus: PuzzleCorpus) -> Self {
+        let mut strategy = Self::new(config);
+        strategy.corpus = corpus;
+        strategy
     }
 
     /// The current puzzle corpus.
@@ -490,6 +566,33 @@ impl GenerationStrategy for SemanticAwareStrategy {
 
     fn corpus_size(&self) -> usize {
         self.corpus.len()
+    }
+
+    fn snapshot_state(&self) -> StrategyState {
+        StrategyState::PeachStar {
+            corpus: self.corpus.clone(),
+            queue: self.queue.iter().cloned().collect(),
+            semantic_generated: self.semantic_generated,
+            random_generated: self.random_generated,
+        }
+    }
+
+    fn restore_state(&mut self, state: StrategyState) -> bool {
+        match state {
+            StrategyState::PeachStar {
+                corpus,
+                queue,
+                semantic_generated,
+                random_generated,
+            } => {
+                self.corpus = corpus;
+                self.queue = queue.into();
+                self.semantic_generated = semantic_generated;
+                self.random_generated = random_generated;
+                true
+            }
+            _ => false,
+        }
     }
 }
 

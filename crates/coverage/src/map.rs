@@ -243,6 +243,60 @@ impl CoverageMap {
         self.paths.clear();
         self.executions = 0;
     }
+
+    /// The covered slots in ascending slot order, as `(slot, bucket_mask)`.
+    ///
+    /// This is the serialisation view used by campaign snapshots: together
+    /// with [`path_ids`](CoverageMap::path_ids) and
+    /// [`executions`](CoverageMap::executions) it captures every observable
+    /// field of the map (`edges_covered` is derived — the number of nonzero
+    /// slots). The ascending order makes the encoding canonical.
+    pub fn covered_slots(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &mask)| mask != 0)
+            .map(|(slot, &mask)| (slot, mask))
+    }
+
+    /// The distinct path ids observed so far, in unspecified order.
+    ///
+    /// Snapshot encoders must sort these themselves to obtain a canonical
+    /// byte stream (hash-set iteration order is not deterministic).
+    pub fn path_ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.paths.iter().copied()
+    }
+
+    /// Rebuilds a map from the parts exposed by
+    /// [`covered_slots`](CoverageMap::covered_slots),
+    /// [`path_ids`](CoverageMap::path_ids) and
+    /// [`executions`](CoverageMap::executions).
+    ///
+    /// `edges_covered` is recomputed from the nonzero slots, so a decoder
+    /// cannot desynchronise the derived count from the bucket contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot index is `>= MAP_SIZE`; callers deserialising
+    /// untrusted bytes must bounds-check before constructing.
+    #[must_use]
+    pub fn from_parts(
+        slots: impl IntoIterator<Item = (usize, u8)>,
+        paths: impl IntoIterator<Item = PathId>,
+        executions: u64,
+    ) -> Self {
+        let mut map = Self::new();
+        for (slot, mask) in slots {
+            assert!(slot < MAP_SIZE, "coverage slot {slot} out of range");
+            if mask != 0 && map.buckets[slot] == 0 {
+                map.edges_covered += 1;
+            }
+            map.buckets[slot] |= mask;
+        }
+        map.paths.extend(paths);
+        map.executions = executions;
+        map
+    }
 }
 
 impl Default for CoverageMap {

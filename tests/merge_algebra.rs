@@ -1,0 +1,252 @@
+//! Algebra of the two merge operations behind shared-corpus and sharded
+//! campaigns: [`PuzzleCorpus::merge`] and [`CoverageMap::absorb`].
+//!
+//! The laws pinned here are what makes merging safe to reorder and to
+//! repeat:
+//!
+//! * corpus merge is **commutative on contents** (below per-rule capacity)
+//!   and **fully idempotent** — `a.merge(&a)` changes nothing, counters
+//!   included;
+//! * map absorb is **commutative and idempotent on coverage content**
+//!   (slots, masks, paths); `executions` is deliberately *additive* — it
+//!   counts work done, not states reached — so only coverage is compared
+//!   under self-absorb;
+//! * `clear()` resets *all* statistics counters on both structures, so a
+//!   recycled corpus or map can never leak stale numbers into a report;
+//! * a shared-corpus repetition run covers at least as much as isolated
+//!   repetitions at the same budget.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use peachstar::campaign::{run_repetitions, run_repetitions_shared, CampaignConfig};
+use peachstar::strategy::StrategyKind;
+use peachstar::PuzzleCorpus;
+use peachstar_coverage::{CoverageMap, PathId};
+use peachstar_datamodel::{Puzzle, RuleId};
+use peachstar_protocols::TargetId;
+
+fn puzzle(rule: u64, content: &[u8]) -> Puzzle {
+    Puzzle::new(RuleId::from_raw(rule), "test", content.to_vec())
+}
+
+/// Order-free view of a corpus: rule → set of donor byte strings.
+fn contents(corpus: &PuzzleCorpus) -> BTreeMap<u64, BTreeSet<Vec<u8>>> {
+    let mut view = BTreeMap::new();
+    for (rule, donors) in corpus.iter_rules() {
+        let entry: &mut BTreeSet<Vec<u8>> = view.entry(rule.raw()).or_default();
+        for donor in donors {
+            entry.insert(donor.to_vec());
+        }
+    }
+    view
+}
+
+fn corpus_a() -> PuzzleCorpus {
+    let mut corpus = PuzzleCorpus::new();
+    corpus.insert_all(vec![
+        puzzle(1, &[0xAA]),
+        puzzle(1, &[0xAB]),
+        puzzle(2, &[0x01, 0x02]),
+        puzzle(7, &[0xFF; 4]),
+    ]);
+    corpus
+}
+
+fn corpus_b() -> PuzzleCorpus {
+    let mut corpus = PuzzleCorpus::new();
+    corpus.insert_all(vec![
+        puzzle(1, &[0xAB]), // shared with a
+        puzzle(1, &[0xAC]),
+        puzzle(3, &[0x99]),
+        puzzle(7, &[0xFF; 4]), // shared with a
+        puzzle(7, &[0x00]),
+    ]);
+    corpus
+}
+
+#[test]
+fn corpus_merge_is_commutative_on_contents() {
+    // Below per-rule capacity no eviction happens, so merge order cannot
+    // change which donors survive — only the order they are stored in.
+    let mut ab = corpus_a();
+    ab.merge(&corpus_b());
+    let mut ba = corpus_b();
+    ba.merge(&corpus_a());
+    assert_eq!(contents(&ab), contents(&ba));
+    assert_eq!(ab.len(), ba.len());
+    assert_eq!(ab.rule_count(), ba.rule_count());
+}
+
+#[test]
+fn corpus_merge_is_fully_idempotent() {
+    let mut merged = corpus_a();
+    merged.merge(&corpus_b());
+    let before = merged.clone();
+
+    // Merging the same donors again is a complete no-op: contents AND the
+    // inserted/rejected counters (already-present donors are skipped
+    // silently, not counted as failed inserts).
+    assert_eq!(merged.merge(&corpus_b()), 0);
+    assert_eq!(merged, before);
+    let self_copy = merged.clone();
+    assert_eq!(merged.merge(&self_copy), 0);
+    assert_eq!(merged, before);
+}
+
+#[test]
+fn corpus_merge_preserves_dedup() {
+    let mut merged = corpus_a();
+    let added = merged.merge(&corpus_b());
+    // Of b's five donors, two are already in a.
+    assert_eq!(added, 3);
+    assert_eq!(merged.len(), corpus_a().len() + 3);
+    // Every donor set is still duplicate-free.
+    for (_, donors) in merged.iter_rules() {
+        let distinct: BTreeSet<&[u8]> = donors.iter().map(AsRef::as_ref).collect();
+        assert_eq!(distinct.len(), donors.len());
+    }
+    // And inserted moved by exactly the novel donors.
+    assert_eq!(merged.inserted(), corpus_a().inserted() + 3);
+}
+
+#[test]
+fn corpus_clear_resets_every_counter() {
+    let mut corpus = corpus_a();
+    corpus.insert(puzzle(1, &[0xAA])); // duplicate → bumps rejected counter
+    assert!(corpus.inserted() > 0);
+    assert!(corpus.rejected_duplicates() > 0);
+    corpus.clear();
+    assert!(corpus.is_empty());
+    assert_eq!(corpus.len(), 0);
+    assert_eq!(corpus.rule_count(), 0);
+    assert_eq!(corpus.inserted(), 0);
+    assert_eq!(corpus.rejected_duplicates(), 0);
+    // A cleared corpus behaves like a fresh one.
+    assert!(corpus.insert(puzzle(1, &[0xAA])));
+    assert_eq!(corpus.inserted(), 1);
+}
+
+fn map_a() -> CoverageMap {
+    CoverageMap::from_parts(
+        [(0, 0b0001), (5, 0b0110), (100, 0b1000)],
+        [PathId::new(1), PathId::new(2)],
+        40,
+    )
+}
+
+fn map_b() -> CoverageMap {
+    CoverageMap::from_parts(
+        [(5, 0b0011), (100, 0b1000), (4_000, 0b0001)],
+        [PathId::new(2), PathId::new(3)],
+        60,
+    )
+}
+
+/// Order-free view of a map's coverage content (slots+masks and paths, not
+/// the execution tally).
+fn coverage(map: &CoverageMap) -> (BTreeMap<usize, u8>, BTreeSet<u64>) {
+    (
+        map.covered_slots().collect(),
+        map.path_ids().map(PathId::raw).collect(),
+    )
+}
+
+#[test]
+fn map_absorb_is_commutative() {
+    let mut ab = map_a();
+    ab.absorb(&map_b());
+    let mut ba = map_b();
+    ba.absorb(&map_a());
+    assert_eq!(coverage(&ab), coverage(&ba));
+    assert_eq!(ab.edges_covered(), ba.edges_covered());
+    assert_eq!(ab.paths_covered(), ba.paths_covered());
+    // Executions sum, and addition commutes.
+    assert_eq!(ab.executions(), 100);
+    assert_eq!(ba.executions(), 100);
+}
+
+#[test]
+fn map_absorb_is_idempotent_on_coverage() {
+    let mut map = map_a();
+    map.absorb(&map_b());
+    let (slots_before, paths_before) = coverage(&map);
+    let edges_before = map.edges_covered();
+
+    let self_copy = map.clone();
+    map.absorb(&self_copy);
+    assert_eq!(coverage(&map), (slots_before, paths_before));
+    assert_eq!(map.edges_covered(), edges_before);
+    // Executions is additive by design: it counts work performed, so
+    // self-absorb doubles it rather than fixing it.
+    assert_eq!(map.executions(), 200);
+}
+
+#[test]
+fn map_absorb_merges_masks_not_just_slots() {
+    let mut map = map_a();
+    map.absorb(&map_b());
+    let slots: BTreeMap<usize, u8> = map.covered_slots().collect();
+    // Slot 5 carries the union of both hit-bucket masks.
+    assert_eq!(slots[&5], 0b0111);
+    assert_eq!(slots[&0], 0b0001);
+    assert_eq!(slots[&4_000], 0b0001);
+    assert_eq!(map.edges_covered(), 4);
+    assert_eq!(map.paths_covered(), 3);
+}
+
+#[test]
+fn map_clear_resets_every_counter() {
+    let mut map = map_a();
+    map.absorb(&map_b());
+    map.clear();
+    assert_eq!(map.edges_covered(), 0);
+    assert_eq!(map.paths_covered(), 0);
+    assert_eq!(map.executions(), 0);
+    assert_eq!(map.covered_slots().count(), 0);
+    assert_eq!(map.path_ids().count(), 0);
+    // A cleared map accumulates from scratch, exactly like a fresh one.
+    map.absorb(&map_a());
+    assert_eq!(coverage(&map), coverage(&map_a()));
+    assert_eq!(map.executions(), map_a().executions());
+}
+
+#[test]
+fn shared_corpus_repetitions_cover_at_least_isolated_ones() {
+    // Same budget, same seeds: the only difference is that shared-corpus
+    // repetitions start from the previous repetition's puzzle corpus. The
+    // pooled knowledge must never lose coverage, and the comparison is
+    // fully deterministic (everything is seeded).
+    let config = CampaignConfig::new(StrategyKind::PeachStar)
+        .executions(1_500)
+        .rng_seed(3)
+        .sample_interval(150)
+        .reset_interval(250);
+    let repetitions = 3;
+    let (isolated_series, isolated) =
+        run_repetitions(|| TargetId::Modbus.create(), config, repetitions);
+    let (shared_series, shared) =
+        run_repetitions_shared(|| TargetId::Modbus.create(), config, repetitions);
+
+    assert_eq!(isolated.len(), repetitions as usize);
+    assert_eq!(shared.len(), repetitions as usize);
+
+    let final_edges =
+        |series: &peachstar::CoverageSeries| series.points().last().map_or(0, |p| p.edges);
+    assert!(
+        final_edges(&shared_series) >= final_edges(&isolated_series),
+        "shared corpus lost coverage: {} < {}",
+        final_edges(&shared_series),
+        final_edges(&isolated_series)
+    );
+
+    // The corpus itself only ever grows across shared repetitions.
+    let sizes: Vec<usize> = shared.iter().map(|report| report.corpus_size).collect();
+    assert!(
+        sizes.windows(2).all(|pair| pair[0] <= pair[1]),
+        "shared corpus shrank across repetitions: {sizes:?}"
+    );
+    // And the first repetition is identical either way — sharing only
+    // changes what later repetitions start from.
+    assert_eq!(shared[0].final_paths(), isolated[0].final_paths());
+    assert_eq!(shared[0].responses, isolated[0].responses);
+}

@@ -1,0 +1,315 @@
+//! Property tests for the snapshot wire format: arbitrary campaign states
+//! must survive encode → decode bit-exactly, and damaged bytes — truncated,
+//! flipped, wrong-version, wrong-magic — must be rejected with a typed
+//! error, never a panic.
+//!
+//! The vendored proptest only draws flat integer vectors, so each property
+//! consumes a `Vec<u64>` entropy pool through the [`Draw`] cursor and builds
+//! a structured [`CampaignSnapshot`] from it deterministically.
+
+use proptest::prelude::*;
+
+use peachstar::campaign::BugRecord;
+use peachstar::engine::{MonitorState, ScheduleState};
+use peachstar::snapshot::{CampaignSnapshot, SnapshotError, SnapshotMeta, MAGIC, VERSION};
+use peachstar::strategy::{StrategyKind, StrategyState};
+use peachstar::{PuzzleCorpus, Seed, SeedPool, SeriesPoint};
+use peachstar_coverage::{CoverageMap, PathId, MAP_SIZE};
+use peachstar_datamodel::{Puzzle, RuleId};
+use peachstar_protocols::{Fault, FaultKind};
+
+/// Cursor over a proptest-drawn entropy pool; cycles when exhausted so any
+/// non-empty `Vec<u64>` can feed an arbitrarily shaped snapshot.
+struct Draw {
+    words: Vec<u64>,
+    at: usize,
+}
+
+impl Draw {
+    fn new(words: Vec<u64>) -> Self {
+        assert!(!words.is_empty());
+        Self { words, at: 0 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let word = self.words[self.at % self.words.len()];
+        self.at += 1;
+        // Decorrelate wrap-around passes so a short pool still produces
+        // varied fields (splitmix64 finalizer).
+        let mut z = word.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(self.at as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len + 1) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    fn seed(&mut self) -> Seed {
+        const MODELS: [&str; 3] = ["modbus/read", "iec104/asdu", "dnp3/frame"];
+        let model = MODELS[self.below(MODELS.len() as u64) as usize];
+        Seed::new(self.bytes(24), model, self.flag())
+    }
+}
+
+const BUG_SITES: [&str; 6] = [
+    "parse_header",
+    "decode_asdu",
+    "copy_payload",
+    "session_teardown",
+    "crc_check",
+    "reassembly",
+];
+
+fn arbitrary_corpus(draw: &mut Draw) -> PuzzleCorpus {
+    let capacity = self::capacity(draw);
+    let mut corpus = PuzzleCorpus::with_capacity_per_rule(capacity);
+    for _ in 0..draw.below(12) {
+        let rule = RuleId::from_raw(draw.below(20));
+        let mut content = draw.bytes(8);
+        content.push(draw.next() as u8); // never empty
+        corpus.insert(Puzzle::new(rule, "prop", content));
+    }
+    corpus
+}
+
+fn capacity(draw: &mut Draw) -> usize {
+    draw.below(8) as usize + 1
+}
+
+fn arbitrary_snapshot(draw: &mut Draw) -> CampaignSnapshot {
+    const TARGETS: [&str; 3] = ["modbus", "iec104", "lib60870"];
+
+    let strategy_state = match draw.below(3) {
+        0 => StrategyState::Stateless,
+        1 => StrategyState::Peach {
+            generated: draw.next(),
+        },
+        _ => StrategyState::PeachStar {
+            corpus: arbitrary_corpus(draw),
+            queue: (0..draw.below(6)).map(|_| draw.seed()).collect(),
+            semantic_generated: draw.next(),
+            random_generated: draw.next(),
+        },
+    };
+    let strategy = if matches!(strategy_state, StrategyState::PeachStar { .. }) {
+        StrategyKind::PeachStar
+    } else {
+        StrategyKind::Peach
+    };
+
+    let meta = SnapshotMeta {
+        target: TARGETS[draw.below(TARGETS.len() as u64) as usize].to_string(),
+        strategy,
+        executions: draw.next(),
+        rng_seed: draw.next(),
+        sample_interval: draw.below(10_000) + 1,
+        reset_interval: draw.below(10_000) + 1,
+        session: draw
+            .flag()
+            .then(|| (draw.below(64) + 1, draw.below(7) as u8 + 1)),
+        batch: draw.flag().then(|| draw.below(512) + 1),
+        sync_windows: draw.flag().then(|| draw.below(16) + 1),
+    };
+
+    let slots: Vec<(usize, u8)> = (0..draw.below(48))
+        .map(|_| {
+            (
+                draw.below(MAP_SIZE as u64) as usize,
+                (draw.below(255) + 1) as u8,
+            )
+        })
+        .collect();
+    let paths: Vec<PathId> = (0..draw.below(32))
+        .map(|_| PathId::new(draw.next()))
+        .collect();
+    let map = CoverageMap::from_parts(slots, paths, draw.next());
+
+    let mut pool = SeedPool::new();
+    for _ in 0..draw.below(8) {
+        let seed = draw.seed();
+        pool.push(seed, PathId::new(draw.next()), draw.below(64) as usize);
+    }
+
+    const KINDS: [FaultKind; 4] = [
+        FaultKind::Segv,
+        FaultKind::HeapUseAfterFree,
+        FaultKind::HeapBufferOverflow,
+        FaultKind::Hang,
+    ];
+    let monitor = MonitorState {
+        series: (0..draw.below(8))
+            .map(|_| SeriesPoint {
+                executions: draw.next(),
+                paths: draw.below(1 << 32) as usize,
+                edges: draw.below(1 << 32) as usize,
+                faults: draw.below(1 << 32) as usize,
+            })
+            .collect(),
+        bugs: (0..draw.below(BUG_SITES.len() as u64 + 1))
+            .map(|bug| BugRecord {
+                fault: Fault::new(
+                    KINDS[draw.below(KINDS.len() as u64) as usize],
+                    BUG_SITES[bug as usize],
+                ),
+                first_execution: draw.next(),
+                packet: draw.bytes(32),
+                model: "prop/model".to_string(),
+            })
+            .collect(),
+        responses: draw.next(),
+        protocol_errors: draw.next(),
+        fault_hits: draw.next(),
+    };
+
+    CampaignSnapshot {
+        meta,
+        completed: draw.next(),
+        rng_state: [draw.next(), draw.next(), draw.next(), draw.next()],
+        map,
+        pool,
+        monitor,
+        schedule: ScheduleState {
+            strategy: strategy_state,
+            cursor: draw.below(256),
+        },
+    }
+}
+
+/// The snapshot module's FNV-1a 64, re-implemented locally so tests can
+/// re-stamp a doctored body's trailing checksum. The constants are part of
+/// the stable wire format.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Replaces the trailing checksum with one valid for the (possibly
+/// doctored) body, so structural validation is reached.
+fn restamp(bytes: &mut Vec<u8>) {
+    let body_len = bytes.len() - 8;
+    let checksum = fnv1a(&bytes[..body_len]);
+    bytes.truncate(body_len);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_is_the_identity(words in proptest::collection::vec(any::<u64>(), 24..96)) {
+        let snapshot = arbitrary_snapshot(&mut Draw::new(words));
+        let bytes = snapshot.encode();
+        let decoded = CampaignSnapshot::decode(&bytes).expect("valid snapshot decodes");
+
+        // Canonical: re-encoding the decoded state reproduces the bytes.
+        prop_assert_eq!(decoded.encode(), bytes);
+
+        // And the components match where equality is defined.
+        prop_assert_eq!(&decoded.meta, &snapshot.meta);
+        prop_assert_eq!(decoded.completed, snapshot.completed);
+        prop_assert_eq!(decoded.rng_state, snapshot.rng_state);
+        prop_assert_eq!(&decoded.schedule, &snapshot.schedule);
+        prop_assert_eq!(&decoded.monitor, &snapshot.monitor);
+        prop_assert_eq!(decoded.map.executions(), snapshot.map.executions());
+        prop_assert_eq!(decoded.map.edges_covered(), snapshot.map.edges_covered());
+        prop_assert_eq!(decoded.map.paths_covered(), snapshot.map.paths_covered());
+        prop_assert_eq!(decoded.pool.len(), snapshot.pool.len());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(words in proptest::collection::vec(any::<u64>(), 24..64)) {
+        let bytes = arbitrary_snapshot(&mut Draw::new(words)).encode();
+        let step = (bytes.len() / 17).max(1);
+        for len in (0..bytes.len()).step_by(step) {
+            prop_assert!(
+                CampaignSnapshot::decode(&bytes[..len]).is_err(),
+                "decode accepted a {len}-byte prefix of {} bytes",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_rejected(words in proptest::collection::vec(any::<u64>(), 24..64)) {
+        let mut draw = Draw::new(words);
+        let bytes = arbitrary_snapshot(&mut draw).encode();
+        for _ in 0..8 {
+            let position = draw.below(bytes.len() as u64) as usize;
+            let flip = (draw.below(255) + 1) as u8;
+            let mut doctored = bytes.clone();
+            doctored[position] ^= flip;
+            // FNV-1a over the body guarantees detection: a body flip changes
+            // the computed checksum, a trailer flip changes the stored one,
+            // and a magic flip fails the magic check.
+            prop_assert!(
+                CampaignSnapshot::decode(&doctored).is_err(),
+                "decode accepted byte {position} xor {flip:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_named_not_guessed(words in proptest::collection::vec(any::<u64>(), 24..64)) {
+        let mut draw = Draw::new(words);
+        let mut bytes = arbitrary_snapshot(&mut draw).encode();
+        let version = VERSION + 1 + draw.below(1000) as u32;
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        restamp(&mut bytes);
+        let err = CampaignSnapshot::decode(&bytes).expect_err("future version rejected");
+        prop_assert!(
+            matches!(err, SnapshotError::UnsupportedVersion(v) if v == version),
+            "expected UnsupportedVersion({version}), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected(words in proptest::collection::vec(any::<u64>(), 24..64)) {
+        let mut draw = Draw::new(words);
+        let mut bytes = arbitrary_snapshot(&mut draw).encode();
+        let position = draw.below(MAGIC.len() as u64) as usize;
+        bytes[position] ^= (draw.below(255) + 1) as u8;
+        restamp(&mut bytes);
+        let err = CampaignSnapshot::decode(&bytes).expect_err("bad magic rejected");
+        prop_assert!(matches!(err, SnapshotError::BadMagic), "got {err:?}");
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_truncated_not_panics() {
+    assert!(matches!(
+        CampaignSnapshot::decode(&[]),
+        Err(SnapshotError::Truncated)
+    ));
+    assert!(matches!(
+        CampaignSnapshot::decode(&MAGIC),
+        Err(SnapshotError::Truncated)
+    ));
+    assert!(matches!(
+        CampaignSnapshot::decode(b"NOTASNAP-------------"),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut draw = Draw::new(vec![7, 11, 13]);
+    let mut bytes = arbitrary_snapshot(&mut draw).encode();
+    bytes.extend_from_slice(&[0u8; 16]);
+    restamp(&mut bytes);
+    assert!(CampaignSnapshot::decode(&bytes).is_err());
+}

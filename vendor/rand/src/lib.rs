@@ -209,6 +209,34 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words — the generator's exact stream
+        /// position. Feeding them back through
+        /// [`from_state`](SmallRng::from_state) resumes the stream
+        /// bit-for-bit, which is what campaign checkpointing relies on.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position previously
+        /// captured with [`state`](SmallRng::state).
+        ///
+        /// The all-zero state (xoshiro's one fixed point, unreachable from
+        /// any seeded generator) is nudged to the same canonical non-zero
+        /// state `from_seed` uses, so a corrupted snapshot cannot produce a
+        /// stuck generator.
+        #[must_use]
+        pub fn from_state(state: [u64; 4]) -> Self {
+            if state == [0, 0, 0, 0] {
+                return Self {
+                    s: [0x9e37_79b9_7f4a_7c15, 1, 2, 3],
+                };
+            }
+            Self { s: state }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
