@@ -19,12 +19,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, VecDeque};
-use std::path::PathBuf;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use peachstar::artifact::CrashArtifact;
 use peachstar::campaign::{
     run_repetitions_shared, Campaign, CampaignConfig, CampaignReport, PhaseMask, SessionConfig,
     ShardConfig, ShardedCampaign,
@@ -32,7 +33,8 @@ use peachstar::campaign::{
 use peachstar::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError};
 use peachstar::stats::CoverageSeries;
 use peachstar::strategy::StrategyKind;
-use peachstar_protocols::TargetId;
+use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+use peachstar_protocols::{Target, TargetId};
 
 /// Which fuzzers a run compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +127,24 @@ pub struct CliOptions {
     /// Chain Peach\* repetitions through a merged puzzle corpus so later
     /// seeds start from earlier discoveries.
     pub shared_corpus: bool,
+    /// Per-execution watchdog deadline in milliseconds: executions run on a
+    /// supervised worker thread and one that outlives the deadline is
+    /// abandoned and recorded as a hang fault.
+    pub exec_timeout_ms: Option<u64>,
+    /// Write one crash reproducer bundle per unique bug into this directory
+    /// (replayable with `peachstar-cli replay <bundle>`).
+    pub artifacts: Option<PathBuf>,
+    /// Exit with status 2 (instead of 0) when any campaign found a bug —
+    /// distinguishes "found faults" from both success and operational
+    /// failure in scripts and CI.
+    pub fail_on_fault: bool,
+    /// Wrap every target in the deterministic chaos layer with this seed:
+    /// injected panics and garbage responses exercise the fault-tolerant
+    /// execution path (hangs too, with `--chaos-hang-every`).
+    pub chaos: Option<u64>,
+    /// With `--chaos`: also inject blocking hangs on every ~Nth distinct
+    /// packet. Requires `--exec-timeout-ms` so the watchdog bounds them.
+    pub chaos_hang_every: Option<u64>,
 }
 
 impl Default for CliOptions {
@@ -150,6 +170,11 @@ impl Default for CliOptions {
             resume: None,
             stop_after: None,
             shared_corpus: false,
+            exec_timeout_ms: None,
+            artifacts: None,
+            fail_on_fault: false,
+            chaos: None,
+            chaos_hang_every: None,
         }
     }
 }
@@ -160,6 +185,9 @@ impl CliOptions {
 }
 
 /// What the command line asked for.
+// One Command is parsed per process; the size spread between variants is
+// irrelevant and boxing CliOptions would only obscure every match site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// Run campaigns with these options.
@@ -168,6 +196,8 @@ pub enum Command {
     Help,
     /// Print the known targets.
     ListTargets,
+    /// Re-run a crash reproducer bundle and verify the recorded fault fires.
+    Replay(PathBuf),
 }
 
 /// Usage text printed by `--help`.
@@ -239,12 +269,38 @@ OPTIONS:
                              repetitions through a merged puzzle corpus so
                              each seed starts from the donors every earlier
                              seed discovered
+    --exec-timeout-ms <N>    Per-execution deadline: run every packet on a
+                             supervised watchdog thread and abandon (recording
+                             a hang fault) any execution that outlives N ms.
+                             A run in which nothing hangs is bit-identical to
+                             an unsupervised one.
+    --artifacts <DIR>        Write one crash reproducer bundle per unique bug
+                             into DIR (atomic, checksummed, deterministic file
+                             names). Re-run a bundle with `replay <FILE>`.
+    --fail-on-fault          Exit with status 2 when any campaign found a bug
+                             (0 = ran clean, 1 = operational error) — lets
+                             scripts and CI distinguish the three outcomes.
+    --chaos <SEED>           Wrap every target in the deterministic chaos
+                             layer: injected panics and garbage responses,
+                             selected by packet content under SEED, exercise
+                             panic containment end to end. The non-chaos
+                             campaign stream is unaffected.
+    --chaos-hang-every <N>   With --chaos: also inject blocking hangs on
+                             every ~Nth distinct packet. Requires
+                             --exec-timeout-ms so the watchdog bounds them.
     --csv                    Also print the merged coverage series as CSV
     --json                   Print the report as machine-readable JSON
                              instead of the table
     --no-baseline            With --strategy peachstar: skip the baseline run
     --list-targets           List the built-in targets and exit
     -h, --help               Print this help and exit
+
+MODES:
+    replay <FILE>            Re-run a crash reproducer bundle written by
+                             --artifacts: repeats the recorded campaign up to
+                             the recorded execution and exits 0 only if the
+                             recorded fault fires again (same site, same
+                             execution, same packet).
 
 EXAMPLES:
     peachstar-cli --target modbus --strategy peachstar --executions 5000 --jobs 4
@@ -253,6 +309,9 @@ EXAMPLES:
         --checkpoint run.snap --stop-after 10000   # interrupt at a boundary
     peachstar-cli --target modbus --strategy peachstar --no-baseline \\
         --resume run.snap                          # finish the campaign
+    peachstar-cli --target modbus --strategy peach --chaos 7 \\
+        --artifacts crashes/ --fail-on-fault       # chaos run + reproducers
+    peachstar-cli replay crashes/libmodbus-panic-0123456789abcdef.peachart
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -285,6 +344,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         match arg.as_str() {
             "-h" | "--help" => return Ok(Command::Help),
             "--list-targets" => return Ok(Command::ListTargets),
+            "replay" => {
+                let path = value("replay", &mut iter)?;
+                if let Some(extra) = iter.next() {
+                    return Err(format!("replay takes exactly one bundle path (got `{extra}`)"));
+                }
+                return Ok(Command::Replay(PathBuf::from(path)));
+            }
             "--target" => {
                 let raw = value("--target", &mut iter)?;
                 if raw.eq_ignore_ascii_case("all") {
@@ -381,6 +447,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 options.stop_after = Some(stop);
             }
             "--shared-corpus" => options.shared_corpus = true,
+            "--exec-timeout-ms" => {
+                let millis = number("--exec-timeout-ms", value("--exec-timeout-ms", &mut iter)?)?;
+                if millis == 0 {
+                    return Err("--exec-timeout-ms must be at least 1".into());
+                }
+                options.exec_timeout_ms = Some(millis);
+            }
+            "--artifacts" => {
+                options.artifacts = Some(PathBuf::from(value("--artifacts", &mut iter)?));
+            }
+            "--fail-on-fault" => options.fail_on_fault = true,
+            "--chaos" => {
+                options.chaos = Some(number("--chaos", value("--chaos", &mut iter)?)?);
+            }
+            "--chaos-hang-every" => {
+                let every =
+                    number("--chaos-hang-every", value("--chaos-hang-every", &mut iter)?)?;
+                if every == 0 {
+                    return Err("--chaos-hang-every must be at least 1".into());
+                }
+                options.chaos_hang_every = Some(every);
+            }
             "--csv" => options.csv = true,
             "--json" => options.json = true,
             "--no-baseline" => options.no_baseline = true,
@@ -465,6 +553,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             return Err("--checkpoint/--resume requires --repetitions 1".into());
         }
     }
+    if options.chaos_hang_every.is_some() {
+        if options.chaos.is_none() {
+            return Err("--chaos-hang-every requires --chaos <seed>".into());
+        }
+        if options.exec_timeout_ms.is_none() {
+            return Err(
+                "--chaos-hang-every injects blocking hangs; arm the watchdog with \
+                 --exec-timeout-ms <ms> so they are bounded"
+                    .into(),
+            );
+        }
+    }
+    if options.artifacts.is_some() && options.shared_corpus {
+        // A later shared-corpus repetition starts from state its bundle
+        // cannot record, so its artifacts would not replay.
+        return Err("--artifacts cannot be combined with --shared-corpus".into());
+    }
     if options.shared_corpus {
         if options.repetitions < 2 {
             return Err(
@@ -547,25 +652,59 @@ impl MergedCampaign {
         self.mean(CampaignReport::executions_per_second)
     }
 
-    /// Unique bug sites over all repetitions, with the repetition seed and
-    /// earliest execution that first triggered each.
+    /// Unique bug sites over all repetitions, with the repetition seed,
+    /// earliest execution, reproducer packet and data model that first
+    /// triggered each.
     #[must_use]
-    pub fn unique_bugs(&self, base_seed: u64) -> Vec<(String, u64, u64)> {
-        let mut bugs: BTreeMap<&'static str, (String, u64, u64)> = BTreeMap::new();
+    pub fn unique_bugs(&self, base_seed: u64) -> Vec<UniqueBug> {
+        let mut bugs: BTreeMap<&'static str, UniqueBug> = BTreeMap::new();
         for (repetition, report) in self.reports.iter().enumerate() {
             let seed = base_seed + repetition as u64;
             for bug in &report.bugs {
+                let entry = || UniqueBug {
+                    description: bug.fault.to_string(),
+                    seed,
+                    first_execution: bug.first_execution,
+                    packet_hex: hex(&bug.packet),
+                    model: bug.model.clone(),
+                };
                 bugs.entry(bug.fault.site)
-                    .and_modify(|entry| {
-                        if bug.first_execution < entry.2 {
-                            *entry = (bug.fault.to_string(), seed, bug.first_execution);
+                    .and_modify(|existing| {
+                        if bug.first_execution < existing.first_execution {
+                            *existing = entry();
                         }
                     })
-                    .or_insert((bug.fault.to_string(), seed, bug.first_execution));
+                    .or_insert_with(entry);
             }
         }
         bugs.into_values().collect()
     }
+}
+
+/// One deduplicated bug of a [`MergedCampaign`], with everything needed to
+/// reproduce it by hand: the triggering packet as hex and the data model it
+/// was generated from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniqueBug {
+    /// Human-readable fault description (kind at site).
+    pub description: String,
+    /// Repetition seed whose campaign first triggered the bug.
+    pub seed: u64,
+    /// Earliest execution index (1-based) at which the bug fired.
+    pub first_execution: u64,
+    /// The triggering packet, hex-encoded.
+    pub packet_hex: String,
+    /// Data model the packet was generated from.
+    pub model: String,
+}
+
+/// Lowercase hex encoding of a packet.
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
 }
 
 /// The outcome of [`run`]: one merged campaign per (target, strategy) pair,
@@ -582,6 +721,9 @@ pub struct RunOutcome {
     /// of completion; `campaigns` is empty and the snapshot sits at the
     /// `--checkpoint` path, ready for `--resume`.
     pub stopped_at: Option<u64>,
+    /// Reproducer bundles written under `--artifacts`, one per unique bug,
+    /// in deterministic (target, fault kind, site) order.
+    pub artifacts: Vec<PathBuf>,
 }
 
 impl RunOutcome {
@@ -612,7 +754,33 @@ fn build_config(
     if let Some(batch) = options.batch {
         config = config.batch(batch);
     }
+    if let Some(millis) = options.exec_timeout_ms {
+        config = config.exec_timeout_ms(millis);
+    }
     config
+}
+
+/// The chaos-injection configuration the options describe, if `--chaos` was
+/// given: the seeded default failure mix, with blocking hangs armed only
+/// when `--chaos-hang-every` asked for them (parse-time validation has
+/// already ensured the watchdog is on in that case).
+fn chaos_config(options: &CliOptions) -> Option<ChaosConfig> {
+    options.chaos.map(|seed| {
+        let config = ChaosConfig::new(seed);
+        match options.chaos_hang_every {
+            Some(every) => config.hang_every(every),
+            None => config,
+        }
+    })
+}
+
+/// Instantiates a campaign target for `target`, wrapped in the
+/// deterministic [`ChaosTarget`] failure injector when `--chaos` is active.
+fn make_target(options: &CliOptions, target: TargetId) -> Box<dyn Target> {
+    match chaos_config(options) {
+        Some(chaos) => Box::new(ChaosTarget::new(target.create_send(), chaos)),
+        None => target.create(),
+    }
 }
 
 /// Runs all requested campaigns, distributing repetitions over `jobs`
@@ -626,15 +794,68 @@ fn build_config(
 /// # Errors
 ///
 /// Returns a human-readable message when a snapshot cannot be read,
-/// written, or does not match the requested campaign.
+/// written, or does not match the requested campaign, or when a reproducer
+/// bundle cannot be written under `--artifacts`.
 pub fn run(options: &CliOptions) -> Result<RunOutcome, String> {
-    let start = Instant::now();
-    let kinds = options.strategy.kinds(options.no_baseline);
-    let sample_interval = if options.sample_interval > 0 {
+    let mut outcome = run_inner(options)?;
+    if let Some(dir) = &options.artifacts {
+        outcome.artifacts = write_artifacts(dir, &outcome)?;
+    }
+    Ok(outcome)
+}
+
+/// Writes one [`CrashArtifact`] reproducer bundle per unique
+/// (target, fault kind, site) bug of the outcome into `dir`, recording the
+/// exact campaign recipe (repetition seed, sharding, chaos injection) that
+/// first triggered it.
+fn write_artifacts(dir: &Path, outcome: &RunOutcome) -> Result<Vec<PathBuf>, String> {
+    let options = &outcome.options;
+    let sample_interval = effective_sample_interval(options);
+    let sync_windows =
+        (options.shards >= 2).then(|| ShardConfig::with_workers(options.shards).sync_windows);
+    let chaos = chaos_config(options);
+    let mut seen: BTreeSet<(TargetId, String)> = BTreeSet::new();
+    let mut paths = Vec::new();
+    for merged in &outcome.campaigns {
+        for (repetition, report) in merged.reports.iter().enumerate() {
+            let seed = options.seed + repetition as u64;
+            let config = build_config(options, merged.strategy, seed, sample_interval);
+            for bug in &report.bugs {
+                if !seen.insert((merged.target, format!("{:?}@{}", bug.fault.kind, bug.fault.site)))
+                {
+                    continue;
+                }
+                let artifact = CrashArtifact::from_bug(
+                    merged.target,
+                    &config,
+                    sync_windows.map(|windows| windows as u64),
+                    chaos,
+                    bug,
+                );
+                let path = artifact
+                    .write_atomic(dir)
+                    .map_err(|error| format!("--artifacts {}: {error}", dir.display()))?;
+                paths.push(path);
+            }
+        }
+    }
+    Ok(paths)
+}
+
+/// The sample interval the options resolve to (`--sample-interval`, or 1% of
+/// the budget when left at 0).
+fn effective_sample_interval(options: &CliOptions) -> u64 {
+    if options.sample_interval > 0 {
         options.sample_interval
     } else {
         (options.executions / 100).max(1)
-    };
+    }
+}
+
+fn run_inner(options: &CliOptions) -> Result<RunOutcome, String> {
+    let start = Instant::now();
+    let kinds = options.strategy.kinds(options.no_baseline);
+    let sample_interval = effective_sample_interval(options);
 
     if options.checkpoint.is_some() || options.resume.is_some() {
         return run_checkpointable(options, kinds[0], sample_interval, start);
@@ -679,13 +900,13 @@ pub fn run(options: &CliOptions) -> Result<RunOutcome, String> {
                 let config = build_config(options, item.strategy, item.seed, sample_interval);
                 let report = if options.shards >= 2 {
                     ShardedCampaign::new(
-                        item.target.create(),
+                        make_target(options, item.target),
                         config,
                         ShardConfig::with_workers(options.shards),
                     )
                     .run()
                 } else {
-                    Campaign::new(item.target.create(), config).run()
+                    Campaign::new(make_target(options, item.target), config).run()
                 };
                 results.lock().expect("results lock").push((item, report));
             });
@@ -723,6 +944,7 @@ pub fn run(options: &CliOptions) -> Result<RunOutcome, String> {
         campaigns,
         wall_seconds: start.elapsed().as_secs_f64(),
         stopped_at: None,
+        artifacts: Vec::new(),
     })
 }
 
@@ -760,7 +982,7 @@ fn run_checkpointable(
             .expect("parse_args requires --checkpoint with --stop-after");
         let snapshot = if options.shards >= 2 {
             let campaign = ShardedCampaign::new(
-                target.create(),
+                make_target(options, target),
                 config,
                 ShardConfig::with_workers(options.shards),
             );
@@ -771,7 +993,7 @@ fn run_checkpointable(
             }
             .map_err(campaign_error)?
         } else {
-            let campaign = Campaign::new(target.create(), config);
+            let campaign = Campaign::new(make_target(options, target), config);
             let boundary = first_boundary(&campaign.window_boundaries(), stop)?;
             match &resumed {
                 Some(from) => campaign.resume_to_boundary(from, boundary),
@@ -788,12 +1010,13 @@ fn run_checkpointable(
             campaigns: Vec::new(),
             wall_seconds: start.elapsed().as_secs_f64(),
             stopped_at: Some(stopped_at),
+            artifacts: Vec::new(),
         });
     }
 
     let report = if options.shards >= 2 {
         let campaign = ShardedCampaign::new(
-            target.create(),
+            make_target(options, target),
             config,
             ShardConfig::with_workers(options.shards),
         );
@@ -804,7 +1027,7 @@ fn run_checkpointable(
             (None, None) => unreachable!("parse_args requires --checkpoint or --resume"),
         }
     } else {
-        let campaign = Campaign::new(target.create(), config);
+        let campaign = Campaign::new(make_target(options, target), config);
         match (&resumed, &checkpoint) {
             (Some(from), Some(to)) => campaign.resume_checkpointed(from, to),
             (Some(from), None) => campaign.resume(from),
@@ -825,6 +1048,7 @@ fn run_checkpointable(
         campaigns: vec![merged],
         wall_seconds: start.elapsed().as_secs_f64(),
         stopped_at: None,
+        artifacts: Vec::new(),
     })
 }
 
@@ -852,7 +1076,7 @@ fn run_shared(
         for &strategy in kinds {
             let config = build_config(options, strategy, options.seed, sample_interval);
             let (merged_series, reports) =
-                run_repetitions_shared(|| target.create(), config, options.repetitions);
+                run_repetitions_shared(|| make_target(options, target), config, options.repetitions);
             campaigns.push(MergedCampaign {
                 target,
                 strategy,
@@ -866,6 +1090,7 @@ fn run_shared(
         campaigns,
         wall_seconds: start.elapsed().as_secs_f64(),
         stopped_at: None,
+        artifacts: Vec::new(),
     }
 }
 
@@ -925,6 +1150,16 @@ pub fn render_report(outcome: &RunOutcome) -> String {
     ));
     if options.shared_corpus {
         out.push_str("repetitions share one merged puzzle corpus (--shared-corpus)\n");
+    }
+    if let Some(millis) = options.exec_timeout_ms {
+        out.push_str(&format!(
+            "hang watchdog armed: executions exceeding {millis}ms are reported as hang faults\n"
+        ));
+    }
+    if let Some(seed) = options.chaos {
+        out.push_str(&format!(
+            "chaos injection active (seed {seed}): targets wrapped in a deterministic failure injector\n"
+        ));
     }
     if let Some(resume) = &options.resume {
         out.push_str(&format!("resumed from snapshot {}\n", resume.display()));
@@ -1003,9 +1238,14 @@ pub fn render_report(outcome: &RunOutcome) -> String {
                 "unique bugs found by {} (union over repetitions):\n",
                 merged.strategy.label()
             ));
-            for (description, seed, execution) in bugs {
+            for bug in bugs {
                 out.push_str(&format!(
-                    "  {description} (first at execution {execution}, seed {seed})\n"
+                    "  {} (first at execution {}, seed {})\n",
+                    bug.description, bug.first_execution, bug.seed
+                ));
+                out.push_str(&format!(
+                    "    model {} | reproducer {}\n",
+                    bug.model, bug.packet_hex
                 ));
             }
         }
@@ -1013,6 +1253,16 @@ pub fn render_report(outcome: &RunOutcome) -> String {
         if options.csv {
             out.push('\n');
             out.push_str(&render_csv(target, peach, star));
+        }
+    }
+
+    if !outcome.artifacts.is_empty() {
+        out.push_str(&format!(
+            "\n{} reproducer artifact(s) written:\n",
+            outcome.artifacts.len()
+        ));
+        for path in &outcome.artifacts {
+            out.push_str(&format!("  {}\n", path.display()));
         }
     }
 
@@ -1113,8 +1363,25 @@ pub fn render_json(outcome: &RunOutcome) -> String {
     if let Some(batch) = options.batch {
         out.push_str(&format!("  \"batch\": {batch},\n"));
     }
+    if let Some(millis) = options.exec_timeout_ms {
+        out.push_str(&format!("  \"exec_timeout_ms\": {millis},\n"));
+    }
+    if let Some(seed) = options.chaos {
+        out.push_str(&format!("  \"chaos_seed\": {seed},\n"));
+    }
     if let Some(stopped) = outcome.stopped_at {
         out.push_str(&format!("  \"stopped_at\": {stopped},\n"));
+    }
+    if !outcome.artifacts.is_empty() {
+        out.push_str("  \"artifacts\": [");
+        for (index, path) in outcome.artifacts.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\"{}\"",
+                if index == 0 { "" } else { ", " },
+                json_escape(&path.display().to_string())
+            ));
+        }
+        out.push_str("],\n");
     }
     out.push_str("  \"campaigns\": [\n");
     for (index, merged) in outcome.campaigns.iter().enumerate() {
@@ -1135,13 +1402,15 @@ pub fn render_json(outcome: &RunOutcome) -> String {
         ));
         out.push_str("      \"unique_bugs\": [");
         let bugs = merged.unique_bugs(options.seed);
-        for (bug_index, (description, seed, execution)) in bugs.iter().enumerate() {
+        for (bug_index, bug) in bugs.iter().enumerate() {
             out.push_str(&format!(
-                "{}{{\"description\": \"{}\", \"seed\": {}, \"first_execution\": {}}}",
+                "{}{{\"description\": \"{}\", \"seed\": {}, \"first_execution\": {}, \"packet_hex\": \"{}\", \"model\": \"{}\"}}",
                 if bug_index == 0 { "" } else { ", " },
-                json_escape(description),
-                seed,
-                execution
+                json_escape(&bug.description),
+                bug.seed,
+                bug.first_execution,
+                json_escape(&bug.packet_hex),
+                json_escape(&bug.model)
             ));
         }
         out.push_str("],\n");
@@ -1211,7 +1480,18 @@ pub fn run_main(args: &[String]) -> ExitCode {
                     } else {
                         print!("{}", render_report(&outcome));
                     }
-                    ExitCode::SUCCESS
+                    let any_faults = outcome
+                        .campaigns
+                        .iter()
+                        .flat_map(|merged| merged.reports.iter())
+                        .any(|report| !report.bugs.is_empty());
+                    if options.fail_on_fault && any_faults {
+                        // Exit 2 distinguishes "campaign found bugs" from
+                        // operational failure (exit 1).
+                        ExitCode::from(2)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
                 }
                 Err(message) => {
                     eprintln!("error: {message}");
@@ -1219,10 +1499,51 @@ pub fn run_main(args: &[String]) -> ExitCode {
                 }
             }
         }
+        Ok(Command::Replay(path)) => match replay_artifact(&path) {
+            Ok(message) => {
+                println!("{message}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("try --help for usage");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays one reproducer bundle: reads the artifact, re-runs its recorded
+/// campaign recipe, and checks that the recorded fault fires at the recorded
+/// execution with the recorded packet.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the bundle cannot be read or the
+/// recorded fault does not reproduce.
+pub fn replay_artifact(path: &Path) -> Result<String, String> {
+    let artifact = CrashArtifact::read_from(path)
+        .map_err(|error| format!("replay {}: {error}", path.display()))?;
+    match artifact.replay() {
+        Ok(_) => Ok(format!(
+            "reproduced: {:?} at {} (execution {}, target {})",
+            artifact.fault_kind,
+            artifact.site,
+            artifact.first_execution,
+            artifact.target.project_name()
+        )),
+        Err(diverged) => {
+            let (report, error) = *diverged;
+            Err(format!(
+                "replay {}: {error} ({} bug(s) observed over {} executions)",
+                path.display(),
+                report.bugs.len(),
+                report.executions
+            ))
         }
     }
 }
@@ -1857,5 +2178,186 @@ mod tests {
             .find(TargetId::Modbus, StrategyKind::PeachStar)
             .expect("peachstar group");
         assert!(merged.corpus_size() >= isolated.corpus_size());
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let Command::Run(options) = parse_args(&args(&[
+            "--exec-timeout-ms",
+            "500",
+            "--chaos",
+            "7",
+            "--chaos-hang-every",
+            "97",
+            "--artifacts",
+            "crashes",
+            "--fail-on-fault",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.exec_timeout_ms, Some(500));
+        assert_eq!(options.chaos, Some(7));
+        assert_eq!(options.chaos_hang_every, Some(97));
+        assert_eq!(options.artifacts, Some(PathBuf::from("crashes")));
+        assert!(options.fail_on_fault);
+
+        assert!(parse_args(&args(&["--exec-timeout-ms", "0"])).is_err());
+        assert!(parse_args(&args(&["--chaos-hang-every", "0"])).is_err());
+        // Blocking hangs need the watchdog armed and a chaos seed.
+        assert!(parse_args(&args(&["--chaos-hang-every", "97"])).is_err());
+        assert!(
+            parse_args(&args(&["--chaos", "7", "--chaos-hang-every", "97"])).is_err(),
+            "--chaos-hang-every without --exec-timeout-ms would block a worker forever"
+        );
+        // Artifacts record one campaign recipe per bug; --shared-corpus
+        // repetitions start from un-recordable corpus state.
+        assert!(parse_args(&args(&["--artifacts", "x", "--shared-corpus"])).is_err());
+    }
+
+    #[test]
+    fn parses_replay_command() {
+        let command = parse_args(&args(&["replay", "crashes/bug.peachart"])).unwrap();
+        assert_eq!(
+            command,
+            Command::Replay(PathBuf::from("crashes/bug.peachart"))
+        );
+        assert!(parse_args(&args(&["replay"])).is_err());
+        assert!(parse_args(&args(&["replay", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn chaos_campaign_completes_budget_and_dedups_injected_sites() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 800,
+            jobs: 1,
+            chaos: Some(11),
+            ..CliOptions::default()
+        };
+        let outcome = run(&options).expect("chaos run");
+        let merged = outcome
+            .find(TargetId::Modbus, StrategyKind::Peach)
+            .expect("peach group");
+        let report = &merged.reports[0];
+        assert_eq!(report.executions, 800, "injected failures must not eat budget");
+        assert!(report.fault_hits > 0, "chaos seed 11 injects panics");
+        let bugs = merged.unique_bugs(options.seed);
+        assert!(!bugs.is_empty());
+        let sites: BTreeSet<&str> = bugs.iter().map(|bug| bug.description.as_str()).collect();
+        assert_eq!(sites.len(), bugs.len(), "bug list is deduplicated by site");
+        for bug in &bugs {
+            assert!(!bug.packet_hex.is_empty(), "reproducer hex recorded");
+            assert!(!bug.model.is_empty(), "data model recorded");
+        }
+        // Chaos wrapping is deterministic: a second run is identical.
+        let again = run(&options).expect("chaos run");
+        let again = again
+            .find(TargetId::Modbus, StrategyKind::Peach)
+            .expect("peach group");
+        assert_eq!(again.unique_bugs(options.seed), bugs);
+    }
+
+    #[test]
+    fn report_and_json_carry_reproducer_and_fault_tolerance_fields() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 600,
+            jobs: 1,
+            chaos: Some(11),
+            exec_timeout_ms: Some(5_000),
+            ..CliOptions::default()
+        };
+        let outcome = run(&options).expect("chaos run");
+        let report = render_report(&outcome);
+        assert!(report.contains("chaos injection active (seed 11)"));
+        assert!(report.contains("hang watchdog armed"));
+        assert!(report.contains("reproducer "), "bug lines carry packet hex");
+        assert!(report.contains("model "), "bug lines carry the data model");
+        let json = render_json(&outcome);
+        assert!(json.contains("\"chaos_seed\": 11"));
+        assert!(json.contains("\"exec_timeout_ms\": 5000"));
+        assert!(json.contains("\"packet_hex\": \""));
+        assert!(json.contains("\"model\": \""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced JSON objects"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "balanced JSON arrays"
+        );
+    }
+
+    #[test]
+    fn artifacts_written_and_replay_reproduces() {
+        let dir = std::env::temp_dir().join(format!(
+            "peachstar-cli-artifacts-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 800,
+            jobs: 1,
+            chaos: Some(11),
+            artifacts: Some(dir.clone()),
+            ..CliOptions::default()
+        };
+        let outcome = run(&options).expect("chaos run with artifacts");
+        let merged = outcome
+            .find(TargetId::Modbus, StrategyKind::Peach)
+            .expect("peach group");
+        let bugs = merged.unique_bugs(options.seed);
+        assert_eq!(
+            outcome.artifacts.len(),
+            bugs.len(),
+            "one bundle per unique bug"
+        );
+        for path in &outcome.artifacts {
+            assert!(path.starts_with(&dir));
+            assert!(
+                replay_artifact(path).is_ok(),
+                "replay reproduces {}",
+                path.display()
+            );
+        }
+        assert!(render_report(&outcome).contains("reproducer artifact(s) written"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_chaos_artifacts_replay_through_the_barrier_schedule() {
+        let dir = std::env::temp_dir().join(format!(
+            "peachstar-cli-shard-artifacts-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::PeachStar,
+            no_baseline: true,
+            executions: 600,
+            jobs: 1,
+            shards: 2,
+            chaos: Some(11),
+            artifacts: Some(dir.clone()),
+            ..CliOptions::default()
+        };
+        let outcome = run(&options).expect("sharded chaos run");
+        assert!(!outcome.artifacts.is_empty(), "chaos seed 11 injects bugs");
+        for path in &outcome.artifacts {
+            assert!(
+                replay_artifact(path).is_ok(),
+                "sharded replay reproduces {}",
+                path.display()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

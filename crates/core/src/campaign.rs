@@ -64,6 +64,15 @@ pub struct CampaignConfig {
     /// [`ShardedCampaign`] this instead caps the per-worker dispatch chunk,
     /// which never changes the report.
     pub batch: Option<u64>,
+    /// Per-execution deadline in milliseconds (`--exec-timeout-ms`): each
+    /// packet runs on a supervised watchdog thread and an execution that
+    /// outlives the deadline is abandoned and recorded as a
+    /// [`FaultKind::Hang`](peachstar_protocols::FaultKind::Hang) fault.
+    ///
+    /// Operational knob, not campaign semantics: a supervised campaign in
+    /// which nothing hangs is bit-identical to an unsupervised one, and the
+    /// field is deliberately excluded from the snapshot fingerprint.
+    pub exec_timeout: Option<u64>,
 }
 
 impl CampaignConfig {
@@ -80,6 +89,7 @@ impl CampaignConfig {
             reset_interval: 2_000,
             session: None,
             batch: None,
+            exec_timeout: None,
         }
     }
 
@@ -123,6 +133,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn batch(mut self, batch: u64) -> Self {
         self.batch = Some(batch.max(1));
+        self
+    }
+
+    /// Arms the hang watchdog with a per-execution deadline in milliseconds
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn exec_timeout_ms(mut self, millis: u64) -> Self {
+        self.exec_timeout = Some(millis.max(1));
         self
     }
 }
@@ -467,8 +485,12 @@ fn drive_engine<S: Schedule>(
 ) -> Result<(CampaignReport, Option<CampaignSnapshot>), SnapshotError> {
     let windows = windows_for_policy(config.executions, policy);
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let mut executor = TargetExecutor::with_policy(target, policy);
+    if let Some(millis) = config.exec_timeout {
+        executor = executor.with_deadline(Duration::from_millis(millis));
+    }
     let mut engine = Engine {
-        executor: TargetExecutor::with_policy(target, policy),
+        executor,
         observer: CoverageObserver::new(),
         feedback: NewCoverageFeedback::new(),
         monitor: CampaignMonitor::new(config.executions, config.sample_interval),

@@ -1,8 +1,12 @@
 //! The [`Executor`] seam: who runs a packet, and when the target resets.
 
+use std::time::Duration;
+
 use peachstar_coverage::{TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
 use peachstar_protocols::{Outcome, Target, WindowResults};
+
+use super::supervisor::{contained, panic_fault, Watchdog};
 
 /// When the target's session state is wiped back to the just-started
 /// condition (in addition to the unconditional restart after a fault).
@@ -118,10 +122,42 @@ pub trait Executor {
 /// The standard single-target executor: one [`Target`] instance, one reused
 /// [`TraceContext`] (reset clears only the slots the previous execution
 /// dirtied), and a [`ResetPolicy`] deciding when session state is wiped.
+///
+/// # Fault tolerance
+///
+/// The executor treats target misbehaviour as data rather than as a
+/// process-fatal event:
+///
+/// * a `panic!` escaping [`Target::process`]/[`Target::process_batch`] is
+///   contained with `catch_unwind` and recorded as a synthetic
+///   [`FaultKind::Panic`](peachstar_protocols::FaultKind::Panic) fault whose
+///   dedup site is the interned panic message; the poisoned target instance
+///   is discarded and rebuilt from a pristine spare (taken via
+///   [`Target::clone_fresh`] at construction), and the campaign continues on
+///   the same RNG stream;
+/// * with [`with_deadline`](TargetExecutor::with_deadline), executions run
+///   under a hang watchdog on a supervised worker thread: an execution that
+///   exceeds the deadline is abandoned and recorded as a
+///   [`FaultKind::Hang`](peachstar_protocols::FaultKind::Hang) fault, and
+///   the worker is rebuilt fresh.
+///
+/// Both layers are transparent for well-behaved executions — outcomes and
+/// traces are bit-identical to the uncontained path — which is what keeps
+/// the pinned campaign reports byte-stable.
 pub struct TargetExecutor {
     target: Box<dyn Target>,
+    /// Pristine copy taken at construction, never executed: the rebuild
+    /// source after a contained panic (the panicked instance may be left in
+    /// an arbitrary state, so `clone_fresh` is taken from this spare, not
+    /// from the poisoned target).
+    spare: Box<dyn Target + Send>,
     ctx: TraceContext,
     policy: ResetPolicy,
+    /// Armed by [`with_deadline`](TargetExecutor::with_deadline): executions
+    /// are delegated to the supervised worker and `scratch` re-materialises
+    /// the sparse reply traces.
+    watchdog: Option<Watchdog>,
+    scratch: TraceMap,
 }
 
 impl TargetExecutor {
@@ -137,11 +173,32 @@ impl TargetExecutor {
     /// Wraps a target with an explicit reset policy.
     #[must_use]
     pub fn with_policy(target: Box<dyn Target>, policy: ResetPolicy) -> Self {
+        let spare = target.clone_fresh();
         Self {
             target,
+            spare,
             ctx: TraceContext::new(),
             policy,
+            watchdog: None,
+            scratch: TraceMap::new(),
         }
+    }
+
+    /// Arms the hang watchdog: every execution runs on a supervised worker
+    /// thread and is abandoned — recorded as a
+    /// [`FaultKind::Hang`](peachstar_protocols::FaultKind::Hang) fault with
+    /// an empty trace — if it exceeds `timeout`. When nothing hangs, the
+    /// supervised stream is bit-identical to the unsupervised one.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(Watchdog::new(self.spare.clone_fresh(), timeout));
+        self
+    }
+
+    /// The enforced per-execution deadline, when the watchdog is armed.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.watchdog.as_ref().map(Watchdog::timeout)
     }
 
     /// The wrapped target.
@@ -162,6 +219,7 @@ impl std::fmt::Debug for TargetExecutor {
         f.debug_struct("TargetExecutor")
             .field("target", &self.target.name())
             .field("policy", &self.policy)
+            .field("deadline", &self.deadline())
             .finish()
     }
 }
@@ -176,11 +234,30 @@ impl Executor for TargetExecutor {
     }
 
     fn execute(&mut self, execution: u64, packet: &[u8]) -> (Outcome, &TraceMap) {
-        if self.policy.resets_before(execution) {
+        let resets = self.policy.resets_before(execution);
+        if let Some(watchdog) = &mut self.watchdog {
+            // Supervised mode: the worker thread owns the authoritative
+            // target and applies the same reset/containment sequence as the
+            // in-thread path below; the reply trace is re-materialised into
+            // `scratch` so callers keep seeing a dense `TraceMap`.
+            let (outcome, trace) = watchdog.execute(resets, packet);
+            self.scratch.load_sparse(&trace);
+            return (outcome, &self.scratch);
+        }
+        if resets {
             self.target.reset();
         }
         self.ctx.reset();
-        let outcome = self.target.process(packet, &mut self.ctx);
+        let outcome = match contained(|| self.target.process(packet, &mut self.ctx)) {
+            Ok(outcome) => outcome,
+            Err(message) => {
+                // The panic may have left the target in an arbitrary state;
+                // discard it and rebuild from the pristine spare. The trace
+                // keeps the edges recorded up to the panic — real coverage.
+                self.target = self.spare.clone_fresh();
+                Outcome::Fault(panic_fault(&message))
+            }
+        };
         if outcome.is_fault() {
             // A fault leaves the session in an undefined state; restart the
             // target, as the paper's harness restarts the crashed server.
@@ -199,9 +276,11 @@ impl Executor for TargetExecutor {
         // to the target wholesale (the target would miss a mid-window
         // reset); fall back to the per-execution path, which applies the
         // policy at every step. Reset-aligned drivers never hit this branch.
+        // The supervised (watchdog) path is per-packet by construction: each
+        // execution needs its own deadline.
         let interior_reset = (1..packets.len() as u64)
             .any(|offset| self.policy.resets_before(first_execution + offset));
-        if interior_reset {
+        if interior_reset || self.watchdog.is_some() {
             out.begin();
             for (offset, packet) in packets.iter().enumerate() {
                 let (outcome, trace) = self.execute(first_execution + offset as u64, packet);
@@ -217,7 +296,22 @@ impl Executor for TargetExecutor {
         if self.policy.resets_before(first_execution) {
             self.target.reset();
         }
-        self.target.process_batch(packets, &mut self.ctx, out);
+        if let Err(message) = contained(|| self.target.process_batch(packets, &mut self.ctx, out))
+        {
+            // The batch panicked while processing packet `out.len()` (every
+            // `process_batch` implementation records incrementally): record
+            // the synthetic fault with the partial trace of the panicking
+            // packet, rebuild the target, and finish the window on the
+            // per-execution path — which contains any further panics and is
+            // exactly what a sequential run of the same packets would do.
+            out.record(&Outcome::Fault(panic_fault(&message)), self.ctx.trace());
+            self.target = self.spare.clone_fresh();
+            let completed = out.len();
+            for (offset, packet) in packets.iter().enumerate().skip(completed) {
+                let (outcome, trace) = self.execute(first_execution + offset as u64, packet);
+                out.record(&outcome, trace);
+            }
+        }
     }
 }
 
@@ -303,6 +397,119 @@ mod tests {
                 assert_eq!(*trace, expected[offset].1, "start {first_execution} offset {offset}");
             }
         }
+    }
+
+    #[test]
+    fn execute_contains_panics_and_continues() {
+        use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+        use peachstar_protocols::FaultKind;
+        let chaos = ChaosConfig::new(5).panic_every(2).garbage_every(0).sites(2);
+        let target = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+        let mut executor = TargetExecutor::new(target, 0);
+        let packets: Vec<Vec<u8>> = (0u8..24).map(|i| vec![i, 0x68, i ^ 0x3C]).collect();
+        let mut panics = 0;
+        for (index, packet) in packets.iter().enumerate() {
+            let (outcome, _) = executor.execute(index as u64 + 1, packet);
+            if let Some(fault) = outcome.fault() {
+                if fault.kind == FaultKind::Panic {
+                    panics += 1;
+                    assert!(fault.site.starts_with("chaos: injected panic #"));
+                }
+            }
+        }
+        assert!(panics > 0, "panic_every=2 must fire in 24 packets");
+        // The executor survived every panic and still works.
+        let request = [0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02];
+        let (outcome, trace) = executor.execute(100, &request);
+        assert!(outcome.fault().is_none_or(|f| f.kind == FaultKind::Panic));
+        assert!(trace.edges_hit() > 0 || outcome.is_fault());
+    }
+
+    #[test]
+    fn contained_windows_match_the_contained_sequential_path() {
+        // The batched path under panics must stay bit-identical to the
+        // sequential contained path: same synthetic faults at the same
+        // offsets, same traces for the surviving packets.
+        use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+        let chaos = ChaosConfig::new(11).panic_every(3).garbage_every(5).sites(3);
+        let make = || {
+            Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos))
+                as Box<dyn peachstar_protocols::Target>
+        };
+        let packets: Vec<Vec<u8>> = (0u8..16).map(|i| vec![i, i ^ 0x77]).collect();
+        let window: Vec<&[u8]> = packets.iter().map(Vec::as_slice).collect();
+
+        let mut reference = TargetExecutor::new(make(), 0);
+        let expected: Vec<_> = window
+            .iter()
+            .enumerate()
+            .map(|(offset, packet)| {
+                let (outcome, trace) = reference.execute(offset as u64 + 1, packet);
+                (
+                    peachstar_protocols::OutcomeSummary::from(&outcome),
+                    trace.to_sparse(),
+                )
+            })
+            .collect();
+
+        let mut batched = TargetExecutor::new(make(), 0);
+        let mut results = WindowResults::new();
+        batched.execute_window(1, &window, &mut results);
+        assert_eq!(results.len(), window.len());
+        for (offset, (summary, trace)) in results.iter().enumerate() {
+            assert_eq!(*summary, expected[offset].0, "offset {offset}");
+            assert_eq!(*trace, expected[offset].1, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn deadline_executor_matches_undeadlined_stream_when_nothing_hangs() {
+        // Arming the watchdog must be observationally transparent for
+        // well-behaved targets: same outcomes, same traces.
+        let request = vec![0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02];
+        let garbage = vec![0xFF, 0x00, 0x01];
+        let window: Vec<&[u8]> = vec![&request, &garbage, &request, &garbage, &request];
+        let mut plain = TargetExecutor::new(TargetId::Iec104.create(), 3);
+        let mut supervised = TargetExecutor::new(TargetId::Iec104.create(), 3)
+            .with_deadline(Duration::from_secs(10));
+        assert_eq!(supervised.deadline(), Some(Duration::from_secs(10)));
+        for (offset, packet) in window.iter().enumerate() {
+            let execution = offset as u64 + 1;
+            let (expected, expected_trace) = plain.execute(execution, packet);
+            let expected_trace = expected_trace.to_sparse();
+            let (actual, actual_trace) = supervised.execute(execution, packet);
+            assert_eq!(expected, actual, "execution {execution}");
+            assert_eq!(expected_trace, actual_trace.to_sparse(), "execution {execution}");
+        }
+        // The windowed entry point agrees too (it goes per-packet under a
+        // deadline).
+        let mut plain = TargetExecutor::new(TargetId::Iec104.create(), 3);
+        let mut supervised = TargetExecutor::new(TargetId::Iec104.create(), 3)
+            .with_deadline(Duration::from_secs(10));
+        let mut expected = WindowResults::new();
+        let mut actual = WindowResults::new();
+        plain.execute_window(4, &window, &mut expected);
+        supervised.execute_window(4, &window, &mut actual);
+        let expected: Vec<_> = expected.iter().map(|(s, t)| (*s, t.clone())).collect();
+        let actual: Vec<_> = actual.iter().map(|(s, t)| (*s, t.clone())).collect();
+        assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn deadline_executor_converts_hangs_into_faults() {
+        use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+        use peachstar_protocols::FaultKind;
+        let chaos = ChaosConfig::new(0)
+            .panic_every(0)
+            .garbage_every(0)
+            .hang_every(1)
+            .hang_ms(2_000);
+        let target = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+        let mut executor =
+            TargetExecutor::new(target, 0).with_deadline(Duration::from_millis(25));
+        let (outcome, trace) = executor.execute(1, &[0x01]);
+        assert_eq!(outcome.fault().map(|f| f.kind), Some(FaultKind::Hang));
+        assert!(trace.is_empty());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod observer;
 pub mod schedule;
 pub mod session;
 pub mod shard;
+pub(crate) mod supervisor;
 
 pub use executor::{Executor, ResetPolicy, TargetExecutor};
 pub use monitor::{CampaignMonitor, Monitor, MonitorState, OutcomeSummary};

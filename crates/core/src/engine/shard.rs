@@ -38,7 +38,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -49,12 +49,21 @@ use peachstar_protocols::{Target, WindowResults};
 use crate::campaign::{CampaignConfig, CampaignReport, DriveOptions};
 use crate::engine::batch::windows_for_policy;
 use crate::engine::session::session_setup;
+use crate::engine::supervisor::{contained, Watchdog};
 use crate::engine::{
-    CampaignMonitor, CoverageObserver, Feedback, FeedbackEvent, Monitor, NewCoverageFeedback,
-    Observer, OutcomeSummary, ResetPolicy, Schedule, SessionPlan, StrategySchedule,
+    CampaignMonitor, CoverageObserver, Executor, Feedback, FeedbackEvent, Monitor,
+    NewCoverageFeedback, Observer, OutcomeSummary, ResetPolicy, Schedule, SessionPlan,
+    StrategySchedule, TargetExecutor,
 };
 use crate::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError, SnapshotMeta};
 use crate::strategy::{GeneratedPacket, GenerationStrategy};
+
+/// How many times the merge barrier re-attempts a failed window before
+/// giving up. The re-execution path contains panics per packet (and
+/// supervises hangs when a deadline is set), so a single attempt normally
+/// succeeds; the bound defends against targets whose `clone_fresh`/`reset`
+/// themselves misbehave.
+const WINDOW_RETRIES: usize = 3;
 
 /// How a sharded campaign spreads its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,15 +119,29 @@ struct ExecRecord {
     trace: SparseTrace,
 }
 
-/// One window's results, in execution order.
+/// One window's results, in execution order — or, for a window whose worker
+/// failed mid-flight, the intact packet list the merge barrier re-executes.
 struct WindowResult {
     start: u64,
     records: Vec<ExecRecord>,
+    /// `true` when the worker panicked (or otherwise died) mid-window: the
+    /// partial results were discarded and `packets` holds the full window
+    /// for barrier-side re-execution on a fresh target.
+    failed: bool,
+    packets: Vec<GeneratedPacket>,
 }
 
-/// Worker loop: pull windows off the queue, execute them on this worker's
-/// private target copy through the batched [`Target::process_batch`] seam,
-/// push buffered results.
+/// One shard worker's execution state: the active target, a pristine spare
+/// it is rebuilt from after a contained panic, and — when a per-execution
+/// deadline is armed — the [`Watchdog`] that supervises every execution.
+struct ShardWorker {
+    target: Box<dyn Target + Send>,
+    spare: Box<dyn Target + Send>,
+    watchdog: Option<Watchdog>,
+}
+
+/// The fast (unsupervised) window path: chunked [`Target::process_batch`]
+/// calls under window-level panic containment.
 ///
 /// `chunk` caps how many packets go into one `process_batch` call — the
 /// sharded face of the `--batch` knob. It is pure dispatch granularity:
@@ -126,50 +149,156 @@ struct WindowResult {
 /// provably never changes the report (chunks of one window share the
 /// worker's target state back to back, exactly like the old per-packet
 /// loop).
+///
+/// A panic escaping the target poisons both the worker's target state and
+/// the chunk's partial results, so the whole window is declared failed: the
+/// target is rebuilt from the pristine spare, the full packet list is
+/// reassembled (earlier chunks' records surrender their packets back) and
+/// shipped to the merge barrier, which re-executes the window on the
+/// fault-tolerant per-packet path. Because the same packets panic no matter
+/// who executes them, failure detection — like everything else here — is
+/// worker-count-invariant.
+fn execute_window_fast(
+    target: &mut Box<dyn Target + Send>,
+    spare: &dyn Target,
+    chunk: usize,
+    work: WindowWork,
+    ctx: &mut TraceContext,
+    results: &mut WindowResults,
+) -> WindowResult {
+    // Every window begins from the just-started target state: the
+    // sequential campaign either created the target right before the
+    // first window or reset it at the window boundary, and `reset` is
+    // documented to restore exactly that state.
+    target.reset();
+    let mut remaining = work.packets;
+    let mut records: Vec<ExecRecord> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let mut rest = remaining.split_off(remaining.len().min(chunk.max(1)));
+        // One virtual dispatch per chunk instead of one per packet — the
+        // same amortisation (and the same protocol overrides) the batched
+        // sequential engine gets.
+        let attempt = contained(|| {
+            let refs: Vec<&[u8]> = remaining.iter().map(|p| p.bytes.as_slice()).collect();
+            target.process_batch(&refs, ctx, results);
+        });
+        if attempt.is_err() {
+            *target = spare.clone_fresh();
+            let mut packets: Vec<GeneratedPacket> =
+                records.into_iter().map(|record| record.packet).collect();
+            packets.append(&mut remaining);
+            packets.append(&mut rest);
+            return WindowResult {
+                start: work.start,
+                records: Vec::new(),
+                failed: true,
+                packets,
+            };
+        }
+        // Draining moves the snapshots straight into the records headed for
+        // the merge barrier.
+        records.extend(remaining.drain(..).zip(results.drain()).map(
+            |(packet, (outcome, trace))| ExecRecord {
+                packet,
+                outcome,
+                trace,
+            },
+        ));
+        remaining = rest;
+    }
+    WindowResult {
+        start: work.start,
+        records,
+        failed: false,
+        packets: Vec::new(),
+    }
+}
+
+/// The supervised window path, used when `--exec-timeout-ms` arms a
+/// deadline: every execution runs on the worker's [`Watchdog`], which
+/// contains panics and abandons hangs per packet, so the window always
+/// completes in bounded time and is never declared failed.
+fn execute_window_supervised(watchdog: &mut Watchdog, work: WindowWork) -> WindowResult {
+    let mut records = Vec::with_capacity(work.packets.len());
+    for (offset, packet) in work.packets.into_iter().enumerate() {
+        // `reset_before` on the first packet is the window-start reset of
+        // the fast path, applied to the supervised worker's target.
+        let (outcome, trace) = watchdog.execute(offset == 0, &packet.bytes);
+        records.push(ExecRecord {
+            outcome: OutcomeSummary::from(&outcome),
+            trace,
+            packet,
+        });
+    }
+    WindowResult {
+        start: work.start,
+        records,
+        failed: false,
+        packets: Vec::new(),
+    }
+}
+
+/// Worker loop: pull windows off the queue, execute them (fast or
+/// supervised path), push buffered results.
 fn shard_worker(
-    target: &mut (dyn Target + Send),
+    worker: &mut ShardWorker,
     chunk: usize,
     queue: &Mutex<VecDeque<WindowWork>>,
     done: &Mutex<Vec<WindowResult>>,
 ) {
     let mut ctx = TraceContext::new();
     let mut results = WindowResults::new();
+    let ShardWorker {
+        target,
+        spare,
+        watchdog,
+    } = worker;
     loop {
         let Some(work) = queue.lock().expect("window queue poisoned").pop_front() else {
             return;
         };
-        // Every window begins from the just-started target state: the
-        // sequential campaign either created the target right before the
-        // first window or reset it at the window boundary, and `reset` is
-        // documented to restore exactly that state.
-        target.reset();
-        let mut remaining = work.packets;
-        let mut records: Vec<ExecRecord> = Vec::with_capacity(remaining.len());
-        while !remaining.is_empty() {
-            let rest = remaining.split_off(remaining.len().min(chunk.max(1)));
-            let refs: Vec<&[u8]> = remaining.iter().map(|p| p.bytes.as_slice()).collect();
-            // One virtual dispatch per chunk instead of one per packet —
-            // the same amortisation (and the same protocol overrides) the
-            // batched sequential engine gets. Draining moves the snapshots
-            // straight into the records headed for the merge barrier.
-            target.process_batch(&refs, &mut ctx, &mut results);
-            drop(refs);
-            records.extend(remaining.drain(..).zip(results.drain()).map(
-                |(packet, (outcome, trace))| ExecRecord {
-                    packet,
-                    outcome,
-                    trace,
-                },
-            ));
-            remaining = rest;
-        }
-        done.lock()
-            .expect("window results poisoned")
-            .push(WindowResult {
-                start: work.start,
-                records,
-            });
+        let result = match watchdog {
+            Some(watchdog) => execute_window_supervised(watchdog, work),
+            None => execute_window_fast(target, spare.as_ref(), chunk, work, &mut ctx, &mut results),
+        };
+        done.lock().expect("window results poisoned").push(result);
     }
+}
+
+/// Barrier-side recovery: re-executes a failed window's packets on a fresh
+/// target through the fault-tolerant per-packet path — panic containment,
+/// post-fault resets, and the hang watchdog when a deadline is armed —
+/// which is exactly what a sequential fault-tolerant campaign does for the
+/// same window, so recovered results keep worker-count invariance.
+fn reexecute_failed_window(
+    pristine: &dyn Target,
+    exec_timeout: Option<Duration>,
+    packets: &[GeneratedPacket],
+) -> Vec<ExecRecord> {
+    for _ in 0..WINDOW_RETRIES {
+        let attempt = contained(|| {
+            let mut executor = TargetExecutor::new(pristine.clone_fresh(), 0);
+            if let Some(timeout) = exec_timeout {
+                executor = executor.with_deadline(timeout);
+            }
+            packets
+                .iter()
+                .enumerate()
+                .map(|(offset, packet)| {
+                    let (outcome, trace) = executor.execute(offset as u64 + 1, &packet.bytes);
+                    ExecRecord {
+                        outcome: OutcomeSummary::from(&outcome),
+                        trace: trace.to_sparse(),
+                        packet: packet.clone(),
+                    }
+                })
+                .collect::<Vec<ExecRecord>>()
+        });
+        if let Ok(records) = attempt {
+            return records;
+        }
+    }
+    panic!("a sharded window failed {WINDOW_RETRIES} re-execution attempts even under containment");
 }
 
 /// One fuzzing campaign executed by multiple workers over disjoint,
@@ -427,9 +556,15 @@ fn run_sharded_engine<S: Schedule>(
         }
     }
 
+    let exec_timeout = config.exec_timeout.map(Duration::from_millis);
     let workers = shard.workers.max(1);
-    let mut worker_targets: Vec<Box<dyn Target + Send>> =
-        (0..workers).map(|_| target.clone_fresh()).collect();
+    let mut worker_states: Vec<ShardWorker> = (0..workers)
+        .map(|_| ShardWorker {
+            target: target.clone_fresh(),
+            spare: target.clone_fresh(),
+            watchdog: exec_timeout.map(|timeout| Watchdog::new(target.clone_fresh(), timeout)),
+        })
+        .collect();
     // The per-worker dispatch granularity: `--batch N` caps each
     // `process_batch` call at N packets; without it a whole window goes into
     // one call. Never affects the report — only how often the worker crosses
@@ -467,8 +602,8 @@ fn run_sharded_engine<S: Schedule>(
         let done: Mutex<Vec<WindowResult>> = Mutex::new(Vec::with_capacity(round.len()));
         let (queue_ref, done_ref) = (&queue, &done);
         std::thread::scope(|scope| {
-            for target in &mut worker_targets {
-                scope.spawn(move || shard_worker(target.as_mut(), chunk, queue_ref, done_ref));
+            for worker in &mut worker_states {
+                scope.spawn(move || shard_worker(worker, chunk, queue_ref, done_ref));
             }
         });
 
@@ -478,7 +613,15 @@ fn run_sharded_engine<S: Schedule>(
         let mut results = done.into_inner().expect("window results poisoned");
         results.sort_by_key(|window| window.start);
         for window in results {
-            for (offset, record) in window.records.into_iter().enumerate() {
+            // A window whose worker failed mid-flight arrives with its
+            // packets intact instead of records; recover it here, on the
+            // fault-tolerant per-packet path, before merging.
+            let records = if window.failed {
+                reexecute_failed_window(target.as_ref(), exec_timeout, &window.packets)
+            } else {
+                window.records
+            };
+            for (offset, record) in records.into_iter().enumerate() {
                 let execution = window.start + offset as u64;
                 monitor.record(execution, &record.packet, record.outcome);
                 let merge = observer.merge_sparse(&record.trace);
@@ -534,7 +677,7 @@ fn run_sharded_engine<S: Schedule>(
             break;
         }
     }
-    drop(worker_targets);
+    drop(worker_states);
     if opts.capture_final && out_snapshot.is_none() {
         out_snapshot = Some(CampaignSnapshot::capture(
             meta, completed, &rng, &observer, &feedback, &monitor, &schedule,
@@ -642,6 +785,61 @@ mod tests {
         assert!(report.valuable_seeds > 0);
         assert!(report.corpus_size > 0, "feedback reaches the strategy");
         assert!(!report.series.is_empty());
+    }
+
+    #[test]
+    fn chaos_panics_are_worker_count_invariant() {
+        // Injected panics fail whole windows over to the merge barrier's
+        // re-execution path. Failure detection is content-keyed, so the
+        // recovered report must not depend on who executed the window.
+        use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+        let run = |workers: usize| {
+            let chaos = ChaosConfig::new(11).panic_every(23).hang_every(0).garbage_every(0);
+            let target = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+            let config = CampaignConfig::new(StrategyKind::Peach)
+                .executions(600)
+                .rng_seed(5)
+                .sample_interval(100)
+                .reset_interval(150);
+            let report = run_sharded(target, config, workers);
+            assert_eq!(report.executions, 600, "chaos must not shorten the budget");
+            (
+                report.final_paths(),
+                report.responses,
+                report.fault_hits,
+                report
+                    .bugs
+                    .iter()
+                    .map(|bug| (bug.fault.kind, bug.fault.site, bug.first_execution))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let single = run(1);
+        assert!(single.2 > 0, "the chaos rates must actually inject panics");
+        for workers in [2, 3] {
+            assert_eq!(run(workers), single, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn supervised_sharded_campaign_matches_the_unsupervised_one() {
+        // Arming the watchdog must not change the report when nothing hangs.
+        let config = CampaignConfig::new(StrategyKind::Peach)
+            .executions(400)
+            .rng_seed(9)
+            .sample_interval(100)
+            .reset_interval(100);
+        let plain = run_sharded(TargetId::Iec104.create(), config, 2);
+        let supervised = run_sharded(
+            TargetId::Iec104.create(),
+            config.exec_timeout_ms(10_000),
+            2,
+        );
+        assert_eq!(plain.final_paths(), supervised.final_paths());
+        assert_eq!(plain.responses, supervised.responses);
+        assert_eq!(plain.protocol_errors, supervised.protocol_errors);
+        assert_eq!(plain.fault_hits, supervised.fault_hits);
+        assert_eq!(plain.bugs, supervised.bugs);
     }
 
     #[test]

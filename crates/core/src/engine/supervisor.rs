@@ -1,0 +1,301 @@
+//! Panic containment and the hang watchdog — the fault-tolerance substrate
+//! under [`TargetExecutor`](super::TargetExecutor) and the sharded campaign
+//! workers.
+//!
+//! Two primitives live here:
+//!
+//! * [`contained`] wraps a closure in `catch_unwind` with a process-global
+//!   panic hook that (only while a contained call is on the stack of the
+//!   panicking thread) swallows the default stderr backtrace and captures
+//!   the panic message. A caught panic becomes an `Err(message)` that the
+//!   executor converts into a synthetic [`FaultKind::Panic`] fault whose
+//!   dedup site is the interned message.
+//! * [`Watchdog`] runs executions on a dedicated worker thread under a
+//!   per-execution deadline. A stuck execution is *abandoned* — the reply
+//!   channel is dropped, the worker thread is left to finish (or sleep
+//!   forever) detached, and a fresh worker is built from the pristine
+//!   factory target — and recorded as a [`FaultKind::Hang`] fault. The
+//!   worker applies exactly the reset/containment sequence the in-thread
+//!   executor applies, so a supervised campaign in which nothing hangs is
+//!   bit-identical to an unsupervised one.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Once;
+use std::thread;
+use std::time::Duration;
+
+use peachstar_coverage::{SparseTrace, TraceContext};
+use peachstar_protocols::{intern_site, Fault, FaultKind, Outcome, Target};
+
+/// The dedup site recorded when the watchdog abandons a stuck execution.
+pub const HANG_SITE: &str = "watchdog: execution exceeded the --exec-timeout-ms deadline";
+
+/// The dedup site recorded when the watchdog cannot keep a worker alive at
+/// all (the worker thread died twice in a row without delivering a reply).
+pub const WORKER_LOST_SITE: &str = "watchdog: supervised worker lost";
+
+std::thread_local! {
+    static CONTAINING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static CAPTURED: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+fn install_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CONTAINING.with(std::cell::Cell::get) {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| {
+                        info.location()
+                            .map(|l| format!("panic at {}:{}", l.file(), l.line()))
+                            .unwrap_or_else(|| "panic with non-string payload".to_owned())
+                    });
+                CAPTURED.with(|c| *c.borrow_mut() = Some(message));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, containing any panic it raises: `Err(message)` instead of an
+/// unwound stack, with nothing written to stderr. Panics raised outside a
+/// contained call (other threads, test assertions) are untouched.
+pub(crate) fn contained<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_hook();
+    CONTAINING.with(|c| c.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTAINING.with(|c| c.set(false));
+    result.map_err(|payload| {
+        CAPTURED
+            .with(|c| c.borrow_mut().take())
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_owned())
+    })
+}
+
+/// The synthetic fault a contained panic turns into: kind
+/// [`FaultKind::Panic`], site = the interned panic message, so identical
+/// panics dedup into one unique bug exactly like planted faults do.
+#[must_use]
+pub(crate) fn panic_fault(message: &str) -> Fault {
+    Fault::new(FaultKind::Panic, intern_site(message))
+}
+
+struct Job {
+    packet: Vec<u8>,
+    reset_before: bool,
+}
+
+type Reply = (Outcome, SparseTrace);
+
+struct WatchdogWorker {
+    jobs: mpsc::Sender<Job>,
+    replies: mpsc::Receiver<Reply>,
+}
+
+/// Per-execution deadline enforcement (see the module docs).
+///
+/// Owns a pristine *factory* copy of the target (never executed) from which
+/// every worker — the first one, and every replacement after an abandoned
+/// hang — is freshly built, so a rebuilt worker is indistinguishable from a
+/// restarted target.
+pub(crate) struct Watchdog {
+    timeout: Duration,
+    factory: Box<dyn Target + Send>,
+    worker: Option<WatchdogWorker>,
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("timeout", &self.timeout)
+            .field("target", &self.factory.name())
+            .finish()
+    }
+}
+
+fn spawn_worker(factory: &dyn Target) -> WatchdogWorker {
+    let mut target = factory.clone_fresh();
+    let spare = factory.clone_fresh();
+    let (jobs, jobs_rx) = mpsc::channel::<Job>();
+    let (replies_tx, replies) = mpsc::channel::<Reply>();
+    // The thread is deliberately not joined anywhere: an abandoned worker
+    // may be blocked inside a hung `process` call, and the whole point of
+    // the watchdog is that the campaign does not wait for it.
+    thread::Builder::new()
+        .name("peachstar-watchdog".into())
+        .spawn(move || {
+            let mut ctx = TraceContext::new();
+            while let Ok(job) = jobs_rx.recv() {
+                if job.reset_before {
+                    target.reset();
+                }
+                ctx.reset();
+                let outcome = match contained(|| target.process(&job.packet, &mut ctx)) {
+                    Ok(outcome) => outcome,
+                    Err(message) => {
+                        // The panic may have left the target inconsistent;
+                        // rebuild it from the pristine spare.
+                        target = spare.clone_fresh();
+                        Outcome::Fault(panic_fault(&message))
+                    }
+                };
+                if outcome.is_fault() {
+                    target.reset();
+                }
+                if replies_tx.send((outcome, ctx.trace().to_sparse())).is_err() {
+                    // The supervisor abandoned us (deadline missed on an
+                    // earlier packet) — nothing left to do.
+                    return;
+                }
+            }
+        })
+        .expect("spawning the watchdog worker thread");
+    WatchdogWorker { jobs, replies }
+}
+
+impl Watchdog {
+    /// Creates a watchdog enforcing `timeout` per execution, building its
+    /// workers from fresh copies of `factory`.
+    pub(crate) fn new(factory: Box<dyn Target + Send>, timeout: Duration) -> Self {
+        Self {
+            timeout,
+            factory,
+            worker: None,
+        }
+    }
+
+    /// The enforced per-execution deadline.
+    pub(crate) fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Runs one packet on the supervised worker: resets the worker-side
+    /// target first when `reset_before` is set, contains panics, and
+    /// abandons the execution — recording [`FaultKind::Hang`] with an empty
+    /// trace — if no reply arrives within the deadline.
+    pub(crate) fn execute(&mut self, reset_before: bool, packet: &[u8]) -> Reply {
+        // Two attempts: a dead worker (disconnected channel) is replaced
+        // once; failing again means worker threads cannot be sustained.
+        for _ in 0..2 {
+            let worker = match &self.worker {
+                Some(worker) => worker,
+                None => self.worker.insert(spawn_worker(self.factory.as_ref())),
+            };
+            let job = Job {
+                packet: packet.to_vec(),
+                reset_before,
+            };
+            if worker.jobs.send(job).is_err() {
+                self.worker = None;
+                continue;
+            }
+            match worker.replies.recv_timeout(self.timeout) {
+                Ok(reply) => return reply,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Abandon the stuck execution: dropping the channel ends
+                    // lets the worker exit whenever (if ever) it comes back.
+                    self.worker = None;
+                    return (
+                        Outcome::Fault(Fault::new(FaultKind::Hang, HANG_SITE)),
+                        SparseTrace::new(),
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.worker = None;
+                }
+            }
+        }
+        (
+            Outcome::Fault(Fault::new(FaultKind::Hang, WORKER_LOST_SITE)),
+            SparseTrace::new(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+    use peachstar_protocols::TargetId;
+
+    #[test]
+    fn contained_returns_the_value_or_the_panic_message() {
+        assert_eq!(contained(|| 41 + 1), Ok(42));
+        assert_eq!(contained(|| panic!("boom")), Err::<(), _>("boom".into()));
+        let formatted = contained(|| -> u32 { panic!("chaos: injected panic #{}", 2) });
+        assert_eq!(formatted, Err("chaos: injected panic #2".into()));
+        // Containment is per-call: a later normal call is unaffected.
+        assert_eq!(contained(|| "ok"), Ok("ok"));
+    }
+
+    #[test]
+    fn panic_fault_dedups_by_message() {
+        let a = panic_fault("chaos: injected panic #1");
+        let b = panic_fault(&format!("chaos: injected panic #{}", 1));
+        assert_eq!(a, b);
+        assert_eq!(a.kind, FaultKind::Panic);
+        assert!(std::ptr::eq(a.site, b.site));
+        assert_ne!(a, panic_fault("chaos: injected panic #2"));
+    }
+
+    #[test]
+    fn watchdog_passes_through_fast_executions() {
+        let mut watchdog = Watchdog::new(
+            TargetId::Modbus.create_send(),
+            Duration::from_secs(5),
+        );
+        let request = [0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x01, 0x03, 0x00, 0x00, 0x00, 0x02];
+        let (outcome, trace) = watchdog.execute(false, &request);
+        assert!(outcome.response().is_some());
+        assert!(!trace.is_empty(), "supervised executions still record coverage");
+    }
+
+    #[test]
+    fn watchdog_abandons_hangs_and_recovers() {
+        let chaos = ChaosConfig::new(0)
+            .panic_every(0)
+            .garbage_every(0)
+            .hang_every(1)
+            .hang_ms(2_000);
+        let hanging = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+        let mut watchdog = Watchdog::new(hanging, Duration::from_millis(25));
+        let started = std::time::Instant::now();
+        let (outcome, trace) = watchdog.execute(true, &[0x01, 0x02]);
+        assert!(
+            started.elapsed() < Duration::from_millis(1_500),
+            "the deadline, not the hang, bounds the wall time"
+        );
+        assert_eq!(
+            outcome.fault().map(|f| (f.kind, f.site)),
+            Some((FaultKind::Hang, HANG_SITE))
+        );
+        assert!(trace.is_empty(), "an abandoned execution has no trace");
+        // The rebuilt worker keeps serving — with hang_every(1) it hangs
+        // again, proving replacement workers are armed too.
+        let (outcome, _) = watchdog.execute(false, &[0x03]);
+        assert_eq!(outcome.fault().map(|f| f.kind), Some(FaultKind::Hang));
+    }
+
+    #[test]
+    fn watchdog_contains_worker_panics() {
+        let chaos = ChaosConfig::new(0).panic_every(1).sites(2);
+        let panicking = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+        let mut watchdog = Watchdog::new(panicking, Duration::from_secs(5));
+        let (outcome, _) = watchdog.execute(true, &[0x01, 0x02, 0x03]);
+        let fault = outcome.fault().expect("injected panic becomes a fault");
+        assert_eq!(fault.kind, FaultKind::Panic);
+        assert!(fault.site.starts_with("chaos: injected panic #"), "{}", fault.site);
+        // The worker survives its own contained panic.
+        let (outcome, _) = watchdog.execute(false, &[0x04]);
+        assert_eq!(outcome.fault().map(|f| f.kind), Some(FaultKind::Panic));
+    }
+}

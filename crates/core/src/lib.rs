@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod campaign;
 pub mod corpus;
 pub mod cracker;
@@ -49,6 +50,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod strategy;
 
+pub use artifact::{CrashArtifact, ReplayError};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use engine::{run_sharded, Engine, ShardConfig, ShardedCampaign};
 pub use corpus::PuzzleCorpus;

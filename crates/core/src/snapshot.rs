@@ -55,7 +55,7 @@ use std::collections::HashSet;
 use std::fmt;
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::Arc;
 
 use peachstar_coverage::{CoverageMap, PathId, MAP_SIZE};
 use peachstar_datamodel::RuleId;
@@ -391,28 +391,28 @@ impl CampaignSnapshot {
 // ---------------------------------------------------------------------------
 // Primitive writers.
 
-fn put_u8(buf: &mut Vec<u8>, value: u8) {
+pub(crate) fn put_u8(buf: &mut Vec<u8>, value: u8) {
     buf.push(value);
 }
 
-fn put_u32(buf: &mut Vec<u8>, value: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, value: u32) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, value: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
-fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
     put_u64(buf, bytes.len() as u64);
     buf.extend_from_slice(bytes);
 }
 
-fn put_str(buf: &mut Vec<u8>, text: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, text: &str) {
     put_bytes(buf, text.as_bytes());
 }
 
-fn put_section(out: &mut Vec<u8>, tag: u8, fill: impl FnOnce(&mut Vec<u8>)) {
+pub(crate) fn put_section(out: &mut Vec<u8>, tag: u8, fill: impl FnOnce(&mut Vec<u8>)) {
     let mut payload = Vec::new();
     fill(&mut payload);
     put_u8(out, tag);
@@ -421,7 +421,7 @@ fn put_section(out: &mut Vec<u8>, tag: u8, fill: impl FnOnce(&mut Vec<u8>)) {
 
 /// FNV-1a 64-bit over `bytes` — the corruption detector appended to every
 /// snapshot (not a cryptographic integrity guarantee).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &byte in bytes {
         hash ^= u64::from(byte);
@@ -433,16 +433,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 // ---------------------------------------------------------------------------
 // Primitive reader with truncation guards.
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Self { bytes }
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.bytes.is_empty()
     }
 
@@ -455,28 +455,28 @@ impl<'a> Reader<'a> {
         Ok(taken)
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
     /// A length-prefixed byte string; the declared length is validated
     /// against the remaining input before anything is allocated, so corrupt
     /// lengths fail cleanly instead of attempting huge allocations.
-    fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
         let len = self.u64()?;
         let len = usize::try_from(len).map_err(|_| SnapshotError::Corrupt("length"))?;
         self.take(len)
     }
 
-    fn string(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn string(&mut self) -> Result<String, SnapshotError> {
         let bytes = self.bytes()?;
         String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Corrupt("utf-8 string"))
     }
@@ -484,7 +484,7 @@ impl<'a> Reader<'a> {
     /// An element count for a list whose elements occupy at least
     /// `min_element_bytes` each — bounded by the remaining input, so a
     /// corrupt count cannot drive unbounded loops or allocations.
-    fn count(&mut self, min_element_bytes: usize) -> Result<usize, SnapshotError> {
+    pub(crate) fn count(&mut self, min_element_bytes: usize) -> Result<usize, SnapshotError> {
         let count = self.u64()?;
         let count = usize::try_from(count).map_err(|_| SnapshotError::Corrupt("count"))?;
         if count.saturating_mul(min_element_bytes.max(1)) > self.bytes.len() {
@@ -494,7 +494,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn read_section<'a, T>(
+pub(crate) fn read_section<'a, T>(
     reader: &mut Reader<'a>,
     expected_tag: u8,
     parse: impl FnOnce(&mut Reader<'a>) -> Result<T, SnapshotError>,
@@ -515,14 +515,14 @@ fn read_section<'a, T>(
 // ---------------------------------------------------------------------------
 // Section codecs.
 
-fn strategy_tag(kind: StrategyKind) -> u8 {
+pub(crate) fn strategy_tag(kind: StrategyKind) -> u8 {
     match kind {
         StrategyKind::Peach => 0,
         StrategyKind::PeachStar => 1,
     }
 }
 
-fn strategy_from_tag(tag: u8) -> Result<StrategyKind, SnapshotError> {
+pub(crate) fn strategy_from_tag(tag: u8) -> Result<StrategyKind, SnapshotError> {
     match tag {
         0 => Ok(StrategyKind::Peach),
         1 => Ok(StrategyKind::PeachStar),
@@ -530,7 +530,7 @@ fn strategy_from_tag(tag: u8) -> Result<StrategyKind, SnapshotError> {
     }
 }
 
-fn put_option_u64(buf: &mut Vec<u8>, value: Option<u64>) {
+pub(crate) fn put_option_u64(buf: &mut Vec<u8>, value: Option<u64>) {
     match value {
         Some(value) => {
             put_u8(buf, 1);
@@ -540,7 +540,7 @@ fn put_option_u64(buf: &mut Vec<u8>, value: Option<u64>) {
     }
 }
 
-fn read_option_u64(reader: &mut Reader<'_>) -> Result<Option<u64>, SnapshotError> {
+pub(crate) fn read_option_u64(reader: &mut Reader<'_>) -> Result<Option<u64>, SnapshotError> {
     match reader.u8()? {
         0 => Ok(None),
         1 => Ok(Some(reader.u64()?)),
@@ -676,45 +676,32 @@ fn decode_pool(reader: &mut Reader<'_>) -> Result<SeedPool, SnapshotError> {
     Ok(pool)
 }
 
-fn fault_kind_tag(kind: FaultKind) -> u8 {
+pub(crate) fn fault_kind_tag(kind: FaultKind) -> u8 {
     match kind {
         FaultKind::Segv => 0,
         FaultKind::HeapUseAfterFree => 1,
         FaultKind::HeapBufferOverflow => 2,
         FaultKind::Hang => 3,
+        FaultKind::Panic => 4,
     }
 }
 
-fn fault_kind_from_tag(tag: u8) -> Result<FaultKind, SnapshotError> {
+pub(crate) fn fault_kind_from_tag(tag: u8) -> Result<FaultKind, SnapshotError> {
     match tag {
         0 => Ok(FaultKind::Segv),
         1 => Ok(FaultKind::HeapUseAfterFree),
         2 => Ok(FaultKind::HeapBufferOverflow),
         3 => Ok(FaultKind::Hang),
+        4 => Ok(FaultKind::Panic),
         _ => Err(SnapshotError::Corrupt("fault kind")),
     }
 }
 
-/// Interns a fault-site string, returning a `'static` reference.
-///
-/// `Fault::site` is `&'static str` (sites are string literals inside the
-/// simulated targets), so decoded sites must live for the program's
-/// remainder. The intern table bounds the leak to one allocation per
-/// *distinct* site ever decoded — repeated decodes of the same snapshot, as
-/// the round-trip property tests perform by the hundreds, cost nothing.
-fn intern_site(site: &str) -> &'static str {
-    static SITES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
-    let mut sites = SITES
-        .get_or_init(|| Mutex::new(Vec::new()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    if let Some(existing) = sites.iter().find(|existing| **existing == site) {
-        return existing;
-    }
-    let leaked: &'static str = Box::leak(site.to_owned().into_boxed_str());
-    sites.push(leaked);
-    leaked
-}
+// Decoded fault sites (runtime strings) are interned into `&'static str`
+// via `peachstar_protocols::intern_site` — the same table the panic
+// containment layer uses, so a site round-tripped through a snapshot stays
+// pointer-identical to a freshly contained one.
+use peachstar_protocols::intern_site;
 
 fn encode_monitor(buf: &mut Vec<u8>, monitor: &MonitorState) {
     put_u64(buf, monitor.series.len() as u64);

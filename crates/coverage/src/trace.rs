@@ -226,6 +226,22 @@ impl TraceMap {
         self.dirty.clear();
     }
 
+    /// Replaces this map's contents with a [`SparseTrace`] snapshot, so a
+    /// trace recorded elsewhere (a supervised execution on a watchdog worker
+    /// thread ships its trace back as a snapshot) can be re-materialised
+    /// into the dense representation the per-execution pipeline consumes.
+    ///
+    /// The round trip is lossless: `map.load_sparse(&s)` makes
+    /// `map.to_sparse() == s`, and `path_id`/`iter_hits` agree with the
+    /// original trace the snapshot was taken from.
+    pub fn load_sparse(&mut self, sparse: &SparseTrace) {
+        self.clear();
+        for &(slot, count) in &sparse.hits {
+            self.bytes[slot as usize] = count;
+            self.dirty.push(slot);
+        }
+    }
+
     pub(crate) fn record(&mut self, slot: usize) {
         let byte = &mut self.bytes[slot];
         if *byte == 0 {
@@ -308,6 +324,14 @@ impl SparseTrace {
     #[must_use]
     pub fn path_id(&self) -> PathId {
         fnv_path_id(self.hits.iter().copied())
+    }
+
+    /// Overwrites this snapshot with the contents of `other`, reusing the
+    /// existing buffer — the pooled-copy counterpart of
+    /// [`TraceMap::snapshot_into`] for consumers that already hold a
+    /// snapshot (a watchdog reply) rather than a live trace.
+    pub fn copy_from(&mut self, other: &SparseTrace) {
+        self.hits.clone_from(&other.hits);
     }
 }
 
@@ -548,6 +572,41 @@ mod tests {
             assert_eq!(reused, ctx.trace().to_sparse(), "ids {ids:?}");
             assert_eq!(reused.path_id(), ctx.trace().path_id());
         }
+    }
+
+    #[test]
+    fn load_sparse_roundtrips_and_replaces_previous_contents() {
+        let mut ctx = TraceContext::new();
+        for id in [900u32, 3, 77, 3, 12] {
+            ctx.edge(EdgeId::new(id));
+        }
+        let sparse = ctx.trace().to_sparse();
+        let mut map = TraceMap::new();
+        // Dirty the destination first: load_sparse must fully replace it.
+        map.record(5000);
+        map.record(1);
+        map.load_sparse(&sparse);
+        assert_eq!(map.to_sparse(), sparse);
+        assert_eq!(map.path_id(), ctx.trace().path_id());
+        assert_eq!(map.edges_hit(), ctx.trace().edges_hit());
+        // Loading an empty snapshot empties the map.
+        map.load_sparse(&SparseTrace::new());
+        assert!(map.is_empty());
+        assert!(map.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sparse_copy_from_matches_clone() {
+        let mut ctx = TraceContext::new();
+        for id in [7u32, 11, 13] {
+            ctx.edge(EdgeId::new(id));
+        }
+        let source = ctx.trace().to_sparse();
+        let mut pooled = TraceMap::new().to_sparse();
+        pooled.copy_from(&source);
+        assert_eq!(pooled, source);
+        pooled.copy_from(&SparseTrace::new());
+        assert!(pooled.is_empty());
     }
 
     #[test]

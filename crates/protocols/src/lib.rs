@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod common;
 pub mod dnp3;
 pub mod iccp;
@@ -47,6 +48,7 @@ pub mod lib60870;
 pub mod modbus;
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 use peachstar_coverage::{SparseTrace, TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
@@ -68,6 +70,11 @@ pub enum FaultKind {
     HeapBufferOverflow,
     /// The target would spin or block indefinitely.
     Hang,
+    /// The target code itself panicked. Not a planted fault: the
+    /// fault-tolerant executor synthesises this kind when `catch_unwind`
+    /// contains a real `panic!` escaping [`Target::process`], with the
+    /// panic message as the (interned) dedup site.
+    Panic,
 }
 
 impl fmt::Display for FaultKind {
@@ -77,9 +84,34 @@ impl fmt::Display for FaultKind {
             FaultKind::HeapUseAfterFree => "heap-use-after-free",
             FaultKind::HeapBufferOverflow => "heap-buffer-overflow",
             FaultKind::Hang => "hang",
+            FaultKind::Panic => "panic",
         };
         f.write_str(label)
     }
+}
+
+/// Interns a runtime-constructed fault-site string, returning a `'static`
+/// reference that is pointer-stable for the life of the process.
+///
+/// [`Fault::site`] is `&'static str` so that the planted faults cost nothing
+/// to construct on the hot path; sites that only exist at runtime — a panic
+/// message captured by the containment layer, or a site decoded from a
+/// snapshot/artifact file — go through this table instead. Repeated calls
+/// with the same text return the same reference, so interned sites dedup in
+/// the campaign monitor exactly like planted ones. The table grows one leaked
+/// allocation per *distinct* site, which is bounded by the number of unique
+/// bugs — not by the number of executions.
+#[must_use]
+pub fn intern_site(site: &str) -> &'static str {
+    static SITES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let sites = SITES.get_or_init(|| Mutex::new(Vec::new()));
+    let mut sites = sites.lock().expect("site intern table poisoned");
+    if let Some(existing) = sites.iter().find(|existing| **existing == site) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(site.to_owned().into_boxed_str());
+    sites.push(leaked);
+    leaked
 }
 
 /// A triggered fault: what kind of memory error the packet would have caused
@@ -207,6 +239,20 @@ impl WindowResults {
         }
         trace.snapshot_into(&mut self.traces[self.len]);
         self.summaries.push(OutcomeSummary::from(outcome));
+        self.len += 1;
+    }
+
+    /// [`record`](WindowResults::record) for an execution whose trace is
+    /// already a [`SparseTrace`] snapshot — a supervised execution ships its
+    /// trace back from the watchdog worker thread in sparse form, so the
+    /// fault-tolerant window path records it without re-materialising a
+    /// dense map first. Pools snapshot buffers exactly like `record`.
+    pub fn record_sparse(&mut self, summary: OutcomeSummary, trace: &SparseTrace) {
+        if self.len == self.traces.len() {
+            self.traces.push(SparseTrace::new());
+        }
+        self.traces[self.len].copy_from(trace);
+        self.summaries.push(summary);
         self.len += 1;
     }
 
@@ -425,6 +471,21 @@ impl TargetId {
     /// Instantiates the target.
     #[must_use]
     pub fn create(self) -> Box<dyn Target> {
+        match self {
+            TargetId::Modbus => Box::new(modbus::ModbusServer::new()),
+            TargetId::Iec104 => Box::new(iec104::Iec104Server::new()),
+            TargetId::Iec61850 => Box::new(iec61850::MmsServer::new()),
+            TargetId::Lib60870 => Box::new(lib60870::Lib60870Server::new()),
+            TargetId::Iccp => Box::new(iccp::IccpServer::new()),
+            TargetId::Dnp3 => Box::new(dnp3::Dnp3Outstation::new()),
+        }
+    }
+
+    /// Instantiates the target as a `Send` trait object — for consumers
+    /// that must move the instance to another thread (the hang watchdog's
+    /// supervised worker, a replayed crash artifact).
+    #[must_use]
+    pub fn create_send(self) -> Box<dyn Target + Send> {
         match self {
             TargetId::Modbus => Box::new(modbus::ModbusServer::new()),
             TargetId::Iec104 => Box::new(iec104::Iec104Server::new()),
@@ -682,5 +743,34 @@ mod tests {
         let text = fault.to_string();
         assert!(text.contains("heap-use-after-free"));
         assert!(text.contains("modbus.c:write_reg"));
+        let panic = Fault::new(FaultKind::Panic, intern_site("panic: boom"));
+        assert_eq!(panic.to_string(), "panic at panic: boom");
+    }
+
+    #[test]
+    fn intern_site_dedups_to_pointer_identical_statics() {
+        let a = intern_site("chaos: injected panic #1");
+        let b = intern_site(&format!("chaos: injected panic #{}", 1));
+        // Pointer equality, not just content equality — faults dedup by site
+        // pointer-compatible `&'static str` semantics in hash sets.
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "chaos: injected panic #1");
+        let c = intern_site("chaos: injected panic #2");
+        assert!(!std::ptr::eq(a, c));
+    }
+
+    #[test]
+    fn record_sparse_matches_record() {
+        let mut ctx = TraceContext::new();
+        ctx.edge(peachstar_coverage::EdgeId::new(42));
+        ctx.edge(peachstar_coverage::EdgeId::new(7));
+        let outcome = Outcome::Response(vec![1, 2]);
+        let mut dense = WindowResults::new();
+        dense.record(&outcome, ctx.trace());
+        let mut sparse = WindowResults::new();
+        sparse.record_sparse(OutcomeSummary::from(&outcome), &ctx.trace().to_sparse());
+        let dense_row: Vec<_> = dense.iter().map(|(s, t)| (*s, t.clone())).collect();
+        let sparse_row: Vec<_> = sparse.iter().map(|(s, t)| (*s, t.clone())).collect();
+        assert_eq!(dense_row, sparse_row);
     }
 }

@@ -1,0 +1,232 @@
+//! Fault tolerance: a campaign must survive a misbehaving target — panics,
+//! hangs, garbage responses — without losing budget, determinism, or
+//! resumability.
+//!
+//! Every test drives the real campaign machinery against [`ChaosTarget`],
+//! the deterministic seeded failure injector: the same packet bytes always
+//! trigger the same injected failure, so chaos campaigns are as reproducible
+//! as clean ones. The matrix pins four guarantees:
+//!
+//! 1. **Budget completion** — injected panics/garbage never eat executions,
+//!    across strategies × batch sizes × sessions × sharded workers.
+//! 2. **Dedup** — injected panic sites surface as unique bugs, one record
+//!    per site, alongside the target's native bugs.
+//! 3. **Worker invariance under chaos** — failed-window detection and
+//!    barrier re-execution are content-keyed, so the worker count still
+//!    cannot leak into a sharded report.
+//! 4. **Composition** — checkpoint/resume reproduces a chaos campaign bit
+//!    for bit, and a crash artifact cut from the resumed report still
+//!    replays.
+
+use peachstar::artifact::CrashArtifact;
+use peachstar::campaign::{Campaign, CampaignConfig, SessionConfig, ShardConfig, ShardedCampaign};
+use peachstar::strategy::StrategyKind;
+use peachstar::CampaignReport;
+use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+use peachstar_protocols::{FaultKind, Target, TargetId};
+use std::collections::BTreeSet;
+
+/// The deterministic fields of a report, in one comparable bundle
+/// (everything except wall-clock timing).
+#[derive(Debug, PartialEq, Eq)]
+struct Deterministic {
+    final_paths: usize,
+    final_edges: usize,
+    responses: u64,
+    protocol_errors: u64,
+    fault_hits: u64,
+    bug_sites: Vec<&'static str>,
+    bug_executions: Vec<u64>,
+    valuable_seeds: usize,
+    corpus_size: usize,
+    series_paths: Vec<usize>,
+}
+
+fn deterministic(report: &CampaignReport) -> Deterministic {
+    Deterministic {
+        final_paths: report.final_paths(),
+        final_edges: report.series.points().last().map_or(0, |p| p.edges),
+        responses: report.responses,
+        protocol_errors: report.protocol_errors,
+        fault_hits: report.fault_hits,
+        bug_sites: report.bugs.iter().map(|b| b.fault.site).collect(),
+        bug_executions: report.bugs.iter().map(|b| b.first_execution).collect(),
+        valuable_seeds: report.valuable_seeds,
+        corpus_size: report.corpus_size,
+        series_paths: report.series.points().iter().map(|p| p.paths).collect(),
+    }
+}
+
+/// Panic + garbage injection (no hangs — those need the watchdog and get
+/// their own test), aggressive enough to fire many times per campaign.
+fn chaos() -> ChaosConfig {
+    ChaosConfig::new(11)
+        .panic_every(23)
+        .hang_every(0)
+        .garbage_every(13)
+}
+
+fn chaos_target(target: TargetId) -> Box<dyn Target> {
+    Box::new(ChaosTarget::new(target.create_send(), chaos()))
+}
+
+fn config(strategy: StrategyKind, seed: u64) -> CampaignConfig {
+    CampaignConfig::new(strategy)
+        .executions(1_000)
+        .rng_seed(seed)
+        .sample_interval(100)
+        .reset_interval(250)
+}
+
+/// Asserts the two core chaos guarantees on a finished report: the full
+/// budget ran, injected panics surfaced, and the bug list has one record
+/// per site.
+fn assert_survived(report: &CampaignReport, label: &str) {
+    assert_eq!(report.executions, 1_000, "{label}: budget must complete");
+    assert!(
+        report
+            .bugs
+            .iter()
+            .any(|b| b.fault.kind == FaultKind::Panic),
+        "{label}: injected panics must surface as bugs"
+    );
+    let sites: BTreeSet<&'static str> = report.bugs.iter().map(|b| b.fault.site).collect();
+    assert_eq!(
+        sites.len(),
+        report.bugs.len(),
+        "{label}: bugs deduplicate by site"
+    );
+}
+
+#[test]
+fn chaos_campaigns_complete_budget_across_the_configuration_matrix() {
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        let base = config(strategy, 7);
+        let variants: [(&str, CampaignConfig); 4] = [
+            ("sequential", base),
+            ("batched", base.batch(64)),
+            ("sessions", base.sessions(SessionConfig::new(6))),
+            ("batched sessions", base.sessions(SessionConfig::new(6)).batch(32)),
+        ];
+        for (label, cfg) in variants {
+            let report = Campaign::new(chaos_target(TargetId::Modbus), cfg).run();
+            assert_survived(&report, &format!("{strategy} {label}"));
+        }
+        for workers in [1, 2, 4] {
+            let report = ShardedCampaign::new(
+                chaos_target(TargetId::Iec104),
+                base,
+                ShardConfig::with_workers(workers).sync_windows(4),
+            )
+            .run();
+            assert_survived(&report, &format!("{strategy} sharded x{workers}"));
+        }
+    }
+}
+
+#[test]
+fn injected_sites_dedup_against_native_bugs() {
+    // Three injected panic sites on top of libmodbus's native bug sites:
+    // every record is unique, and the injected ones are bounded by the
+    // configured site count.
+    let report = Campaign::new(chaos_target(TargetId::Modbus), config(StrategyKind::Peach, 3))
+        .run();
+    assert_survived(&report, "dedup");
+    let injected: Vec<&'static str> = report
+        .bugs
+        .iter()
+        .filter(|b| b.fault.kind == FaultKind::Panic)
+        .map(|b| b.fault.site)
+        .collect();
+    assert!(
+        injected.len() <= 3,
+        "chaos() injects at most 3 distinct panic sites, got {injected:?}"
+    );
+    assert!(
+        injected.iter().all(|site| site.starts_with("chaos:")),
+        "injected sites are labelled: {injected:?}"
+    );
+}
+
+#[test]
+fn hang_watchdog_preserves_the_budget_under_blocking_hangs() {
+    // Hang-only chaos: every 41st content hash blocks for 200ms. With a
+    // 25ms deadline the watchdog abandons the stuck call, reports a hang
+    // fault, and the campaign still completes its full budget.
+    let chaos = ChaosConfig::new(5)
+        .panic_every(0)
+        .garbage_every(0)
+        .hang_every(41)
+        .hang_ms(200);
+    let target = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+    let cfg = config(StrategyKind::Peach, 9).exec_timeout_ms(25);
+    let report = Campaign::new(target, cfg).run();
+    assert_eq!(report.executions, 1_000, "hangs must not eat budget");
+    assert!(
+        report.bugs.iter().any(|b| b.fault.kind == FaultKind::Hang),
+        "abandoned executions surface as hang faults"
+    );
+}
+
+#[test]
+fn worker_count_never_changes_a_chaos_report() {
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        for (target, seed) in [(TargetId::Modbus, 3), (TargetId::Lib60870, 77)] {
+            let run = |workers: usize| {
+                deterministic(
+                    &ShardedCampaign::new(
+                        chaos_target(target),
+                        config(strategy, seed),
+                        ShardConfig::with_workers(workers).sync_windows(4),
+                    )
+                    .run(),
+                )
+            };
+            let one = run(1);
+            for workers in [2, 4] {
+                assert_eq!(
+                    one,
+                    run(workers),
+                    "{strategy} chaos on {target} seed {seed}: {workers} workers diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_composes_with_chaos_and_artifacts() {
+    // Interrupt a chaos campaign mid-flight, resume it, and require the
+    // resumed report to equal the uninterrupted one — then cut a reproducer
+    // bundle from the *resumed* report and replay it.
+    let cfg = config(StrategyKind::PeachStar, 21);
+    let complete = Campaign::new(chaos_target(TargetId::Modbus), cfg).run();
+    assert_survived(&complete, "uninterrupted chaos");
+
+    let boundaries = Campaign::new(chaos_target(TargetId::Modbus), cfg).window_boundaries();
+    let boundary = boundaries[boundaries.len() / 2];
+    let snapshot = Campaign::new(chaos_target(TargetId::Modbus), cfg)
+        .run_to_boundary(boundary)
+        .expect("runs to the boundary");
+    let resumed = Campaign::new(chaos_target(TargetId::Modbus), cfg)
+        .resume(&snapshot)
+        .expect("resumes");
+    assert_eq!(
+        deterministic(&complete),
+        deterministic(&resumed),
+        "chaos resume at execution {boundary} diverged"
+    );
+
+    let bug = resumed.bugs.first().expect("chaos campaign finds bugs");
+    let artifact = CrashArtifact::from_bug(TargetId::Modbus, &cfg, None, Some(chaos()), bug);
+    let dir = std::env::temp_dir().join(format!(
+        "peachstar-fault-tolerance-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let path = artifact.write_atomic(&dir).expect("bundle writes");
+    let decoded = CrashArtifact::read_from(&path).expect("bundle reads back");
+    assert_eq!(decoded, artifact, "bundle round-trips");
+    decoded.replay().expect("resumed-report bug replays");
+    std::fs::remove_dir_all(&dir).ok();
+}
