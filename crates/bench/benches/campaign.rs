@@ -120,6 +120,40 @@ fn bench_campaign_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Summary-only batched throughput: the same batched campaigns as
+/// [`bench_campaign_batched`] with `summary_only()` armed, so the decoders
+/// skip response assembly and error-string formatting. Reports are pinned
+/// bit-identical to the full-decode runs (tests/batch_equivalence.rs); the
+/// delta against the `_batched_` entries is pure decode-output cost.
+fn bench_campaign_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    for (target, label) in [(TargetId::Modbus, "modbus"), (TargetId::Iec104, "iec104")] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            let name = format!(
+                "{label}_{}_summary_2k_execs",
+                match strategy {
+                    StrategyKind::Peach => "peach",
+                    StrategyKind::PeachStar => "peachstar",
+                }
+            );
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let config = CampaignConfig::new(strategy)
+                        .executions(EXECUTIONS)
+                        .rng_seed(7)
+                        .sample_interval(500)
+                        .batch(250)
+                        .summary_only();
+                    let report = Campaign::new(target.create(), config).run();
+                    report.final_paths()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Session-campaign throughput: the same 2 000-execution budget reshaped
 /// into 10-packet sessions (STARTDT + 8 mutated ASDUs + STOPDT) with
 /// session-scoped resets. Prices the session machinery — the schedule
@@ -222,6 +256,7 @@ criterion_group!(
     benches,
     bench_campaign,
     bench_campaign_batched,
+    bench_campaign_summary,
     bench_campaign_sharded,
     bench_campaign_sessions,
     bench_campaign_checkpointed,

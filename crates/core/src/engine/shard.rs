@@ -44,7 +44,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use peachstar_coverage::{SparseTrace, TraceContext};
-use peachstar_protocols::{Target, WindowResults};
+use peachstar_protocols::{DecodeSink, Target, WindowResults};
 
 use crate::campaign::{CampaignConfig, CampaignReport, DriveOptions};
 use crate::engine::batch::windows_for_policy;
@@ -162,6 +162,7 @@ fn execute_window_fast(
     target: &mut Box<dyn Target + Send>,
     spare: &dyn Target,
     chunk: usize,
+    sink: DecodeSink,
     work: WindowWork,
     ctx: &mut TraceContext,
     results: &mut WindowResults,
@@ -171,6 +172,15 @@ fn execute_window_fast(
     // first window or reset it at the window boundary, and `reset` is
     // documented to restore exactly that state.
     target.reset();
+    // In summary mode, debug builds re-prove the full/summary bit-identity
+    // claim on the first packet of every window, against fresh clones (the
+    // stateful worker target below is untouched).
+    #[cfg(debug_assertions)]
+    if sink == DecodeSink::Summary {
+        if let Some(packet) = work.packets.first() {
+            peachstar_protocols::sink::debug_cross_check_sinks(target.as_ref(), &packet.bytes);
+        }
+    }
     let mut remaining = work.packets;
     let mut records: Vec<ExecRecord> = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
@@ -180,7 +190,7 @@ fn execute_window_fast(
         // sequential engine gets.
         let attempt = contained(|| {
             let refs: Vec<&[u8]> = remaining.iter().map(|p| p.bytes.as_slice()).collect();
-            target.process_batch(&refs, ctx, results);
+            target.process_batch(&refs, ctx, results, sink);
         });
         if attempt.is_err() {
             *target = spare.clone_fresh();
@@ -243,6 +253,7 @@ fn execute_window_supervised(watchdog: &mut Watchdog, work: WindowWork) -> Windo
 fn shard_worker(
     worker: &mut ShardWorker,
     chunk: usize,
+    sink: DecodeSink,
     queue: &Mutex<VecDeque<WindowWork>>,
     done: &Mutex<Vec<WindowResult>>,
 ) {
@@ -259,7 +270,9 @@ fn shard_worker(
         };
         let result = match watchdog {
             Some(watchdog) => execute_window_supervised(watchdog, work),
-            None => execute_window_fast(target, spare.as_ref(), chunk, work, &mut ctx, &mut results),
+            None => {
+                execute_window_fast(target, spare.as_ref(), chunk, sink, work, &mut ctx, &mut results)
+            }
         };
         done.lock().expect("window results poisoned").push(result);
     }
@@ -572,6 +585,13 @@ fn run_sharded_engine<S: Schedule>(
     let chunk = config
         .batch
         .map_or(usize::MAX, |batch| usize::try_from(batch.max(1)).unwrap_or(usize::MAX));
+    // Summary-only decoding on every worker's fast path; the supervised and
+    // recovery paths always decode in full.
+    let sink = if config.summary_only {
+        DecodeSink::Summary
+    } else {
+        DecodeSink::Full
+    };
 
     let mut out_snapshot = None;
     let mut completed = resumed_from;
@@ -603,7 +623,7 @@ fn run_sharded_engine<S: Schedule>(
         let (queue_ref, done_ref) = (&queue, &done);
         std::thread::scope(|scope| {
             for worker in &mut worker_states {
-                scope.spawn(move || shard_worker(worker, chunk, queue_ref, done_ref));
+                scope.spawn(move || shard_worker(worker, chunk, sink, queue_ref, done_ref));
             }
         });
 

@@ -75,20 +75,20 @@ impl Dnp3Outstation {
     fn strip_link_layer(packet: &[u8], ctx: &mut TraceContext) -> Result<(u8, Vec<u8>), String> {
         cov_edge!(ctx);
         if packet.len() < 10 {
-            return Err("frame shorter than the link header".to_string());
+            return Err(crate::sink::reject_str("frame shorter than the link header"));
         }
         if packet[0] != 0x05 || packet[1] != 0x64 {
-            return Err("bad start bytes".to_string());
+            return Err(crate::sink::reject_str("bad start bytes"));
         }
         let length = usize::from(packet[2]);
         if length < 5 {
-            return Err("link length too small".to_string());
+            return Err(crate::sink::reject_str("link length too small"));
         }
         let control = packet[3];
         let header_crc = read_u16_le(packet, 8).expect("length checked");
         if crc16_dnp(&packet[0..8]) != header_crc {
             cov_edge!(ctx);
-            return Err("link header CRC mismatch".to_string());
+            return Err(crate::sink::reject_str("link header CRC mismatch"));
         }
         cov_edge!(ctx);
         // `length` counts control, dest, src and user data (not CRCs).
@@ -100,14 +100,14 @@ impl Dnp3Outstation {
             cov_edge!(ctx);
             let block_len = remaining.min(16);
             let Some(block) = packet.get(offset..offset + block_len) else {
-                return Err("user data truncated".to_string());
+                return Err(crate::sink::reject_str("user data truncated"));
             };
             let Some(crc) = read_u16_le(packet, offset + block_len) else {
-                return Err("block CRC missing".to_string());
+                return Err(crate::sink::reject_str("block CRC missing"));
             };
             if crc16_dnp(block) != crc {
                 cov_edge!(ctx);
-                return Err("block CRC mismatch".to_string());
+                return Err(crate::sink::reject_str("block CRC mismatch"));
             }
             user_data.extend_from_slice(block);
             offset += block_len + 2;
@@ -115,7 +115,7 @@ impl Dnp3Outstation {
         }
         if offset != packet.len() {
             cov_edge!(ctx);
-            return Err(format!("{} trailing bytes after link frame", packet.len() - offset));
+            return Err(crate::sink::reject_fmt(format_args!("{} trailing bytes after link frame", packet.len() - offset)));
         }
         Ok((control, user_data))
     }
@@ -123,17 +123,17 @@ impl Dnp3Outstation {
     fn response_frame(&mut self, function: u8, payload: &[u8]) -> Vec<u8> {
         // Minimal response: we return the application fragment without
         // re-framing the link layer (the fuzzer only inspects outcomes).
-        let mut fragment = Vec::with_capacity(4 + payload.len());
-        let transport = 0xC0 | (self.application_sequence & 0x3f);
-        fragment.push(transport);
-        fragment.push(0xC0 | (self.application_sequence & 0x0f));
-        fragment.push(function);
-        // IIN bits: device restart flag after a cold restart.
-        fragment.push(if self.restarts > 0 { 0x80 } else { 0x00 });
-        fragment.push(0x00);
-        fragment.extend_from_slice(payload);
+        // The sequence advances whether or not the bytes get built.
+        let sequence = self.application_sequence;
         self.application_sequence = self.application_sequence.wrapping_add(1);
-        fragment
+        crate::sink::bytes_with(5 + payload.len(), |fragment| {
+            fragment.push(0xC0 | (sequence & 0x3f)); // transport header
+            fragment.push(0xC0 | (sequence & 0x0f));
+            fragment.push(function);
+            fragment.push(if self.restarts > 0 { 0x80 } else { 0x00 }); // IIN: restart flag
+            fragment.push(0x00);
+            fragment.extend_from_slice(payload);
+        })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -142,7 +142,7 @@ impl Dnp3Outstation {
         // Application header: control(1) function(1), then object headers.
         if fragment.len() < 2 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("application fragment too short".into());
+            return crate::sink::protocol_error("application fragment too short");
         }
         let function = fragment[1];
         let objects = &fragment[2..];
@@ -156,7 +156,7 @@ impl Dnp3Outstation {
                 // Object header: group(1) variation(1) qualifier(1) [range].
                 if objects.len() < 3 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("read without object header".into());
+                    return crate::sink::protocol_error("read without object header");
                 }
                 let group = objects[0];
                 let qualifier = objects[2];
@@ -179,13 +179,13 @@ impl Dnp3Outstation {
                         cov_edge!(ctx);
                         if objects.len() < 5 {
                             cov_edge!(ctx);
-                            return Outcome::ProtocolError("read range truncated".into());
+                            return crate::sink::protocol_error("read range truncated");
                         }
                         let start = usize::from(objects[3]);
                         let stop = usize::from(objects[4]);
                         if stop < start || stop >= self.db.register_count() {
                             cov_edge!(ctx);
-                            return Outcome::ProtocolError("read range out of bounds".into());
+                            return crate::sink::protocol_error("read range out of bounds");
                         }
                         // Per-range handlers of the original outstation.
                         cov_edge!(ctx, start / 4);
@@ -210,7 +210,7 @@ impl Dnp3Outstation {
                 cov_edge!(ctx);
                 if objects.len() < 3 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("write without object header".into());
+                    return crate::sink::protocol_error("write without object header");
                 }
                 // Group 34: analog deadband write with 8-bit index prefix.
                 if objects[0] == 34 && objects.len() >= 7 {
@@ -220,7 +220,7 @@ impl Dnp3Outstation {
                     let value = read_u16_le(objects, 5).unwrap_or(0);
                     if !self.db.set_register(index, value) {
                         cov_edge!(ctx);
-                        return Outcome::ProtocolError("write index out of range".into());
+                        return crate::sink::protocol_error("write index out of range");
                     }
                 }
                 Outcome::Response(self.response_frame(0x81, &[]))
@@ -229,12 +229,12 @@ impl Dnp3Outstation {
                 cov_edge!(ctx);
                 if objects.len() < 5 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("select without CROB".into());
+                    return crate::sink::protocol_error("select without CROB");
                 }
                 let index = read_u16_le(objects, 3).unwrap_or(0);
                 if usize::from(index) >= self.db.coil_count() {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("select point out of range".into());
+                    return crate::sink::protocol_error("select point out of range");
                 }
                 cov_edge!(ctx);
                 cov_edge!(ctx, index);
@@ -245,7 +245,7 @@ impl Dnp3Outstation {
                 cov_edge!(ctx);
                 if objects.len() < 5 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("operate without CROB".into());
+                    return crate::sink::protocol_error("operate without CROB");
                 }
                 let index = read_u16_le(objects, 3).unwrap_or(0);
                 match self.selected_point {
@@ -272,13 +272,13 @@ impl Dnp3Outstation {
                 cov_edge!(ctx);
                 if objects.len() < 5 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("direct operate without CROB".into());
+                    return crate::sink::protocol_error("direct operate without CROB");
                 }
                 let index = read_u16_le(objects, 3).unwrap_or(0);
                 let address = usize::from(index);
                 let Some(current) = self.db.coil(address) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("control point out of range".into());
+                    return crate::sink::protocol_error("control point out of range");
                 };
                 cov_edge!(ctx);
                 cov_edge!(ctx, address);
@@ -308,7 +308,7 @@ impl Dnp3Outstation {
             }
             other => {
                 cov_edge!(ctx);
-                Outcome::ProtocolError(format!("unsupported function code {other:#04x}"))
+                crate::sink::protocol_error_fmt(format_args!("unsupported function code {other:#04x}"))
             }
         }
     }
@@ -341,23 +341,23 @@ impl Target for Dnp3Outstation {
         // Only primary user-data frames carry application fragments.
         if control & 0x40 == 0 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("secondary frame ignored".into());
+            return crate::sink::protocol_error("secondary frame ignored");
         }
         let destination = read_u16_le(packet, 4).expect("header length checked");
         if destination != self.address && destination != 0xffff {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!("frame for other outstation {destination}"));
+            return crate::sink::protocol_error_fmt(format_args!("frame for other outstation {destination}"));
         }
         if user_data.is_empty() {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("link frame without user data".into());
+            return crate::sink::protocol_error("link frame without user data");
         }
         // Transport octet: FIR/FIN/sequence. Multi-fragment reassembly is not
         // modelled; FIR and FIN must both be set.
         let transport = user_data[0];
         if transport & 0xC0 != 0xC0 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("multi-fragment messages unsupported".into());
+            return crate::sink::protocol_error("multi-fragment messages unsupported");
         }
         cov_edge!(ctx);
         self.handle_application(&user_data[1..], ctx)
@@ -369,6 +369,43 @@ impl Target for Dnp3Outstation {
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {
         Box::new(Self::new())
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: &[&[u8]],
+        ctx: &mut TraceContext,
+        out: &mut crate::WindowResults,
+        sink: crate::DecodeSink,
+    ) {
+        let _armed = sink.arm();
+        out.begin();
+        // Window-hoisted link-layer prescan (start bytes, length octet and
+        // the header CRC, computed 16 frames in lock-step), via the
+        // vectorised [`crate::prescan`] kernels with the verdict buffer
+        // pooled in `out`. The decoder below stays authoritative; debug
+        // builds assert the prescan is never stricter than the link checks.
+        #[cfg(debug_assertions)]
+        let mut scratch = out.take_prescan();
+        #[cfg(debug_assertions)]
+        let well_framed = scratch.run(crate::FrameSpec::Dnp3Link, packets);
+        for (index, packet) in packets.iter().enumerate() {
+            ctx.reset();
+            // Statically dispatched: one virtual call per window.
+            let outcome = self.process(packet, ctx);
+            if outcome.is_fault() {
+                self.reset();
+            }
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                well_framed[index] || matches!(outcome, Outcome::ProtocolError(_)),
+                "prescan rejected packet {index}, but the decoder accepted it"
+            );
+            let _ = index;
+            out.record(&outcome, ctx.trace());
+        }
+        #[cfg(debug_assertions)]
+        out.return_prescan(scratch);
     }
 }
 

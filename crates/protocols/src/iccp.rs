@@ -24,8 +24,7 @@ use peachstar_datamodel::{
 use crate::common::{read_u16_be, PointDatabase};
 use crate::{Fault, FaultKind, Outcome, SessionPacket, SessionTemplate, Target};
 
-/// ICCP message opcodes (simplified from the MMS service mapping the real
-/// library uses).
+/// ICCP message opcodes (simplified from the real library's MMS mapping).
 mod opcode {
     pub const ASSOCIATE: u8 = 0x01;
     pub const CONCLUDE: u8 = 0x02;
@@ -82,10 +81,11 @@ impl IccpServer {
     }
 
     fn ok_response(opcode: u8, payload: &[u8]) -> Outcome {
-        let mut response = vec![0x54, 0x32, opcode | 0x80];
-        response.extend_from_slice(&(payload.len() as u16).to_be_bytes());
-        response.extend_from_slice(payload);
-        Outcome::Response(response)
+        crate::sink::response_with(5 + payload.len(), |response| {
+            response.extend_from_slice(&[0x54, 0x32, opcode | 0x80]);
+            response.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+            response.extend_from_slice(payload);
+        })
     }
 
     fn read_reference(body: &[u8], offset: usize) -> Option<(&str, usize)> {
@@ -104,12 +104,12 @@ impl IccpServer {
                 // Body: version(2) ap-title-length(1) ap-title(n) bltable-id…
                 if body.len() < 3 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("associate request too short".into());
+                    return crate::sink::protocol_error("associate request too short");
                 }
                 let version = read_u16_be(body, 0).expect("length checked");
                 if version != 0x0001 && version != 0x0002 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError(format!("unsupported TASE.2 version {version}"));
+                    return crate::sink::protocol_error_fmt(format_args!("unsupported TASE.2 version {version}"));
                 }
                 let ap_title_length = usize::from(body[2]);
                 // Planted bug 1 (Table I, libiec_iccp_mod, SEGV): the length
@@ -135,11 +135,11 @@ impl IccpServer {
                 cov_edge!(ctx);
                 if !self.associated {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("not associated".into());
+                    return crate::sink::protocol_error("not associated");
                 }
                 let Some((reference, _)) = Self::read_reference(body, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("missing point reference".into());
+                    return crate::sink::protocol_error("missing point reference");
                 };
                 cov_edge!(ctx);
                 match self.db.named_point(reference) {
@@ -159,15 +159,15 @@ impl IccpServer {
                 cov_edge!(ctx);
                 if !self.associated {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("not associated".into());
+                    return crate::sink::protocol_error("not associated");
                 }
                 let Some((reference, next)) = Self::read_reference(body, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("missing point reference".into());
+                    return crate::sink::protocol_error("missing point reference");
                 };
                 let Some(raw) = body.get(next..next + 4) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("missing point value".into());
+                    return crate::sink::protocol_error("missing point value");
                 };
                 cov_edge!(ctx);
                 let value = f64::from(f32::from_be_bytes([raw[0], raw[1], raw[2], raw[3]]));
@@ -186,16 +186,16 @@ impl IccpServer {
                 cov_edge!(ctx);
                 if !self.associated {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("not associated".into());
+                    return crate::sink::protocol_error("not associated");
                 }
                 if body.is_empty() {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("empty data set request".into());
+                    return crate::sink::protocol_error("empty data set request");
                 }
                 let declared_entries = usize::from(body[0]);
                 if declared_entries == 0 || declared_entries > MAX_DATA_SET_ENTRIES {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError(format!(
+                    return crate::sink::protocol_error_fmt(format_args!(
                         "data set entry count {declared_entries} out of range"
                     ));
                 }
@@ -231,11 +231,11 @@ impl IccpServer {
                 cov_edge!(ctx);
                 if !self.associated {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("not associated".into());
+                    return crate::sink::protocol_error("not associated");
                 }
                 let Some(&index) = body.first() else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("missing data set index".into());
+                    return crate::sink::protocol_error("missing data set index");
                 };
                 cov_edge!(ctx);
                 match self.data_sets.get(usize::from(index)) {
@@ -258,18 +258,18 @@ impl IccpServer {
                 cov_edge!(ctx);
                 if !self.associated {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("not associated".into());
+                    return crate::sink::protocol_error("not associated");
                 }
                 // Body: data-set index(1) report-interval(2) rbe-flag(1).
                 if body.len() < 4 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("transfer set request too short".into());
+                    return crate::sink::protocol_error("transfer set request too short");
                 }
                 let data_set_index = usize::from(body[0]);
                 let interval = read_u16_be(body, 1).expect("length checked");
                 if data_set_index >= self.data_sets.len() {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("unknown data set".into());
+                    return crate::sink::protocol_error("unknown data set");
                 }
                 // Planted bug 3 (Table I, SEGV): interval zero makes the
                 // original scheduler compute `next_report = now % interval`
@@ -283,7 +283,7 @@ impl IccpServer {
                 }
                 if interval > 3600 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("report interval out of range".into());
+                    return crate::sink::protocol_error("report interval out of range");
                 }
                 cov_edge!(ctx);
                 cov_edge!(ctx, data_set_index);
@@ -295,12 +295,12 @@ impl IccpServer {
                 cov_edge!(ctx);
                 if !self.associated {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("not associated".into());
+                    return crate::sink::protocol_error("not associated");
                 }
                 // Body: info-reference-size(2) info-reference(n) message…
                 let Some(size) = read_u16_be(body, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("missing info reference size".into());
+                    return crate::sink::protocol_error("missing info reference size");
                 };
                 let reference = body.get(2..2 + usize::from(size));
                 // Planted bug 4 (Table I, heap buffer overflow): the copy
@@ -314,7 +314,7 @@ impl IccpServer {
                 }
                 let Some(reference) = reference else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("info reference truncated".into());
+                    return crate::sink::protocol_error("info reference truncated");
                 };
                 cov_edge!(ctx);
                 cov_edge!(ctx, size / 4);
@@ -323,7 +323,7 @@ impl IccpServer {
             }
             other => {
                 cov_edge!(ctx);
-                Outcome::ProtocolError(format!("unknown ICCP opcode {other:#04x}"))
+                crate::sink::protocol_error_fmt(format_args!("unknown ICCP opcode {other:#04x}"))
             }
         }
     }
@@ -349,17 +349,17 @@ impl Target for IccpServer {
         // Header: magic "T2" (0x54 0x32), opcode(1), length(2), body.
         if packet.len() < 5 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("packet shorter than ICCP header".into());
+            return crate::sink::protocol_error("packet shorter than ICCP header");
         }
         if packet[0] != 0x54 || packet[1] != 0x32 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("bad ICCP magic".into());
+            return crate::sink::protocol_error("bad ICCP magic");
         }
         let opcode = packet[2];
         let length = usize::from(read_u16_be(packet, 3).expect("length checked"));
         if length != packet.len() - 5 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!(
+            return crate::sink::protocol_error_fmt(format_args!(
                 "ICCP length {length} does not match body length {}",
                 packet.len() - 5
             ));
@@ -397,6 +397,42 @@ impl Target for IccpServer {
                 "conclude",
             )],
         ))
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: &[&[u8]],
+        ctx: &mut TraceContext,
+        out: &mut crate::WindowResults,
+        sink: crate::DecodeSink,
+    ) {
+        let _armed = sink.arm();
+        out.begin();
+        // Window-hoisted ICCP header prescan (magic, opcode, length field),
+        // via the vectorised [`crate::prescan`] kernels with the verdict
+        // buffer pooled in `out`. The decoder below stays authoritative;
+        // debug builds assert the prescan is never stricter than it.
+        #[cfg(debug_assertions)]
+        let mut scratch = out.take_prescan();
+        #[cfg(debug_assertions)]
+        let well_framed = scratch.run(crate::FrameSpec::Iccp, packets);
+        for (index, packet) in packets.iter().enumerate() {
+            ctx.reset();
+            // Statically dispatched: one virtual call per window.
+            let outcome = self.process(packet, ctx);
+            if outcome.is_fault() {
+                self.reset();
+            }
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                well_framed[index] || matches!(outcome, Outcome::ProtocolError(_)),
+                "prescan rejected packet {index}, but the decoder accepted it"
+            );
+            let _ = index;
+            out.record(&outcome, ctx.trace());
+        }
+        #[cfg(debug_assertions)]
+        out.return_prescan(scratch);
     }
 }
 

@@ -71,12 +71,12 @@ impl Iec104Server {
     }
 
     fn u_frame_response(control: u8) -> Outcome {
-        Outcome::Response(vec![0x68, 0x04, control, 0x00, 0x00, 0x00])
+        crate::sink::response_array([0x68, 0x04, control, 0x00, 0x00, 0x00])
     }
 
     fn s_frame(&self) -> Outcome {
         let ack = self.receive_sequence << 1;
-        Outcome::Response(vec![
+        crate::sink::response_array([
             0x68,
             0x04,
             0x01,
@@ -87,18 +87,18 @@ impl Iec104Server {
     }
 
     fn i_frame_response(&mut self, asdu: Vec<u8>) -> Outcome {
-        let mut frame = vec![0x68, (4 + asdu.len()) as u8];
         let send = self.send_sequence << 1;
         let receive = self.receive_sequence << 1;
-        frame.extend_from_slice(&[
-            (send & 0xff) as u8,
-            (send >> 8) as u8,
-            (receive & 0xff) as u8,
-            (receive >> 8) as u8,
-        ]);
-        frame.extend_from_slice(&asdu);
+        // The sequence number advances under both sinks (a state mutation,
+        // not output); only the frame assembly below is sink-elidable.
         self.send_sequence = self.send_sequence.wrapping_add(1) & 0x7fff;
-        Outcome::Response(frame)
+        crate::sink::response_with(6 + asdu.len(), |frame| {
+            frame.push(0x68);
+            frame.push((4 + asdu.len()) as u8);
+            frame.extend_from_slice(&[(send & 0xff) as u8, (send >> 8) as u8]);
+            frame.extend_from_slice(&[(receive & 0xff) as u8, (receive >> 8) as u8]);
+            frame.extend_from_slice(&asdu);
+        })
     }
 
     /// Builds a mirrored confirmation ASDU with the given cause of
@@ -117,7 +117,7 @@ impl Iec104Server {
         // ASDU header: type(1) vsq(1) cot(1) originator(1) common-address(2).
         if asdu.len() < 6 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("ASDU shorter than its header".into());
+            return crate::sink::protocol_error("ASDU shorter than its header");
         }
         let type_identifier = asdu[0];
         let vsq = asdu[1];
@@ -127,11 +127,11 @@ impl Iec104Server {
         let common_address = read_u16_le(asdu, 4).expect("length checked");
         if common_address != self.common_address && common_address != 0xffff {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!("unknown common address {common_address}"));
+            return crate::sink::protocol_error_fmt(format_args!("unknown common address {common_address}"));
         }
         if element_count == 0 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("ASDU with zero information objects".into());
+            return crate::sink::protocol_error("ASDU with zero information objects");
         }
         let objects = &asdu[6..];
         match type_identifier {
@@ -140,11 +140,11 @@ impl Iec104Server {
                 // Interrogation: QOI in the single information object.
                 let Some(ioa) = read_u24_le(objects, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("interrogation without IOA".into());
+                    return crate::sink::protocol_error("interrogation without IOA");
                 };
                 if ioa != 0 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("interrogation IOA must be zero".into());
+                    return crate::sink::protocol_error("interrogation IOA must be zero");
                 }
                 let qoi = objects.get(3).copied().unwrap_or(20);
                 cov_edge!(ctx);
@@ -168,7 +168,7 @@ impl Iec104Server {
                 cov_edge!(ctx);
                 if objects.len() < 3 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("command without information object".into());
+                    return crate::sink::protocol_error("command without information object");
                 }
                 cov_edge!(ctx);
                 self.i_frame_response(Self::confirmation(asdu, 7))
@@ -177,17 +177,17 @@ impl Iec104Server {
                 cov_edge!(ctx);
                 if cot != 6 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError(format!(
+                    return crate::sink::protocol_error_fmt(format_args!(
                         "command with unexpected cause of transmission {cot}"
                     ));
                 }
                 let Some(ioa) = read_u24_le(objects, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("command without IOA".into());
+                    return crate::sink::protocol_error("command without IOA");
                 };
                 let Some(&qualifier) = objects.get(3) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("command without qualifier".into());
+                    return crate::sink::protocol_error("command without qualifier");
                 };
                 let select = qualifier & 0x80 != 0;
                 let state = qualifier & 0x01 != 0;
@@ -213,11 +213,11 @@ impl Iec104Server {
                 cov_edge!(ctx);
                 let Some(ioa) = read_u24_le(objects, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("set point without IOA".into());
+                    return crate::sink::protocol_error("set point without IOA");
                 };
                 let Some(value) = read_u16_le(objects, 3) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("set point without value".into());
+                    return crate::sink::protocol_error("set point without value");
                 };
                 let address = ioa as usize;
                 if address >= self.db.register_count() {
@@ -256,7 +256,7 @@ impl Iec104Server {
                     }
                     if offset > objects.len() {
                         cov_edge!(ctx);
-                        return Outcome::ProtocolError(format!(
+                        return crate::sink::protocol_error_fmt(format_args!(
                             "information object {index} truncated"
                         ));
                     }
@@ -295,16 +295,16 @@ impl Target for Iec104Server {
         cov_edge!(ctx);
         if packet.len() < 6 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("frame shorter than APCI".into());
+            return crate::sink::protocol_error("frame shorter than APCI");
         }
         if packet[0] != 0x68 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("missing start byte 0x68".into());
+            return crate::sink::protocol_error("missing start byte 0x68");
         }
         let length = usize::from(packet[1]);
         if length < 4 || length != packet.len() - 2 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!(
+            return crate::sink::protocol_error_fmt(format_args!(
                 "APCI length {length} does not match frame length {}",
                 packet.len() - 2
             ));
@@ -330,7 +330,7 @@ impl Target for Iec104Server {
                 }
                 other => {
                     cov_edge!(ctx);
-                    Outcome::ProtocolError(format!("unknown U-frame control {other:#04x}"))
+                    crate::sink::protocol_error_fmt(format_args!("unknown U-frame control {other:#04x}"))
                 }
             };
         }
@@ -343,11 +343,11 @@ impl Target for Iec104Server {
         cov_edge!(ctx);
         if self.state != LinkState::Started {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("I-frame before STARTDT".into());
+            return crate::sink::protocol_error("I-frame before STARTDT");
         }
         if length == 4 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("I-frame without ASDU".into());
+            return crate::sink::protocol_error("I-frame without ASDU");
         }
         self.receive_sequence = self.receive_sequence.wrapping_add(1) & 0x7fff;
         let asdu = &packet[6..];
@@ -383,19 +383,23 @@ impl Target for Iec104Server {
         packets: &[&[u8]],
         ctx: &mut TraceContext,
         out: &mut crate::WindowResults,
+        sink: crate::DecodeSink,
     ) {
+        let _armed = sink.arm();
         out.begin();
         // Window-hoisted framing prescan: APCI validation (start byte,
         // length octet) is a pure function of the packet bytes, so the whole
-        // window's verdicts come from one tight pass over the headers before
-        // the stateful I/S/U dispatch runs (the seam a SIMD/vectorised
-        // validator plugs into). The per-packet decode below stays
-        // authoritative and re-records the same checks edge-for-edge —
-        // skipping them would change the recorded traces and break the
-        // batched/sequential bit-identity contract — so the prescan is
-        // cross-checked in debug builds.
+        // window's verdicts come from one pass of the vectorised
+        // [`crate::prescan`] kernels before the stateful I/S/U dispatch runs.
+        // The per-packet decode below stays authoritative and re-records the
+        // same checks edge-for-edge — skipping them would change the recorded
+        // traces and break the batched/sequential bit-identity contract — so
+        // the prescan is cross-checked in debug builds, with its verdict
+        // buffer pooled in `out` to keep the hot path allocation-free.
         #[cfg(debug_assertions)]
-        let well_framed: Vec<bool> = packets.iter().map(|p| apci_well_framed(p)).collect();
+        let mut scratch = out.take_prescan();
+        #[cfg(debug_assertions)]
+        let well_framed = scratch.run(crate::FrameSpec::Apci, packets);
         for (index, packet) in packets.iter().enumerate() {
             ctx.reset();
             // `self` is the concrete server here, so this loop is statically
@@ -412,6 +416,8 @@ impl Target for Iec104Server {
             let _ = index;
             out.record(&outcome, ctx.trace());
         }
+        #[cfg(debug_assertions)]
+        out.return_prescan(scratch);
     }
 }
 
@@ -423,10 +429,7 @@ impl Target for Iec104Server {
 /// decoder's own checks remain authoritative.
 #[must_use]
 pub fn apci_well_framed(packet: &[u8]) -> bool {
-    packet.len() >= 6
-        && packet[0] == 0x68
-        && usize::from(packet[1]) >= 4
-        && usize::from(packet[1]) == packet.len() - 2
+    crate::FrameSpec::Apci.check(packet)
 }
 
 /// The format specification of the IEC 104 packets the fuzzer generates.

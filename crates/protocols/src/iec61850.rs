@@ -64,11 +64,11 @@ fn read_tlv(data: &[u8], offset: usize) -> Option<(Tlv<'_>, usize)> {
 
 /// Encodes one TLV (short-form length only; callers keep values < 128 bytes).
 fn write_tlv(tag: u8, value: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(2 + value.len());
-    out.push(tag);
-    out.push(value.len() as u8);
-    out.extend_from_slice(value);
-    out
+    crate::sink::bytes_with(2 + value.len(), |out| {
+        out.push(tag);
+        out.push(value.len() as u8);
+        out.extend_from_slice(value);
+    })
 }
 
 /// Association state of the MMS server.
@@ -111,12 +111,12 @@ impl MmsServer {
     }
 
     fn tpkt(payload: &[u8]) -> Vec<u8> {
-        let mut out = vec![0x03, 0x00];
-        out.extend_from_slice(&((payload.len() + 4 + 3) as u16).to_be_bytes());
-        // COTP data TPDU header (length, DT code, EOT).
-        out.extend_from_slice(&[0x02, 0xf0, 0x80]);
-        out.extend_from_slice(payload);
-        out
+        crate::sink::bytes_with(7 + payload.len(), |out| {
+            out.extend_from_slice(&[0x03, 0x00]);
+            out.extend_from_slice(&((payload.len() + 4 + 3) as u16).to_be_bytes());
+            out.extend_from_slice(&[0x02, 0xf0, 0x80]); // COTP DT header (length, code, EOT)
+            out.extend_from_slice(payload);
+        })
     }
 
     fn handle_confirmed(
@@ -128,16 +128,16 @@ impl MmsServer {
         // Confirmed request: invokeId TLV (0x02) then service TLV.
         let Some((invoke, next)) = read_tlv(body, 0) else {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("confirmed request without invoke id".into());
+            return crate::sink::protocol_error("confirmed request without invoke id");
         };
         if invoke.tag != 0x02 || invoke.value.is_empty() || invoke.value.len() > 4 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("malformed invoke id".into());
+            return crate::sink::protocol_error("malformed invoke id");
         }
         cov_edge!(ctx, invoke.value.len());
         let Some((request, _)) = read_tlv(body, next) else {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("confirmed request without service".into());
+            return crate::sink::protocol_error("confirmed request without service");
         };
         self.invoke_counter += 1;
         match request.tag & 0x1f {
@@ -156,7 +156,7 @@ impl MmsServer {
                 // Object class TLV inside the request selects LD vs LN lists.
                 let Some((class, _)) = read_tlv(request.value, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("getNameList without object class".into());
+                    return crate::sink::protocol_error("getNameList without object class");
                 };
                 cov_edge!(ctx);
                 let names: Vec<&str> = if class.value.first() == Some(&0x09) {
@@ -176,15 +176,15 @@ impl MmsServer {
                 // Variable specification: domain name + item name strings.
                 let Some((var_spec, _)) = read_tlv(request.value, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("read without variable specification".into());
+                    return crate::sink::protocol_error("read without variable specification");
                 };
                 let Some((domain, after_domain)) = read_tlv(var_spec.value, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("read without domain name".into());
+                    return crate::sink::protocol_error("read without domain name");
                 };
                 let Some((item, _)) = read_tlv(var_spec.value, after_domain) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("read without item name".into());
+                    return crate::sink::protocol_error("read without item name");
                 };
                 let domain = String::from_utf8_lossy(domain.value);
                 let item = String::from_utf8_lossy(item.value).replace('$', ".");
@@ -210,19 +210,19 @@ impl MmsServer {
                 cov_edge!(ctx);
                 let Some((var_spec, after_spec)) = read_tlv(request.value, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("write without variable specification".into());
+                    return crate::sink::protocol_error("write without variable specification");
                 };
                 let Some((domain, after_domain)) = read_tlv(var_spec.value, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("write without domain name".into());
+                    return crate::sink::protocol_error("write without domain name");
                 };
                 let Some((item, _)) = read_tlv(var_spec.value, after_domain) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("write without item name".into());
+                    return crate::sink::protocol_error("write without item name");
                 };
                 let Some((data, _)) = read_tlv(request.value, after_spec) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("write without data".into());
+                    return crate::sink::protocol_error("write without data");
                 };
                 let domain = String::from_utf8_lossy(domain.value);
                 let item = String::from_utf8_lossy(item.value).replace('$', ".");
@@ -259,7 +259,7 @@ impl MmsServer {
             }
             other => {
                 cov_edge!(ctx);
-                Outcome::ProtocolError(format!("unsupported confirmed service {other:#04x}"))
+                crate::sink::protocol_error_fmt(format_args!("unsupported confirmed service {other:#04x}"))
             }
         }
     }
@@ -285,16 +285,16 @@ impl Target for MmsServer {
         // TPKT: version 3, reserved 0, 16-bit length.
         if packet.len() < 7 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("frame shorter than TPKT + COTP".into());
+            return crate::sink::protocol_error("frame shorter than TPKT + COTP");
         }
         if packet[0] != 0x03 || packet[1] != 0x00 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("bad TPKT version".into());
+            return crate::sink::protocol_error("bad TPKT version");
         }
         let tpkt_length = usize::from(u16::from_be_bytes([packet[2], packet[3]]));
         if tpkt_length != packet.len() {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!(
+            return crate::sink::protocol_error_fmt(format_args!(
                 "TPKT length {tpkt_length} does not match frame length {}",
                 packet.len()
             ));
@@ -303,17 +303,17 @@ impl Target for MmsServer {
         let cotp_length = usize::from(packet[4]);
         if cotp_length < 2 || 5 + cotp_length > packet.len() {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("bad COTP length indicator".into());
+            return crate::sink::protocol_error("bad COTP length indicator");
         }
         if packet[5] != 0xf0 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("not a COTP data TPDU".into());
+            return crate::sink::protocol_error("not a COTP data TPDU");
         }
         cov_edge!(ctx);
         let mms = &packet[4 + 1 + cotp_length..];
         let Some((pdu, _)) = read_tlv(mms, 0) else {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("empty MMS payload".into());
+            return crate::sink::protocol_error("empty MMS payload");
         };
         match pdu.tag {
             service::INITIATE => {
@@ -332,13 +332,13 @@ impl Target for MmsServer {
                 cov_edge!(ctx);
                 if self.association != Association::Open {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("confirmed request before initiate".into());
+                    return crate::sink::protocol_error("confirmed request before initiate");
                 }
                 self.handle_confirmed(pdu.value, ctx)
             }
             other => {
                 cov_edge!(ctx);
-                Outcome::ProtocolError(format!("unknown MMS PDU tag {other:#04x}"))
+                crate::sink::protocol_error_fmt(format_args!("unknown MMS PDU tag {other:#04x}"))
             }
         }
     }
@@ -373,6 +373,42 @@ impl Target for MmsServer {
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {
         Box::new(Self::new())
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: &[&[u8]],
+        ctx: &mut TraceContext,
+        out: &mut crate::WindowResults,
+        sink: crate::DecodeSink,
+    ) {
+        let _armed = sink.arm();
+        out.begin();
+        // Window-hoisted TPKT/COTP framing prescan (version, length field,
+        // DT TPDU header), via the vectorised [`crate::prescan`] kernels with
+        // the verdict buffer pooled in `out`. The decoder below stays
+        // authoritative; debug builds assert the prescan is never stricter.
+        #[cfg(debug_assertions)]
+        let mut scratch = out.take_prescan();
+        #[cfg(debug_assertions)]
+        let well_framed = scratch.run(crate::FrameSpec::TpktCotp, packets);
+        for (index, packet) in packets.iter().enumerate() {
+            ctx.reset();
+            // Statically dispatched: one virtual call per window.
+            let outcome = self.process(packet, ctx);
+            if outcome.is_fault() {
+                self.reset();
+            }
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                well_framed[index] || matches!(outcome, Outcome::ProtocolError(_)),
+                "prescan rejected packet {index}, but the decoder accepted it"
+            );
+            let _ = index;
+            out.record(&outcome, ctx.trace());
+        }
+        #[cfg(debug_assertions)]
+        out.return_prescan(scratch);
     }
 }
 

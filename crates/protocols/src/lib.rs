@@ -46,12 +46,17 @@ pub mod iec104;
 pub mod iec61850;
 pub mod lib60870;
 pub mod modbus;
+pub mod prescan;
+pub mod sink;
 
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
 use peachstar_coverage::{SparseTrace, TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
+
+pub use prescan::{FrameSpec, PrescanScratch};
+pub use sink::DecodeSink;
 
 /// The memory-safety-analogue failure classes reported by targets.
 ///
@@ -216,6 +221,7 @@ pub struct WindowResults {
     summaries: Vec<OutcomeSummary>,
     traces: Vec<SparseTrace>,
     len: usize,
+    prescan: PrescanScratch,
 }
 
 impl WindowResults {
@@ -275,6 +281,21 @@ impl WindowResults {
         self.summaries[..self.len]
             .iter()
             .zip(&self.traces[..self.len])
+    }
+
+    /// Detaches the pooled [`PrescanScratch`] so a `process_batch` override
+    /// can prescan the window while recording into this buffer (the borrow
+    /// checker would reject holding both through one `&mut self`). Pair
+    /// with [`return_prescan`](WindowResults::return_prescan) so the
+    /// verdict allocation survives into the next window.
+    #[must_use]
+    pub fn take_prescan(&mut self) -> PrescanScratch {
+        std::mem::take(&mut self.prescan)
+    }
+
+    /// Returns a detached [`PrescanScratch`] to the pool.
+    pub fn return_prescan(&mut self, scratch: PrescanScratch) {
+        self.prescan = scratch;
     }
 
     /// Moves the recorded results out of the buffer, in execution order,
@@ -371,9 +392,15 @@ pub trait Target {
     /// supports batching out of the box. Servers can override it to hoist
     /// per-packet setup out of the loop: the override runs its packet loop
     /// with *static* dispatch (one virtual call per window instead of one
-    /// per packet), and can prevalidate window-constant framing in a tight
-    /// prepass over the headers (the seam a SIMD/vectorised decoder plugs
-    /// into).
+    /// per packet), and can prevalidate window-constant framing with the
+    /// vectorised [`prescan`] substrate in a tight prepass over the
+    /// headers.
+    ///
+    /// `sink` selects the output fidelity for the whole window (see
+    /// [`DecodeSink`]): [`DecodeSink::Summary`] skips response assembly and
+    /// error-string formatting, which `out` never records anyway. An
+    /// override must arm the sink around its packet loop exactly like the
+    /// default implementation does.
     ///
     /// # Contract
     ///
@@ -381,15 +408,18 @@ pub trait Target {
     /// to what a [`process`](Target::process) loop over the same packets
     /// would record — batched campaigns are required to be bit-identical to
     /// sequential ones, so an override must not skip or reorder any
-    /// instrumented work whose edges land in the trace. After a
-    /// [`Outcome::Fault`] the target must restart itself (via
-    /// [`reset`](Target::reset)) before the next packet.
+    /// instrumented work whose edges land in the trace, and the sink may
+    /// only elide payload bytes, never an outcome variant or a state
+    /// mutation. After a [`Outcome::Fault`] the target must restart itself
+    /// (via [`reset`](Target::reset)) before the next packet.
     fn process_batch(
         &mut self,
         packets: &[&[u8]],
         ctx: &mut TraceContext,
         out: &mut WindowResults,
+        sink: DecodeSink,
     ) {
+        let _armed = sink.arm();
         out.begin();
         for packet in packets {
             ctx.reset();
@@ -684,13 +714,24 @@ mod tests {
             let mut results = WindowResults::new();
             // Two rounds through the same pooled buffer: the second proves
             // `begin` + pooled snapshots leave no stale state behind.
-            batched.process_batch(&refs, &mut ctx, &mut results);
+            batched.process_batch(&refs, &mut ctx, &mut results, DecodeSink::Full);
             batched.reset();
-            batched.process_batch(&refs, &mut ctx, &mut results);
+            batched.process_batch(&refs, &mut ctx, &mut results, DecodeSink::Full);
             assert_eq!(results.len(), window.len(), "{id}");
             for (index, (summary, trace)) in results.iter().enumerate() {
                 assert_eq!(*summary, expected[index].0, "{id}: packet {index} outcome");
                 assert_eq!(*trace, expected[index].1, "{id}: packet {index} trace");
+            }
+
+            // The summary sink must record the same summaries and traces —
+            // it only skips payload construction, which `WindowResults`
+            // never stores. Third round through the pooled buffer.
+            let mut summary_target = id.create();
+            summary_target.process_batch(&refs, &mut ctx, &mut results, DecodeSink::Summary);
+            assert_eq!(results.len(), window.len(), "{id} (summary)");
+            for (index, (summary, trace)) in results.iter().enumerate() {
+                assert_eq!(*summary, expected[index].0, "{id}: packet {index} summary-sink outcome");
+                assert_eq!(*trace, expected[index].1, "{id}: packet {index} summary-sink trace");
             }
         }
     }

@@ -65,7 +65,7 @@ impl Lib60870Server {
     }
 
     fn u_frame_response(control: u8) -> Outcome {
-        Outcome::Response(vec![0x68, 0x04, control, 0x00, 0x00, 0x00])
+        crate::sink::response_array([0x68, 0x04, control, 0x00, 0x00, 0x00])
     }
 
     fn confirmation(asdu: &[u8], cot: u8) -> Vec<u8> {
@@ -150,7 +150,7 @@ impl Lib60870Server {
         // that *those two* bytes exist.
         if asdu.len() < 2 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("ASDU shorter than type + VSQ".into());
+            return crate::sink::protocol_error("ASDU shorter than type + VSQ");
         }
         let type_identifier = asdu[0];
         let vsq = asdu[1];
@@ -164,16 +164,16 @@ impl Lib60870Server {
 
         if asdu.len() < 6 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("ASDU header truncated".into());
+            return crate::sink::protocol_error("ASDU header truncated");
         }
         let common_address = read_u16_le(asdu, 4).expect("length checked");
         if common_address != self.common_address && common_address != 0xffff {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!("unknown common address {common_address}"));
+            return crate::sink::protocol_error_fmt(format_args!("unknown common address {common_address}"));
         }
         if element_count == 0 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("ASDU with zero elements".into());
+            return crate::sink::protocol_error("ASDU with zero elements");
         }
         let objects = &asdu[6..];
 
@@ -182,15 +182,15 @@ impl Lib60870Server {
                 cov_edge!(ctx);
                 if cot != 6 && cot != 8 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError(format!("single command with COT {cot}"));
+                    return crate::sink::protocol_error_fmt(format_args!("single command with COT {cot}"));
                 }
                 let Some(ioa) = read_u24_le(objects, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("single command without IOA".into());
+                    return crate::sink::protocol_error("single command without IOA");
                 };
                 let Some(&sco) = objects.get(3) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("single command without SCO".into());
+                    return crate::sink::protocol_error("single command without SCO");
                 };
                 let address = ioa as usize;
                 if address >= self.db.coil_count() {
@@ -199,7 +199,7 @@ impl Lib60870Server {
                     if reply.len() > 8 {
                         reply[8] |= 0x40;
                     }
-                    return Outcome::Response(reply);
+                    return crate::sink::response_vec(reply);
                 }
                 cov_edge!(ctx);
                 self.activations_seen += 1;
@@ -210,17 +210,17 @@ impl Lib60870Server {
                     cov_edge!(ctx);
                     self.db.set_coil(address, sco & 0x01 != 0);
                 }
-                Outcome::Response(Self::confirmation(asdu, 7))
+                crate::sink::response_vec(Self::confirmation(asdu, 7))
             }
             type_id::C_SE_NB_1 => {
                 cov_edge!(ctx);
                 let Some(ioa) = read_u24_le(objects, 0) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("set point without IOA".into());
+                    return crate::sink::protocol_error("set point without IOA");
                 };
                 let Some(value) = read_u16_le(objects, 3) else {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("set point without value".into());
+                    return crate::sink::protocol_error("set point without value");
                 };
                 let address = ioa as usize;
                 if address >= self.db.register_count() {
@@ -229,31 +229,31 @@ impl Lib60870Server {
                     if reply.len() > 8 {
                         reply[8] |= 0x40;
                     }
-                    return Outcome::Response(reply);
+                    return crate::sink::response_vec(reply);
                 }
                 cov_edge!(ctx);
                 cov_edge!(ctx, address / 2);
                 cov_edge!(ctx, value >> 12);
                 self.activations_seen += 1;
                 self.db.set_register(address, value);
-                Outcome::Response(Self::confirmation(asdu, 7))
+                crate::sink::response_vec(Self::confirmation(asdu, 7))
             }
             type_id::C_IC_NA_1 => {
                 cov_edge!(ctx);
                 if objects.len() < 4 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("interrogation without QOI".into());
+                    return crate::sink::protocol_error("interrogation without QOI");
                 }
                 cov_edge!(ctx);
                 self.activations_seen += 1;
-                Outcome::Response(Self::confirmation(asdu, 7))
+                crate::sink::response_vec(Self::confirmation(asdu, 7))
             }
             type_id::C_CS_NA_1 | type_id::C_TS_TA_1 => {
                 cov_edge!(ctx);
                 // Clock synchronisation / test command: IOA then CP56Time2a.
                 if objects.len() < 3 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("command without IOA".into());
+                    return crate::sink::protocol_error("command without IOA");
                 }
                 let time = match Self::decode_cp56(objects, 3, ctx) {
                     Ok(time) => time,
@@ -263,7 +263,7 @@ impl Lib60870Server {
                 let hour = time[4] & 0x1f;
                 if minute >= 60 || hour >= 24 {
                     cov_edge!(ctx);
-                    return Outcome::ProtocolError("invalid CP56Time2a timestamp".into());
+                    return crate::sink::protocol_error("invalid CP56Time2a timestamp");
                 }
                 cov_edge!(ctx);
                 cov_edge!(ctx, minute / 10);
@@ -274,7 +274,7 @@ impl Lib60870Server {
                 if let Some(last) = reply.last_mut() {
                     *last = time[2];
                 }
-                Outcome::Response(reply)
+                crate::sink::response_vec(reply)
             }
             type_id::M_ME_NC_1 => {
                 cov_edge!(ctx);
@@ -286,7 +286,7 @@ impl Lib60870Server {
                             let address = index % self.db.register_count().max(1);
                             self.db.set_register(address, *value as u16);
                         }
-                        Outcome::Response(Self::confirmation(asdu, 44))
+                        crate::sink::response_vec(Self::confirmation(asdu, 44))
                     }
                     Err(fault) => Outcome::Fault(fault),
                 }
@@ -297,7 +297,7 @@ impl Lib60870Server {
                 if reply.len() > 8 {
                     reply[8] |= 0x40;
                 }
-                Outcome::Response(reply)
+                crate::sink::response_vec(reply)
             }
         }
     }
@@ -322,16 +322,16 @@ impl Target for Lib60870Server {
         cov_edge!(ctx);
         if packet.len() < 6 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("frame shorter than APCI".into());
+            return crate::sink::protocol_error("frame shorter than APCI");
         }
         if packet[0] != 0x68 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("missing start byte".into());
+            return crate::sink::protocol_error("missing start byte");
         }
         let length = usize::from(packet[1]);
         if length < 4 || length != packet.len() - 2 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("APCI length mismatch".into());
+            return crate::sink::protocol_error("APCI length mismatch");
         }
         let control = packet[2];
         if control & 0x03 == 0x03 {
@@ -353,18 +353,18 @@ impl Target for Lib60870Server {
                 }
                 other => {
                     cov_edge!(ctx);
-                    Outcome::ProtocolError(format!("unknown U-frame {other:#04x}"))
+                    crate::sink::protocol_error_fmt(format_args!("unknown U-frame {other:#04x}"))
                 }
             };
         }
         if control & 0x03 == 0x01 {
             cov_edge!(ctx);
-            return Outcome::Response(vec![0x68, 0x04, 0x01, 0x00, 0x00, 0x00]);
+            return crate::sink::response_array([0x68, 0x04, 0x01, 0x00, 0x00, 0x00]);
         }
         cov_edge!(ctx);
         if !self.started {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("I-frame before STARTDT".into());
+            return crate::sink::protocol_error("I-frame before STARTDT");
         }
         // Unlike the IEC104 target, lib60870 accepts an I-frame whose APCI
         // length covers only part of the ASDU header — which is exactly what
@@ -372,7 +372,7 @@ impl Target for Lib60870Server {
         let asdu = &packet[6..];
         if asdu.is_empty() {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("I-frame without ASDU".into());
+            return crate::sink::protocol_error("I-frame without ASDU");
         }
         self.handle_asdu(asdu, ctx)
     }
@@ -399,6 +399,43 @@ impl Target for Lib60870Server {
                 "STOPDT act",
             )],
         ))
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: &[&[u8]],
+        ctx: &mut TraceContext,
+        out: &mut crate::WindowResults,
+        sink: crate::DecodeSink,
+    ) {
+        let _armed = sink.arm();
+        out.begin();
+        // Window-hoisted APCI framing prescan, via the vectorised
+        // [`crate::prescan`] kernels and the verdict buffer pooled in `out`.
+        // The decoder below stays authoritative (skipping it would change
+        // the recorded traces); debug builds assert the prescan is never
+        // stricter than the decoder's own framing checks.
+        #[cfg(debug_assertions)]
+        let mut scratch = out.take_prescan();
+        #[cfg(debug_assertions)]
+        let well_framed = scratch.run(crate::FrameSpec::Apci, packets);
+        for (index, packet) in packets.iter().enumerate() {
+            ctx.reset();
+            // Statically dispatched: one virtual call per window.
+            let outcome = self.process(packet, ctx);
+            if outcome.is_fault() {
+                self.reset();
+            }
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                well_framed[index] || matches!(outcome, Outcome::ProtocolError(_)),
+                "prescan rejected packet {index}, but the decoder accepted it"
+            );
+            let _ = index;
+            out.record(&outcome, ctx.trace());
+        }
+        #[cfg(debug_assertions)]
+        out.return_prescan(scratch);
     }
 }
 

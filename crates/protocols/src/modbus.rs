@@ -74,20 +74,20 @@ impl ModbusServer {
     }
 
     fn exception(transaction: u16, unit: u8, function: u8, code: u8) -> Outcome {
-        let mut response = Vec::with_capacity(9);
-        response.extend_from_slice(&transaction.to_be_bytes());
-        response.extend_from_slice(&[0x00, 0x00, 0x00, 0x03, unit, function | 0x80, code]);
-        Outcome::Response(response)
+        crate::sink::response_with(9, |response| {
+            response.extend_from_slice(&transaction.to_be_bytes());
+            response.extend_from_slice(&[0x00, 0x00, 0x00, 0x03, unit, function | 0x80, code]);
+        })
     }
 
     fn reply(transaction: u16, unit: u8, pdu: &[u8]) -> Outcome {
-        let mut response = Vec::with_capacity(7 + pdu.len());
-        response.extend_from_slice(&transaction.to_be_bytes());
-        response.extend_from_slice(&[0x00, 0x00]);
-        response.extend_from_slice(&((pdu.len() + 1) as u16).to_be_bytes());
-        response.push(unit);
-        response.extend_from_slice(pdu);
-        Outcome::Response(response)
+        crate::sink::response_with(7 + pdu.len(), |response| {
+            response.extend_from_slice(&transaction.to_be_bytes());
+            response.extend_from_slice(&[0x00, 0x00]);
+            response.extend_from_slice(&((pdu.len() + 1) as u16).to_be_bytes());
+            response.push(unit);
+            response.extend_from_slice(pdu);
+        })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -101,7 +101,7 @@ impl ModbusServer {
         cov_edge!(ctx);
         let Some(&function) = pdu.first() else {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("empty PDU".to_string());
+            return crate::sink::protocol_error("empty PDU");
         };
         let body = &pdu[1..];
         match function {
@@ -551,7 +551,7 @@ impl Target for ModbusServer {
         // MBAP header: transaction(2) protocol(2) length(2) unit(1).
         if packet.len() < 8 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError("packet shorter than MBAP header + function".into());
+            return crate::sink::protocol_error("packet shorter than MBAP header + function");
         }
         let transaction = read_u16_be(packet, 0).expect("length checked");
         let protocol = read_u16_be(packet, 2).expect("length checked");
@@ -559,11 +559,11 @@ impl Target for ModbusServer {
         let unit = packet[6];
         if protocol != 0 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!("unsupported protocol id {protocol}"));
+            return crate::sink::protocol_error_fmt(format_args!("unsupported protocol id {protocol}"));
         }
         if usize::from(length) != packet.len() - 6 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!(
+            return crate::sink::protocol_error_fmt(format_args!(
                 "MBAP length {} does not match packet length {}",
                 length,
                 packet.len() - 6
@@ -571,7 +571,7 @@ impl Target for ModbusServer {
         }
         if unit != 0 && unit != 1 {
             cov_edge!(ctx);
-            return Outcome::ProtocolError(format!("request for other unit {unit}"));
+            return crate::sink::protocol_error_fmt(format_args!("request for other unit {unit}"));
         }
         cov_edge!(ctx);
         let pdu = &packet[7..];
@@ -591,18 +591,23 @@ impl Target for ModbusServer {
         packets: &[&[u8]],
         ctx: &mut TraceContext,
         out: &mut crate::WindowResults,
+        sink: crate::DecodeSink,
     ) {
+        let _armed = sink.arm();
         out.begin();
         // Window-hoisted framing prescan: MBAP validation is a pure function
-        // of the packet bytes, so the whole window's verdicts come from one
-        // tight pass over the headers before the stateful dispatch loop runs
-        // (the seam a SIMD/vectorised validator plugs into). The per-packet
+        // of the packet bytes, so the whole window's verdicts come from the
+        // vectorised [`crate::prescan`] kernels in one tight pass over the
+        // headers before the stateful dispatch loop runs. The per-packet
         // decode below stays authoritative and re-records the same checks
         // edge-for-edge — skipping them based on the prescan would change
         // the recorded traces and break the batched/sequential bit-identity
-        // contract — so the prescan is cross-checked in debug builds.
+        // contract — so the prescan is cross-checked in debug builds, using
+        // the verdict buffer pooled in `out` (no per-window allocation).
         #[cfg(debug_assertions)]
-        let well_framed: Vec<bool> = packets.iter().map(|p| mbap_well_framed(p)).collect();
+        let mut scratch = out.take_prescan();
+        #[cfg(debug_assertions)]
+        let well_framed = scratch.run(crate::FrameSpec::Mbap, packets);
         for (index, packet) in packets.iter().enumerate() {
             ctx.reset();
             // `self` is the concrete server here, so this loop is statically
@@ -619,6 +624,8 @@ impl Target for ModbusServer {
             let _ = index;
             out.record(&outcome, ctx.trace());
         }
+        #[cfg(debug_assertions)]
+        out.return_prescan(scratch);
     }
 }
 
@@ -627,16 +634,11 @@ impl Target for ModbusServer {
 /// matching MBAP length and a served unit id. Depends only on the packet
 /// bytes (never on session state), which is what lets
 /// [`Target::process_batch`] prevalidate a whole window in one pass; the
-/// decoder's own checks remain authoritative.
+/// decoder's own checks remain authoritative. Delegates to the shared
+/// (vectorisable) [`crate::FrameSpec::Mbap`] predicate.
 #[must_use]
 pub fn mbap_well_framed(packet: &[u8]) -> bool {
-    if packet.len() < 8 {
-        return false;
-    }
-    let protocol = read_u16_be(packet, 2).expect("length checked");
-    let length = read_u16_be(packet, 4).expect("length checked");
-    let unit = packet[6];
-    protocol == 0 && usize::from(length) == packet.len() - 6 && (unit == 0 || unit == 1)
+    crate::FrameSpec::Mbap.check(packet)
 }
 
 /// The format specification (Peach-pit equivalent) of the Modbus/TCP

@@ -1,0 +1,46 @@
+//! Codegen smoke test: the chunked prescan kernels must autovectorise.
+//!
+//! `src/prescan.rs` is deliberately self-contained (no crate-internal
+//! imports outside `#[cfg(test)]`), so it compiles standalone. This test
+//! builds it with the same optimisation level as release campaigns and
+//! asserts the optimiser emitted packed byte-compare instructions — the
+//! signature of the 16-lane header checks actually vectorising, without the
+//! file ever touching unstable SIMD intrinsics.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn optimised_prescan_emits_packed_compare_instructions() {
+    let source = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/prescan.rs");
+    let asm = std::env::temp_dir().join("peachstar_prescan_codegen.s");
+    let output = Command::new("rustc")
+        .args(["--edition", "2021", "--crate-type", "lib", "-C", "opt-level=3"])
+        .arg("--emit")
+        .arg(format!("asm={}", asm.display()))
+        .arg(&source)
+        .output()
+        .expect("rustc runs");
+    assert!(
+        output.status.success(),
+        "standalone prescan.rs build failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let listing = std::fs::read_to_string(&asm).expect("assembly listing written");
+    let _ = std::fs::remove_file(&asm);
+    // SSE2 is baseline on x86_64, so `pcmpeq*` (or its AVX form `vpcmpeq*`)
+    // must appear if — and only if — the lane loops vectorised. Other
+    // architectures get the correctness guarantees from the proptest suite;
+    // the vectorisation claim is only asserted where we know the mnemonics.
+    if cfg!(target_arch = "x86_64") {
+        let packed_compares = listing
+            .lines()
+            .filter(|line| line.contains("pcmpeq") || line.contains("vpcmpeq"))
+            .count();
+        assert!(
+            packed_compares >= 8,
+            "expected packed byte compares in the optimised prescan kernels, found \
+             {packed_compares} — the chunked loops stopped autovectorising"
+        );
+    }
+}

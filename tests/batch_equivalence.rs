@@ -181,6 +181,63 @@ fn batched_session_peach_equals_sequential_session_campaign() {
 }
 
 #[test]
+fn summary_only_decode_never_changes_a_batched_report() {
+    // `summary_only` skips response assembly and error-string formatting
+    // inside the decoders — operational output the campaign loop never
+    // reads. Control flow, state and traces are identical by construction
+    // (debug builds cross-check a sampled packet per window), so every
+    // deterministic report field must match the full-decode run bit for bit
+    // — for every target, both strategies, and across batch sizes.
+    for (target, seed) in [
+        (TargetId::Modbus, 3),
+        (TargetId::Iec104, 7),
+        (TargetId::Lib60870, 77),
+        (TargetId::Dnp3, 9),
+        (TargetId::Iccp, 42),
+        (TargetId::Iec61850, 13),
+    ] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            for batch in [7, 250] {
+                let cfg = config(strategy, seed).batch(batch);
+                let full = deterministic(&Campaign::new(target.create(), cfg).run());
+                let summary =
+                    deterministic(&Campaign::new(target.create(), cfg.summary_only()).run());
+                assert_eq!(
+                    full, summary,
+                    "{strategy} on {target} seed {seed} batch {batch}: summary-only diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn summary_only_decode_never_changes_a_sharded_report() {
+    // The sharded engine arms the same sink on every worker's fast path;
+    // the merge barrier and recovery paths are untouched, so worker-count
+    // invariance and summary/full equality compose.
+    for (target, seed) in [(TargetId::Modbus, 11), (TargetId::Iec104, 5)] {
+        for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+            for workers in [1, 3] {
+                let cfg = config(strategy, seed).batch(64);
+                let shard = ShardConfig::with_workers(workers).sync_windows(2);
+                let full = deterministic(
+                    &ShardedCampaign::new(target.create(), cfg, shard).run(),
+                );
+                let summary = deterministic(
+                    &ShardedCampaign::new(target.create(), cfg.summary_only(), shard).run(),
+                );
+                assert_eq!(
+                    full, summary,
+                    "{strategy} on {target} seed {seed}, {workers} workers: \
+                     sharded summary-only diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_size_is_part_of_peachstar_semantics() {
     // Documentation of the design rather than a requirement: the batch size
     // decides when Peach* digests valuable seeds, so different batch sizes

@@ -117,6 +117,35 @@ fn batched_modbus_peach_baseline_matches_the_pinned_report() {
 }
 
 #[test]
+fn summary_only_batched_modbus_peach_matches_the_pinned_report() {
+    // Summary-only decoding (PR 8) against the same pre-PR-2 constants,
+    // again deliberately un-recaptured: skipping response assembly and
+    // error-string formatting may not move a single count either.
+    for batch in [64, 250] {
+        let config = CampaignConfig::new(StrategyKind::Peach)
+            .executions(3_000)
+            .rng_seed(3)
+            .sample_interval(200)
+            .batch(batch)
+            .summary_only();
+        assert_eq!(
+            run_config(TargetId::Modbus, config),
+            PinnedReport {
+                final_paths: 89,
+                final_edges: 125,
+                responses: 953,
+                protocol_errors: 2_040,
+                fault_hits: 7,
+                unique_bugs: 2,
+                valuable_seeds: 89,
+                corpus_size: 0,
+            },
+            "batch {batch}"
+        );
+    }
+}
+
+#[test]
 fn lib60870_peachstar_report_is_pinned() {
     assert_eq!(
         run(TargetId::Lib60870, StrategyKind::PeachStar, 77, 2_000),
