@@ -8,7 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use peachstar::campaign::{Campaign, CampaignConfig, SessionConfig, ShardConfig, ShardedCampaign};
+use peachstar::campaign::{
+    Campaign, CampaignConfig, ConnectionCampaign, ConnectionConfig, SessionConfig, ShardConfig,
+    ShardedCampaign, TransportMode,
+};
 use peachstar::snapshot::{CampaignSnapshot, CheckpointConfig};
 use peachstar::strategy::StrategyKind;
 use peachstar_protocols::TargetId;
@@ -224,6 +227,64 @@ fn bench_campaign_checkpointed(c: &mut Criterion) {
     group.finish();
 }
 
+/// Framed-TCP end-to-end throughput: the same 2 000-execution campaigns as
+/// [`bench_campaign`] driven over a loopback socket (one wire round-trip
+/// per execution), plus a batched variant (one round-trip per 250-packet
+/// window) and the 4-connection driver. The delta against the in-process
+/// entries is the full wire cost — framing, syscalls, scheduling — and the
+/// batched entry shows how window-sized round-trips amortise it; reports
+/// stay bit-identical throughout (tests/transport_equivalence.rs).
+fn bench_campaign_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(30);
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        let label = match strategy {
+            StrategyKind::Peach => "peach",
+            StrategyKind::PeachStar => "peachstar",
+        };
+        group.bench_function(format!("modbus_{label}_tcp_2k_execs"), |b| {
+            b.iter(|| {
+                let config = CampaignConfig::new(strategy)
+                    .executions(EXECUTIONS)
+                    .rng_seed(7)
+                    .sample_interval(500)
+                    .transport(TransportMode::FramedTcp);
+                let report = Campaign::new(TargetId::Modbus.create(), config).run();
+                report.final_paths()
+            });
+        });
+        group.bench_function(format!("modbus_{label}_tcp_batched_2k_execs"), |b| {
+            b.iter(|| {
+                let config = CampaignConfig::new(strategy)
+                    .executions(EXECUTIONS)
+                    .rng_seed(7)
+                    .sample_interval(500)
+                    .batch(250)
+                    .transport(TransportMode::FramedTcp);
+                let report = Campaign::new(TargetId::Modbus.create(), config).run();
+                report.final_paths()
+            });
+        });
+        group.bench_function(format!("modbus_{label}_tcp_4conn_2k_execs"), |b| {
+            b.iter(|| {
+                let config = CampaignConfig::new(strategy)
+                    .executions(EXECUTIONS)
+                    .rng_seed(7)
+                    .sample_interval(500)
+                    .reset_interval(250);
+                let report = ConnectionCampaign::new(
+                    TargetId::Modbus.create(),
+                    config,
+                    ConnectionConfig::with_connections(4),
+                )
+                .run();
+                report.final_paths()
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Snapshot write+read round-trip in isolation: capture the final state of
 /// a finished 2 000-execution Peach\* campaign once, then measure encode →
 /// atomic write → read → decode against a tmpfs-backed path. This is the
@@ -260,6 +321,7 @@ criterion_group!(
     bench_campaign_sharded,
     bench_campaign_sessions,
     bench_campaign_checkpointed,
+    bench_campaign_tcp,
     bench_snapshot_roundtrip
 );
 criterion_main!(benches);

@@ -27,8 +27,8 @@ use std::time::Instant;
 
 use peachstar::artifact::CrashArtifact;
 use peachstar::campaign::{
-    run_repetitions_shared, Campaign, CampaignConfig, CampaignReport, PhaseMask, SessionConfig,
-    ShardConfig, ShardedCampaign,
+    run_repetitions_shared, Campaign, CampaignConfig, CampaignReport, ConnectionCampaign,
+    ConnectionConfig, PhaseMask, SessionConfig, ShardConfig, ShardedCampaign, TransportMode,
 };
 use peachstar::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError};
 use peachstar::stats::CoverageSeries;
@@ -150,6 +150,14 @@ pub struct CliOptions {
     /// With `--chaos`: also inject blocking hangs on every ~Nth distinct
     /// packet. Requires `--exec-timeout-ms` so the watchdog bounds them.
     pub chaos_hang_every: Option<u64>,
+    /// How packets reach the target: direct in-process calls (the default)
+    /// or length-framed request/response over loopback TCP against a
+    /// spawned socket server. Reports are bit-identical either way.
+    pub transport: TransportMode,
+    /// Live TCP connections multiplexed inside each campaign (>= 2 runs the
+    /// concurrent-connection driver; requires `--transport tcp`). Like
+    /// `--shards`, never changes the report — only how it is produced.
+    pub connections: usize,
 }
 
 impl Default for CliOptions {
@@ -181,6 +189,8 @@ impl Default for CliOptions {
             fail_on_fault: false,
             chaos: None,
             chaos_hang_every: None,
+            transport: TransportMode::InProcess,
+            connections: 1,
         }
     }
 }
@@ -286,6 +296,20 @@ OPTIONS:
                              a hang fault) any execution that outlives N ms.
                              A run in which nothing hangs is bit-identical to
                              an unsupervised one.
+    --transport <MODE>       inprocess | tcp. How packets reach the target:
+                             direct in-process calls (the default) or
+                             length-framed request/response over loopback TCP
+                             against a spawned socket server (TPKT/COTP
+                             framing for iec61850/iccp, raw length framing
+                             otherwise). Reports are bit-identical either
+                             way. [default: inprocess]
+    --connections <N>        With --transport tcp: multiplex each campaign
+                             over N live connections (each with its own
+                             server-side target instance), buffered per
+                             connection and reduced at the merge barrier in
+                             execution order. Like --shards, N never changes
+                             the report. Incompatible with --shards.
+                             [default: 1]
     --artifacts <DIR>        Write one crash reproducer bundle per unique bug
                              into DIR (atomic, checksummed, deterministic file
                              names). Re-run a bundle with `replay <FILE>`.
@@ -323,6 +347,8 @@ EXAMPLES:
         --resume run.snap                          # finish the campaign
     peachstar-cli --target modbus --strategy peach --chaos 7 \\
         --artifacts crashes/ --fail-on-fault       # chaos run + reproducers
+    peachstar-cli --target modbus --transport tcp --connections 4 \\
+        --batch 250                                # real-wire campaign
     peachstar-cli replay crashes/libmodbus-panic-0123456789abcdef.peachart
 ";
 
@@ -337,6 +363,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut mutate: Option<PhaseMask> = None;
     let mut session_payload: Option<u64> = None;
     let mut checkpoint_every: Option<u64> = None;
+    let mut connections: Option<usize> = None;
     let mut iter = args.iter();
 
     fn value<'a>(
@@ -466,6 +493,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     return Err("--exec-timeout-ms must be at least 1".into());
                 }
                 options.exec_timeout_ms = Some(millis);
+            }
+            "--transport" => {
+                let raw = value("--transport", &mut iter)?;
+                options.transport = match raw.to_ascii_lowercase().as_str() {
+                    "inprocess" | "in-process" | "direct" => TransportMode::InProcess,
+                    "tcp" | "framed-tcp" => TransportMode::FramedTcp,
+                    _ => {
+                        return Err(format!(
+                            "--transport: `{raw}` is not one of inprocess|tcp"
+                        ))
+                    }
+                };
+            }
+            "--connections" => {
+                let count = number("--connections", value("--connections", &mut iter)?)?;
+                if count == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+                connections = Some(usize::try_from(count).unwrap_or(1));
             }
             "--artifacts" => {
                 options.artifacts = Some(PathBuf::from(value("--artifacts", &mut iter)?));
@@ -614,6 +660,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
              --batch <N>"
                 .into(),
         );
+    }
+    if let Some(count) = connections {
+        if options.transport != TransportMode::FramedTcp {
+            return Err(
+                "--connections multiplexes live TCP connections; enable the wire with \
+                 --transport tcp"
+                    .into(),
+            );
+        }
+        options.connections = count;
+    }
+    if options.connections >= 2 {
+        if options.shards >= 2 {
+            return Err(
+                "--connections and --shards both drive the parallel engine; pick one \
+                 (connections are the sharded workers of a TCP campaign)"
+                    .into(),
+            );
+        }
+        if options.shared_corpus {
+            return Err(
+                "--shared-corpus chains repetitions sequentially through one corpus; \
+                 drop --connections"
+                    .into(),
+            );
+        }
     }
     Ok(Command::Run(options))
 }
@@ -780,7 +852,7 @@ fn build_config(
     if let Some(millis) = options.exec_timeout_ms {
         config = config.exec_timeout_ms(millis);
     }
-    config
+    config.transport(options.transport)
 }
 
 /// The chaos-injection configuration the options describe, if `--chaos` was
@@ -834,8 +906,13 @@ pub fn run(options: &CliOptions) -> Result<RunOutcome, String> {
 fn write_artifacts(dir: &Path, outcome: &RunOutcome) -> Result<Vec<PathBuf>, String> {
     let options = &outcome.options;
     let sample_interval = effective_sample_interval(options);
-    let sync_windows =
-        (options.shards >= 2).then(|| ShardConfig::with_workers(options.shards).sync_windows);
+    let sync_windows = if options.connections >= 2 {
+        Some(ConnectionConfig::with_connections(options.connections).sync_windows)
+    } else if options.shards >= 2 {
+        Some(ShardConfig::with_workers(options.shards).sync_windows)
+    } else {
+        None
+    };
     let chaos = chaos_config(options);
     let mut seen: BTreeSet<(TargetId, String)> = BTreeSet::new();
     let mut paths = Vec::new();
@@ -902,9 +979,10 @@ fn run_inner(options: &CliOptions) -> Result<RunOutcome, String> {
 
     let jobs = if options.jobs > 0 {
         options.jobs
-    } else if options.shards >= 2 {
-        // Sharded campaigns parallelise internally; running many of them
-        // concurrently by default would oversubscribe the machine.
+    } else if options.shards >= 2 || options.connections >= 2 {
+        // Sharded and concurrent-connection campaigns parallelise
+        // internally; running many of them concurrently by default would
+        // oversubscribe the machine.
         1
     } else {
         std::thread::available_parallelism().map_or(1, usize::from)
@@ -921,7 +999,14 @@ fn run_inner(options: &CliOptions) -> Result<RunOutcome, String> {
                     return;
                 };
                 let config = build_config(options, item.strategy, item.seed, sample_interval);
-                let report = if options.shards >= 2 {
+                let report = if options.connections >= 2 {
+                    ConnectionCampaign::new(
+                        make_target(options, item.target),
+                        config,
+                        ConnectionConfig::with_connections(options.connections),
+                    )
+                    .run()
+                } else if options.shards >= 2 {
                     ShardedCampaign::new(
                         make_target(options, item.target),
                         config,
@@ -1003,7 +1088,19 @@ fn run_checkpointable(
             .checkpoint
             .as_ref()
             .expect("parse_args requires --checkpoint with --stop-after");
-        let snapshot = if options.shards >= 2 {
+        let snapshot = if options.connections >= 2 {
+            let campaign = ConnectionCampaign::new(
+                make_target(options, target),
+                config,
+                ConnectionConfig::with_connections(options.connections),
+            );
+            let boundary = first_boundary(&campaign.round_boundaries(), stop)?;
+            match &resumed {
+                Some(from) => campaign.resume_to_boundary(from, boundary),
+                None => campaign.run_to_boundary(boundary),
+            }
+            .map_err(campaign_error)?
+        } else if options.shards >= 2 {
             let campaign = ShardedCampaign::new(
                 make_target(options, target),
                 config,
@@ -1037,7 +1134,19 @@ fn run_checkpointable(
         });
     }
 
-    let report = if options.shards >= 2 {
+    let report = if options.connections >= 2 {
+        let campaign = ConnectionCampaign::new(
+            make_target(options, target),
+            config,
+            ConnectionConfig::with_connections(options.connections),
+        );
+        match (&resumed, &checkpoint) {
+            (Some(from), Some(to)) => campaign.resume_checkpointed(from, to),
+            (Some(from), None) => campaign.resume(from),
+            (None, Some(to)) => campaign.run_checkpointed(to),
+            (None, None) => unreachable!("parse_args requires --checkpoint or --resume"),
+        }
+    } else if options.shards >= 2 {
         let campaign = ShardedCampaign::new(
             make_target(options, target),
             config,
@@ -1147,7 +1256,7 @@ pub fn render_report(outcome: &RunOutcome) -> String {
     let options = &outcome.options;
     let mut out = String::new();
     out.push_str(&format!(
-        "peachstar campaign run: {} executions x {} repetition(s), base seed {}{}{}{}{}\n",
+        "peachstar campaign run: {} executions x {} repetition(s), base seed {}{}{}{}{}{}\n",
         options.executions,
         options.repetitions,
         options.seed,
@@ -1155,6 +1264,12 @@ pub fn render_report(outcome: &RunOutcome) -> String {
             format!(", {} shard workers", options.shards)
         } else {
             String::new()
+        },
+        match (options.transport, options.connections) {
+            (TransportMode::FramedTcp, connections) if connections >= 2 =>
+                format!(", framed-TCP transport x {connections} connections"),
+            (TransportMode::FramedTcp, _) => ", framed-TCP transport".to_string(),
+            (TransportMode::InProcess, _) => String::new(),
         },
         if let Some(batch) = options.batch {
             format!(", batched windows of {batch}")
@@ -1381,6 +1496,13 @@ pub fn render_json(outcome: &RunOutcome) -> String {
         "  \"executions\": {},\n  \"repetitions\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"sessions\": {},\n  \"wall_seconds\": {:.3},\n",
         options.executions, options.repetitions, options.seed, options.shards, options.sessions, outcome.wall_seconds
     ));
+    if options.transport == TransportMode::FramedTcp {
+        out.push_str(&format!(
+            "  \"transport\": \"{}\",\n  \"connections\": {},\n",
+            options.transport.as_flag(),
+            options.connections
+        ));
+    }
     if options.sessions {
         out.push_str(&format!(
             "  \"session_payload\": {},\n  \"mutate_phases\": \"{}\",\n",
@@ -1466,12 +1588,30 @@ pub fn render_json(outcome: &RunOutcome) -> String {
     out
 }
 
-/// The single-core honesty check for `--shards`: oversubscribed workers
-/// time-slice the same cores, so the sharded campaign usually runs *slower*
-/// than the sequential loop while producing the same report. Returns the
-/// warning text when `shards` exceeds `available` hardware parallelism.
+/// The single-core honesty check for `--shards` and `--connections`:
+/// oversubscribed workers time-slice the same cores, so the parallel
+/// campaign usually runs *slower* than the sequential loop while producing
+/// the same report. `--shards N` demands N worker threads; `--connections N`
+/// demands roughly 2N (N client lanes plus N server-side connection
+/// handlers). Returns the warning text when that demand exceeds `available`
+/// hardware parallelism.
 #[must_use]
-pub fn shard_parallelism_warning(shards: usize, available: usize) -> Option<String> {
+pub fn shard_parallelism_warning(
+    shards: usize,
+    connections: usize,
+    available: usize,
+) -> Option<String> {
+    if connections >= 2 && connections * 2 > available {
+        return Some(format!(
+            "--connections {connections} drives ~{} threads ({connections} client \
+             lanes + {connections} server handlers), exceeding the available \
+             parallelism ({available}): connections will time-slice the same \
+             core(s), which usually runs slower than one connection. On a \
+             single core prefer --batch N, which amortises per-packet wire \
+             round-trips without threads.",
+            connections * 2
+        ));
+    }
     (shards >= 2 && shards > available).then(|| {
         format!(
             "--shards {shards} exceeds the available parallelism ({available}): \
@@ -1501,7 +1641,9 @@ pub fn run_main(args: &[String]) -> ExitCode {
         }
         Ok(Command::Run(options)) => {
             let available = std::thread::available_parallelism().map_or(1, usize::from);
-            if let Some(warning) = shard_parallelism_warning(options.shards, available) {
+            if let Some(warning) =
+                shard_parallelism_warning(options.shards, options.connections, available)
+            {
                 eprintln!("warning: {warning}");
             }
             match run(&options) {
@@ -1810,14 +1952,133 @@ mod tests {
 
     #[test]
     fn shard_warning_fires_only_when_oversubscribed() {
-        assert!(shard_parallelism_warning(4, 1).is_some());
-        let text = shard_parallelism_warning(8, 2).unwrap();
+        assert!(shard_parallelism_warning(4, 1, 1).is_some());
+        let text = shard_parallelism_warning(8, 1, 2).unwrap();
         assert!(text.contains("--shards 8"));
         assert!(text.contains("(2)"));
         assert!(text.contains("--batch"), "points at the single-core alternative");
-        assert!(shard_parallelism_warning(4, 4).is_none());
-        assert!(shard_parallelism_warning(2, 8).is_none());
-        assert!(shard_parallelism_warning(1, 1).is_none(), "sequential never warns");
+        assert!(shard_parallelism_warning(4, 1, 4).is_none());
+        assert!(shard_parallelism_warning(2, 1, 8).is_none());
+        assert!(shard_parallelism_warning(1, 1, 1).is_none(), "sequential never warns");
+    }
+
+    #[test]
+    fn connection_warning_accounts_for_server_handler_threads() {
+        // N connections drive ~2N threads: N client lanes + N server-side
+        // connection handlers. 4 connections on 8 cores is exactly at the
+        // edge; on 4 cores it warns even though 4 shards would not.
+        assert!(shard_parallelism_warning(1, 4, 8).is_none());
+        let text = shard_parallelism_warning(1, 4, 4).unwrap();
+        assert!(text.contains("--connections 4"));
+        assert!(text.contains("~8 threads"));
+        assert!(text.contains("--batch"), "points at the single-core alternative");
+        assert!(shard_parallelism_warning(1, 2, 4).is_none());
+        assert!(shard_parallelism_warning(1, 1, 1).is_none(), "one connection never warns");
+    }
+
+    #[test]
+    fn parses_transport_and_connection_flags() {
+        let Command::Run(options) = parse_args(&args(&["--transport", "tcp"])).unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.transport, TransportMode::FramedTcp);
+        assert_eq!(options.connections, 1);
+        let Command::Run(options) =
+            parse_args(&args(&["--transport", "tcp", "--connections", "4"])).unwrap()
+        else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.connections, 4);
+        // Defaults and aliases.
+        let Command::Run(options) = parse_args(&[]).unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.transport, TransportMode::InProcess);
+        assert_eq!(options.connections, 1);
+        for alias in ["inprocess", "in-process", "direct"] {
+            let Command::Run(options) = parse_args(&args(&["--transport", alias])).unwrap()
+            else {
+                panic!("expected a run command");
+            };
+            assert_eq!(options.transport, TransportMode::InProcess);
+        }
+        for alias in ["tcp", "framed-tcp"] {
+            let Command::Run(options) = parse_args(&args(&["--transport", alias])).unwrap()
+            else {
+                panic!("expected a run command");
+            };
+            assert_eq!(options.transport, TransportMode::FramedTcp);
+        }
+        // Composes with the batch/session/chaos/artifact machinery.
+        let Command::Run(options) = parse_args(&args(&[
+            "--target", "iec104", "--transport", "tcp", "--connections", "2",
+            "--batch", "64", "--sessions", "--chaos", "7", "--artifacts", "crashes",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.connections, 2);
+        assert_eq!(options.batch, Some(64));
+        assert!(options.sessions);
+    }
+
+    #[test]
+    fn transport_and_connection_flags_are_validated() {
+        assert!(parse_args(&args(&["--transport", "udp"])).is_err());
+        assert!(parse_args(&args(&["--transport"])).is_err());
+        assert!(parse_args(&args(&["--connections", "0"])).is_err());
+        assert!(parse_args(&args(&["--connections"])).is_err());
+        assert!(parse_args(&args(&["--connections", "many"])).is_err());
+        // Connections without a wire are meaningless; the error points at
+        // the fix, like --summary-only's does at --batch.
+        let error = parse_args(&args(&["--connections", "4"])).unwrap_err();
+        assert!(error.contains("--transport tcp"), "points at the wire: {error}");
+        // The connection driver *is* the sharded engine; both at once would
+        // fight over it.
+        assert!(parse_args(&args(&[
+            "--transport", "tcp", "--connections", "2", "--shards", "2"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--transport", "tcp", "--connections", "2",
+            "--shared-corpus", "--repetitions", "2"
+        ]))
+        .is_err());
+        // One connection over tcp is the plain sequential campaign.
+        assert!(parse_args(&args(&["--transport", "tcp", "--connections", "1"])).is_ok());
+    }
+
+    #[test]
+    fn tcp_run_matches_in_process_and_surfaces_in_output() {
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            executions: 800,
+            jobs: 1,
+            ..CliOptions::default()
+        };
+        let in_process = run(&options).expect("in-process run");
+        let tcp = run(&CliOptions {
+            transport: TransportMode::FramedTcp,
+            connections: 2,
+            ..options.clone()
+        })
+        .expect("tcp run");
+        let a = in_process.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
+        let b = tcp.find(TargetId::Modbus, StrategyKind::Peach).unwrap();
+        assert_eq!(a.final_paths(), b.final_paths());
+        assert_eq!(a.reports[0].responses, b.reports[0].responses);
+        assert_eq!(a.reports[0].series.points(), b.reports[0].series.points());
+        assert_eq!(a.unique_bugs(options.seed), b.unique_bugs(options.seed));
+
+        assert!(render_report(&tcp).contains("framed-TCP transport x 2 connections"));
+        let json = render_json(&tcp);
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"connections\": 2"));
+        // Absent when in-process, so existing consumers see no new fields.
+        let json = render_json(&in_process);
+        assert!(!json.contains("\"transport\""));
+        assert!(!json.contains("\"connections\""));
     }
 
     #[test]

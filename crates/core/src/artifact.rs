@@ -106,9 +106,13 @@ impl CrashArtifact {
         chaos: Option<ChaosConfig>,
         bug: &BugRecord,
     ) -> Self {
+        // Normalise the transport away: it is an operational knob the wire
+        // format does not serialise, and replay always runs in-process — a
+        // bug recorded over framed TCP reproduces identically there.
+        let config = config.transport(crate::engine::transport::TransportMode::InProcess);
         Self {
             target,
-            config: *config,
+            config,
             sync_windows,
             chaos,
             fault_kind: bug.fault.kind,

@@ -29,8 +29,10 @@ use crate::strategy::{
     GenerationStrategy, SemanticAwareConfig, SemanticAwareStrategy, StrategyKind, StrategyState,
 };
 
+pub use crate::engine::connections::{ConnectionCampaign, ConnectionConfig};
 pub use crate::engine::session::{PhaseMask, SessionConfig};
 pub use crate::engine::shard::{run_sharded, ShardConfig, ShardedCampaign};
+pub use crate::engine::transport::TransportMode;
 
 /// Configuration of one fuzzing campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +87,18 @@ pub struct CampaignConfig {
     /// either way — so it is deliberately excluded from the snapshot
     /// fingerprint.
     pub summary_only: bool,
+    /// How packets reach the target (`--transport`): direct in-process
+    /// calls (the default) or length-framed request/response over a
+    /// loopback TCP socket against a spawned socket server
+    /// ([`TransportMode::FramedTcp`]).
+    ///
+    /// Operational knob, not campaign semantics: the wire relays outcomes
+    /// and traces verbatim, so reports are bit-identical across transports
+    /// (`tests/transport_equivalence.rs`) and — like
+    /// [`exec_timeout`](CampaignConfig::exec_timeout) — the field is
+    /// deliberately excluded from the snapshot fingerprint: a checkpoint
+    /// recorded under TCP resumes in-process bit-exactly.
+    pub transport: TransportMode,
 }
 
 impl CampaignConfig {
@@ -103,6 +117,7 @@ impl CampaignConfig {
             batch: None,
             exec_timeout: None,
             summary_only: false,
+            transport: TransportMode::InProcess,
         }
     }
 
@@ -162,6 +177,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn summary_only(mut self) -> Self {
         self.summary_only = true;
+        self
+    }
+
+    /// Selects the transport carrying packets to the target (see
+    /// [`transport`](CampaignConfig::transport)).
+    #[must_use]
+    pub fn transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -446,6 +469,12 @@ impl Campaign {
             config,
             strategy,
         } = self;
+        // The transport guard (the socket server, under `FramedTcp`) must
+        // outlive the engine drive; the campaign's client connections die
+        // with the engine, before the guard drops. `meta` is computed after
+        // deployment but is transport-invariant: the framed target reports
+        // its blueprint's name, and the fingerprint excludes the transport.
+        let (target, _transport) = crate::engine::transport::deploy(target, config.transport);
         let meta = SnapshotMeta::for_campaign(target.name(), &config);
         let session = config
             .session

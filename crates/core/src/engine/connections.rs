@@ -1,0 +1,232 @@
+//! The concurrent-connection driver: one campaign multiplexing N live TCP
+//! connections to a socket-served target.
+//!
+//! [`ConnectionCampaign`] is the framed-TCP face of
+//! [`ShardedCampaign`]: it forces
+//! [`TransportMode::FramedTcp`] and maps *connections* onto the sharded
+//! engine's *workers*. Each worker owns one
+//! [`FramedTcpTarget`](super::transport::FramedTcpTarget) — one live
+//! connection with its own server-side target instance and its own
+//! session/RNG lane (workers execute pre-generated windows, so the RNG
+//! stream is consumed sequentially at the barrier exactly as in-process) —
+//! and per-connection outcomes are buffered and reduced at the existing
+//! merge barrier in global execution order.
+//!
+//! Because the driver *is* the sharded engine behind a different transport,
+//! every determinism property carries over unchanged:
+//!
+//! * **connection-count invariance** is worker-count invariance — the
+//!   report is a function of (target, strategy, seed, budget,
+//!   `sync_windows`), never of N;
+//! * **bit-identity with in-process** comes from the transport seam
+//!   relaying `(outcome, trace)` pairs verbatim;
+//! * **checkpoints** are taken at the same merge barriers with the same
+//!   fingerprint (which excludes transport and connection count), so a
+//!   TCP-recorded checkpoint resumes in-process — and at any other
+//!   connection count — bit-exactly.
+//!
+//! `tests/transport_equivalence.rs` sweeps `--connections {1,2,4}` against
+//! the in-process sequential and sharded engines to hold all three.
+
+use peachstar_protocols::Target;
+
+use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::engine::shard::{ShardConfig, ShardedCampaign};
+use crate::engine::transport::TransportMode;
+use crate::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError};
+use crate::strategy::GenerationStrategy;
+
+/// Configuration of the concurrent-connection driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionConfig {
+    /// Live connections multiplexed by the campaign (`--connections`).
+    /// Operational only — never changes the report.
+    pub connections: usize,
+    /// Windows generated (and merged) per round, as in
+    /// [`ShardConfig::sync_windows`]. Part of campaign semantics for
+    /// feedback-driven strategies.
+    pub sync_windows: usize,
+}
+
+impl ConnectionConfig {
+    /// Configuration for `connections` live connections (clamped to at
+    /// least 1) with the default barrier cadence.
+    #[must_use]
+    pub fn with_connections(connections: usize) -> Self {
+        Self {
+            connections: connections.max(1),
+            sync_windows: ShardConfig::DEFAULT_SYNC_WINDOWS,
+        }
+    }
+
+    /// Sets the number of windows between merge barriers.
+    #[must_use]
+    pub fn sync_windows(mut self, windows: usize) -> Self {
+        self.sync_windows = windows.max(1);
+        self
+    }
+
+    /// The equivalent sharded-engine configuration: connections are
+    /// workers.
+    fn shard(self) -> ShardConfig {
+        ShardConfig::with_workers(self.connections).sync_windows(self.sync_windows)
+    }
+}
+
+impl Default for ConnectionConfig {
+    fn default() -> Self {
+        Self::with_connections(1)
+    }
+}
+
+/// A campaign that drives its target over N concurrent framed-TCP
+/// connections (see the module docs).
+#[derive(Debug)]
+pub struct ConnectionCampaign {
+    inner: ShardedCampaign,
+}
+
+impl ConnectionCampaign {
+    /// Creates a concurrent-connection campaign with the strategy named in
+    /// the campaign configuration. The configured transport is forced to
+    /// [`TransportMode::FramedTcp`] — connections without a wire would be
+    /// meaningless.
+    #[must_use]
+    pub fn new(
+        target: Box<dyn Target>,
+        config: CampaignConfig,
+        connections: ConnectionConfig,
+    ) -> Self {
+        Self {
+            inner: ShardedCampaign::new(
+                target,
+                config.transport(TransportMode::FramedTcp),
+                connections.shard(),
+            ),
+        }
+    }
+
+    /// Creates a concurrent-connection campaign with an explicit strategy.
+    #[must_use]
+    pub fn with_strategy(
+        target: Box<dyn Target>,
+        config: CampaignConfig,
+        connections: ConnectionConfig,
+        strategy: Box<dyn GenerationStrategy>,
+    ) -> Self {
+        Self {
+            inner: ShardedCampaign::with_strategy(
+                target,
+                config.transport(TransportMode::FramedTcp),
+                connections.shard(),
+                strategy,
+            ),
+        }
+    }
+
+    /// Runs the campaign to completion.
+    #[must_use]
+    pub fn run(self) -> CampaignReport {
+        self.inner.run()
+    }
+
+    /// The merge-barrier boundaries (absolute execution indices) of this
+    /// campaign — the instants a checkpoint may be taken at.
+    #[must_use]
+    pub fn round_boundaries(&self) -> Vec<u64> {
+        self.inner.round_boundaries()
+    }
+
+    /// Runs to completion, checkpointing at merge barriers per
+    /// `checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot write failures.
+    pub fn run_checkpointed(
+        self,
+        checkpoint: &CheckpointConfig,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.inner.run_checkpointed(checkpoint)
+    }
+
+    /// Runs up to the merge barrier ending exactly at `stop_after` and
+    /// returns its snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects boundaries that are not merge barriers.
+    pub fn run_to_boundary(self, stop_after: u64) -> Result<CampaignSnapshot, SnapshotError> {
+        self.inner.run_to_boundary(stop_after)
+    }
+
+    /// Resumes a snapshotted campaign to completion. The snapshot may have
+    /// been recorded under any transport or connection count — neither is
+    /// part of the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose fingerprint mismatches this campaign.
+    pub fn resume(self, snapshot: &CampaignSnapshot) -> Result<CampaignReport, SnapshotError> {
+        self.inner.resume(snapshot)
+    }
+
+    /// Resumes a snapshot while continuing to write periodic checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched snapshots; propagates checkpoint write failures.
+    pub fn resume_checkpointed(
+        self,
+        snapshot: &CampaignSnapshot,
+        checkpoint: &CheckpointConfig,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.inner.resume_checkpointed(snapshot, checkpoint)
+    }
+
+    /// Resumes a snapshot and stops again at a later merge barrier.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched snapshots and non-barrier boundaries.
+    pub fn resume_to_boundary(
+        self,
+        snapshot: &CampaignSnapshot,
+        stop_after: u64,
+    ) -> Result<CampaignSnapshot, SnapshotError> {
+        self.inner.resume_to_boundary(snapshot, stop_after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use peachstar_protocols::TargetId;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig::new(StrategyKind::PeachStar)
+            .executions(1_500)
+            .sample_interval(150)
+            .reset_interval(250)
+    }
+
+    #[test]
+    fn connection_config_clamps_and_maps_to_workers() {
+        assert_eq!(ConnectionConfig::with_connections(0).connections, 1);
+        let config = ConnectionConfig::with_connections(3).sync_windows(5);
+        let shard = config.shard();
+        assert_eq!(shard.workers, 3);
+        assert_eq!(shard.sync_windows, 5);
+        assert_eq!(ConnectionConfig::default().connections, 1);
+    }
+
+    #[test]
+    fn connection_campaign_runs_over_live_sockets() {
+        let report =
+            ConnectionCampaign::new(TargetId::Modbus.create(), small_config(), ConnectionConfig::with_connections(2))
+                .run();
+        assert_eq!(report.executions, 1_500);
+        assert!(report.final_paths() > 0, "coverage flows back over the wire");
+    }
+}

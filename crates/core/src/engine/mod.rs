@@ -31,6 +31,7 @@
 //! [`TraceContext`]: peachstar_coverage::TraceContext
 
 pub mod batch;
+pub mod connections;
 pub mod executor;
 pub mod monitor;
 pub mod observer;
@@ -38,13 +39,16 @@ pub mod schedule;
 pub mod session;
 pub mod shard;
 pub(crate) mod supervisor;
+pub mod transport;
 
+pub use connections::{ConnectionCampaign, ConnectionConfig};
 pub use executor::{Executor, ResetPolicy, TargetExecutor};
 pub use monitor::{CampaignMonitor, Monitor, MonitorState, OutcomeSummary};
 pub use observer::{CoverageObserver, Feedback, NewCoverageFeedback, Observer};
 pub use schedule::{FeedbackEvent, Schedule, ScheduleState, StrategySchedule};
 pub use session::{PhaseMask, SessionConfig, SessionPlan, SessionSchedule};
 pub use shard::{run_sharded, ShardConfig, ShardedCampaign};
+pub use transport::{FramedTcpTarget, TransportMode};
 
 use peachstar_datamodel::DataModelSet;
 use rand::rngs::SmallRng;

@@ -486,6 +486,12 @@ impl ShardedCampaign {
             shard,
             strategy,
         } = self;
+        // Under `FramedTcp` each worker's `clone_fresh` target is its own
+        // live connection to the spawned socket server; the guard (the
+        // server) must outlive the engine run. Reports stay bit-identical
+        // because the wire relays (outcome, trace) pairs verbatim and the
+        // snapshot fingerprint excludes the transport.
+        let (target, _transport) = crate::engine::transport::deploy(target, config.transport);
         let meta = SnapshotMeta::for_campaign(target.name(), &config)
             .sharded(shard.sync_windows.max(1) as u64);
         let session = config

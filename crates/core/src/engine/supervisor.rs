@@ -4,12 +4,12 @@
 //!
 //! Two primitives live here:
 //!
-//! * [`contained`] wraps a closure in `catch_unwind` with a process-global
-//!   panic hook that (only while a contained call is on the stack of the
-//!   panicking thread) swallows the default stderr backtrace and captures
-//!   the panic message. A caught panic becomes an `Err(message)` that the
-//!   executor converts into a synthetic [`FaultKind::Panic`] fault whose
-//!   dedup site is the interned message.
+//! * [`contained`] / [`panic_fault`] — re-exported from
+//!   [`peachstar_protocols::containment`], where they moved so the
+//!   framed-TCP socket server can contain panics *server-side* with the
+//!   same process-global hook. A caught panic becomes an `Err(message)`
+//!   that the executor converts into a synthetic [`FaultKind::Panic`] fault
+//!   whose dedup site is the interned message.
 //! * [`Watchdog`] runs executions on a dedicated worker thread under a
 //!   per-execution deadline. A stuck execution is *abandoned* — the reply
 //!   channel is dropped, the worker thread is left to finish (or sleep
@@ -19,14 +19,14 @@
 //!   executor applies, so a supervised campaign in which nothing hangs is
 //!   bit-identical to an unsupervised one.
 
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::Once;
 use std::thread;
 use std::time::Duration;
 
 use peachstar_coverage::{SparseTrace, TraceContext};
-use peachstar_protocols::{intern_site, Fault, FaultKind, Outcome, Target};
+use peachstar_protocols::{Fault, FaultKind, Outcome, Target};
+
+pub(crate) use peachstar_protocols::containment::{contained, panic_fault};
 
 /// The dedup site recorded when the watchdog abandons a stuck execution.
 pub const HANG_SITE: &str = "watchdog: execution exceeded the --exec-timeout-ms deadline";
@@ -34,60 +34,6 @@ pub const HANG_SITE: &str = "watchdog: execution exceeded the --exec-timeout-ms 
 /// The dedup site recorded when the watchdog cannot keep a worker alive at
 /// all (the worker thread died twice in a row without delivering a reply).
 pub const WORKER_LOST_SITE: &str = "watchdog: supervised worker lost";
-
-std::thread_local! {
-    static CONTAINING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-    static CAPTURED: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
-}
-
-fn install_hook() {
-    static INSTALL: Once = Once::new();
-    INSTALL.call_once(|| {
-        let previous = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if CONTAINING.with(std::cell::Cell::get) {
-                let message = info
-                    .payload()
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| {
-                        info.location()
-                            .map(|l| format!("panic at {}:{}", l.file(), l.line()))
-                            .unwrap_or_else(|| "panic with non-string payload".to_owned())
-                    });
-                CAPTURED.with(|c| *c.borrow_mut() = Some(message));
-            } else {
-                previous(info);
-            }
-        }));
-    });
-}
-
-/// Runs `f`, containing any panic it raises: `Err(message)` instead of an
-/// unwound stack, with nothing written to stderr. Panics raised outside a
-/// contained call (other threads, test assertions) are untouched.
-pub(crate) fn contained<R>(f: impl FnOnce() -> R) -> Result<R, String> {
-    install_hook();
-    CONTAINING.with(|c| c.set(true));
-    let result = panic::catch_unwind(AssertUnwindSafe(f));
-    CONTAINING.with(|c| c.set(false));
-    result.map_err(|payload| {
-        CAPTURED
-            .with(|c| c.borrow_mut().take())
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "panic with non-string payload".to_owned())
-    })
-}
-
-/// The synthetic fault a contained panic turns into: kind
-/// [`FaultKind::Panic`], site = the interned panic message, so identical
-/// panics dedup into one unique bug exactly like planted faults do.
-#[must_use]
-pub(crate) fn panic_fault(message: &str) -> Fault {
-    Fault::new(FaultKind::Panic, intern_site(message))
-}
 
 struct Job {
     packet: Vec<u8>,
@@ -226,26 +172,6 @@ mod tests {
     use super::*;
     use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
     use peachstar_protocols::TargetId;
-
-    #[test]
-    fn contained_returns_the_value_or_the_panic_message() {
-        assert_eq!(contained(|| 41 + 1), Ok(42));
-        assert_eq!(contained(|| panic!("boom")), Err::<(), _>("boom".into()));
-        let formatted = contained(|| -> u32 { panic!("chaos: injected panic #{}", 2) });
-        assert_eq!(formatted, Err("chaos: injected panic #2".into()));
-        // Containment is per-call: a later normal call is unaffected.
-        assert_eq!(contained(|| "ok"), Ok("ok"));
-    }
-
-    #[test]
-    fn panic_fault_dedups_by_message() {
-        let a = panic_fault("chaos: injected panic #1");
-        let b = panic_fault(&format!("chaos: injected panic #{}", 1));
-        assert_eq!(a, b);
-        assert_eq!(a.kind, FaultKind::Panic);
-        assert!(std::ptr::eq(a.site, b.site));
-        assert_ne!(a, panic_fault("chaos: injected panic #2"));
-    }
 
     #[test]
     fn watchdog_passes_through_fast_executions() {

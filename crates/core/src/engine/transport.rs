@@ -1,0 +1,320 @@
+//! The transport seam between [`TargetExecutor`](super::TargetExecutor) and
+//! [`Target`]: *how* the executor's packets reach the target's decoder.
+//!
+//! Two transports exist:
+//!
+//! * [`TransportMode::InProcess`] — today's direct call, the default,
+//!   bit-for-bit unchanged: the executor owns the target and invokes
+//!   [`Target::process`] directly. `deploy` is the identity.
+//! * [`TransportMode::FramedTcp`] — the target runs behind a real TCP
+//!   listener (the [`peachstar_protocols::server`] socket-server mode, one
+//!   fresh target instance per connection) and the executor holds a
+//!   [`FramedTcpTarget`]: a `Target` implementation whose `process` /
+//!   `process_batch` / `reset` are length-framed request/response exchanges
+//!   over a loopback socket — TPKT/COTP-framed (RFC 1006) for the ISO-stack
+//!   targets (iec61850, iccp), raw `u32`-length-framed for the rest
+//!   ([`WireFraming::for_target`]).
+//!
+//! The seam is deliberately *below* the executor: every reset-policy
+//! decision, panic rebuild, watchdog deadline and window walk runs
+//! client-side exactly as in-process, and the wire relays `(outcome, sparse
+//! trace)` pairs verbatim (fault sites re-interned on receipt, so dedup is
+//! pointer-compatible). That is what makes a loopback-TCP campaign
+//! bit-identical to an in-process one — `tests/transport_equivalence.rs`
+//! holds the proof across all six targets and both strategies.
+//!
+//! Fault recovery falls out of [`Target::clone_fresh`]: a dead socket makes
+//! the next exchange panic, the executor's containment records it and
+//! rebuilds the target from its spare, and rebuilding a [`FramedTcpTarget`]
+//! *is* reconnecting. The watchdog composes the same way — an abandoned
+//! (hung) supervised worker strands its connection, and the replacement
+//! worker built from the factory opens a fresh one.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use peachstar_coverage::TraceContext;
+use peachstar_datamodel::DataModelSet;
+use peachstar_protocols::server::{serve, ServerHandle};
+use peachstar_protocols::wire::{MessageStream, Request, Response, WireFraming};
+use peachstar_protocols::{DecodeSink, Outcome, Target, WindowResults};
+
+/// Which transport carries packets from the executor to the target.
+///
+/// Operational knob, not campaign semantics: reports are bit-identical
+/// across transports, so the field is deliberately excluded from the
+/// snapshot fingerprint (like `--exec-timeout-ms`) — a checkpoint recorded
+/// under TCP resumes in-process and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// Direct in-process calls (the default).
+    #[default]
+    InProcess,
+    /// Length-framed request/response over a loopback TCP socket, against a
+    /// spawned socket server.
+    FramedTcp,
+}
+
+impl TransportMode {
+    /// The `--transport` flag spelling of this mode.
+    #[must_use]
+    pub fn as_flag(self) -> &'static str {
+        match self {
+            TransportMode::InProcess => "inprocess",
+            TransportMode::FramedTcp => "tcp",
+        }
+    }
+}
+
+/// A live socket server backing a framed-TCP campaign. Dropping it shuts
+/// the listener down; the campaign drops its client connections first (they
+/// die with the engine), so the per-connection handler threads have already
+/// drained by then.
+pub type TransportGuard = ServerHandle;
+
+/// Wraps `target` in the requested transport.
+///
+/// For [`TransportMode::InProcess`] this is the identity. For
+/// [`TransportMode::FramedTcp`] it spawns a socket server on an ephemeral
+/// loopback port serving fresh clones of `target` (one per connection) and
+/// returns a connected [`FramedTcpTarget`] plus the server guard, which the
+/// caller must keep alive for the campaign's duration.
+///
+/// # Panics
+///
+/// Panics when the loopback listener cannot be bound or the first
+/// connection cannot be established — a campaign without a reachable target
+/// cannot run.
+pub fn deploy(
+    target: Box<dyn Target>,
+    mode: TransportMode,
+) -> (Box<dyn Target>, Option<TransportGuard>) {
+    match mode {
+        TransportMode::InProcess => (target, None),
+        TransportMode::FramedTcp => {
+            let (client, guard) = deploy_tcp(target.as_ref());
+            (Box::new(client), Some(guard))
+        }
+    }
+}
+
+/// [`deploy`] for the sharded engine, whose targets must stay `Send` so
+/// worker threads can own them.
+pub fn deploy_send(
+    target: Box<dyn Target + Send>,
+    mode: TransportMode,
+) -> (Box<dyn Target + Send>, Option<TransportGuard>) {
+    match mode {
+        TransportMode::InProcess => (target, None),
+        TransportMode::FramedTcp => {
+            let (client, guard) = deploy_tcp(target.as_ref());
+            (Box::new(client), Some(guard))
+        }
+    }
+}
+
+fn deploy_tcp(target: &dyn Target) -> (FramedTcpTarget, TransportGuard) {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .expect("framed-tcp transport: binding a loopback listener");
+    let guard = serve(listener, target.clone_fresh())
+        .expect("framed-tcp transport: spawning the socket server");
+    let client = FramedTcpTarget::connect(target.clone_fresh(), guard.addr());
+    (client, guard)
+}
+
+/// A [`Target`] whose calls cross a real TCP connection to a socket server
+/// (see the module docs). One instance owns one connection;
+/// [`Target::clone_fresh`] opens a new connection to the same server, which
+/// on the server side means a brand-new target instance — exactly the
+/// semantics `clone_fresh` promises in-process.
+pub struct FramedTcpTarget {
+    /// Never executed: answers `name`/`data_models`/`session_template`
+    /// locally (they are static per target) and seeds reconnect clones.
+    blueprint: Box<dyn Target + Send>,
+    addr: SocketAddr,
+    stream: TcpStream,
+    messages: MessageStream,
+    payload: Vec<u8>,
+}
+
+impl std::fmt::Debug for FramedTcpTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramedTcpTarget")
+            .field("target", &self.blueprint.name())
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl FramedTcpTarget {
+    /// Connects to the socket server at `addr` serving `blueprint`'s target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the connection cannot be established. During a campaign
+    /// this panic lands inside the executor's containment, which records it
+    /// and rebuilds — but at deploy time a refused connection is fatal.
+    #[must_use]
+    pub fn connect(blueprint: Box<dyn Target + Send>, addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("framed-tcp transport: connect to {addr}: {e}"));
+        stream
+            .set_nodelay(true)
+            .expect("framed-tcp transport: enabling TCP_NODELAY");
+        let framing = WireFraming::for_target(blueprint.name());
+        Self {
+            blueprint,
+            addr,
+            stream,
+            messages: MessageStream::new(framing),
+            payload: Vec::new(),
+        }
+    }
+
+    /// One request/response exchange. Any socket or framing error panics
+    /// with a `framed-tcp transport:` message: the executor's containment
+    /// turns that into a fault and a rebuild, and rebuilding reconnects.
+    fn exchange(&mut self, request: &Request) -> Response {
+        request.encode_into(&mut self.payload);
+        if let Err(error) = self.messages.send(&mut self.stream, &self.payload) {
+            panic!("framed-tcp transport: send failed: {error}");
+        }
+        let reply = match self.messages.recv(&mut self.stream) {
+            Ok(Some(reply)) => reply,
+            Ok(None) => panic!("framed-tcp transport: server closed the connection"),
+            Err(error) => panic!("framed-tcp transport: receive failed: {error}"),
+        };
+        match Response::decode(&reply) {
+            Ok(response) => response,
+            Err(error) => panic!("framed-tcp transport: {error}"),
+        }
+    }
+}
+
+impl Target for FramedTcpTarget {
+    fn name(&self) -> &'static str {
+        self.blueprint.name()
+    }
+
+    fn data_models(&self) -> DataModelSet {
+        self.blueprint.data_models()
+    }
+
+    fn session_template(&self) -> Option<peachstar_protocols::SessionTemplate> {
+        self.blueprint.session_template()
+    }
+
+    fn process(&mut self, packet: &[u8], ctx: &mut TraceContext) -> Outcome {
+        match self.exchange(&Request::Process(packet.to_vec())) {
+            Response::Process(outcome, trace) => {
+                // Rematerialise the server-side trace so the executor reads
+                // it from `ctx` exactly as it would after a direct call.
+                ctx.load_sparse(&trace);
+                outcome
+            }
+            other => panic!("framed-tcp transport: unexpected reply {other:?}"),
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        packets: &[&[u8]],
+        ctx: &mut TraceContext,
+        out: &mut WindowResults,
+        sink: DecodeSink,
+    ) {
+        let request = Request::Batch {
+            sink,
+            packets: packets.iter().map(|p| p.to_vec()).collect(),
+        };
+        match self.exchange(&request) {
+            Response::Batch(records) => {
+                assert_eq!(
+                    records.len(),
+                    packets.len(),
+                    "framed-tcp transport: window record count mismatch"
+                );
+                out.begin();
+                for (summary, trace) in &records {
+                    out.record_sparse(*summary, trace);
+                }
+                // The in-process default leaves the last execution's trace
+                // in `ctx`; mirror that.
+                if let Some((_, last)) = records.last() {
+                    ctx.load_sparse(last);
+                }
+            }
+            other => panic!("framed-tcp transport: unexpected reply {other:?}"),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self.exchange(&Request::Reset) {
+            Response::ResetDone => {}
+            other => panic!("framed-tcp transport: unexpected reply {other:?}"),
+        }
+    }
+
+    fn clone_fresh(&self) -> Box<dyn Target + Send> {
+        Box::new(FramedTcpTarget::connect(self.blueprint.clone_fresh(), self.addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachstar_protocols::{OutcomeSummary, TargetId};
+
+    #[test]
+    fn framed_tcp_target_matches_the_in_process_target() {
+        for id in [TargetId::Modbus, TargetId::Iec61850] {
+            let (mut tcp, _guard) = deploy_tcp(id.create().as_ref());
+            let mut reference = id.create();
+            let mut tcp_ctx = TraceContext::new();
+            let mut ref_ctx = TraceContext::new();
+            for packet in [&[0x01u8, 0x02][..], &[0x03, 0x00, 0x00, 0x10], &[]] {
+                tcp_ctx.reset();
+                ref_ctx.reset();
+                let over_wire = tcp.process(packet, &mut tcp_ctx);
+                let direct = reference.process(packet, &mut ref_ctx);
+                assert_eq!(over_wire, direct, "{id:?}");
+                assert_eq!(
+                    tcp_ctx.trace().to_sparse(),
+                    ref_ctx.trace().to_sparse(),
+                    "{id:?}"
+                );
+            }
+            tcp.reset();
+            reference.reset();
+        }
+    }
+
+    #[test]
+    fn framed_tcp_windows_match_the_default_batch_impl() {
+        let (mut tcp, _guard) = deploy_tcp(TargetId::Lib60870.create().as_ref());
+        let mut reference = TargetId::Lib60870.create();
+        let window: Vec<&[u8]> = vec![&[0x68, 0x04, 0x07, 0x00, 0x00, 0x00], &[0xFF], &[]];
+        let mut tcp_ctx = TraceContext::new();
+        let mut ref_ctx = TraceContext::new();
+        let mut over_wire = WindowResults::new();
+        let mut direct = WindowResults::new();
+        tcp.process_batch(&window, &mut tcp_ctx, &mut over_wire, DecodeSink::Full);
+        reference.process_batch(&window, &mut ref_ctx, &mut direct, DecodeSink::Full);
+        assert_eq!(over_wire.len(), direct.len());
+        let collect = |results: &WindowResults| -> Vec<(OutcomeSummary, peachstar_coverage::SparseTrace)> {
+            results.iter().map(|(s, t)| (*s, t.clone())).collect()
+        };
+        assert_eq!(collect(&over_wire), collect(&direct));
+    }
+
+    #[test]
+    fn clone_fresh_reconnects_to_the_same_server() {
+        let (tcp, _guard) = deploy_tcp(TargetId::Iec104.create().as_ref());
+        let mut clone = tcp.clone_fresh();
+        assert_eq!(clone.name(), "IEC104");
+        let mut ctx = TraceContext::new();
+        ctx.reset();
+        // A fresh connection serves from a fresh server-side instance.
+        let outcome = clone.process(&[0x68, 0x04, 0x43, 0x00, 0x00, 0x00], &mut ctx);
+        assert!(!outcome.is_fault());
+    }
+}

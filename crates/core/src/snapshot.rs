@@ -172,6 +172,11 @@ pub struct SnapshotMeta {
 
 impl SnapshotMeta {
     /// The fingerprint of a (sequential) campaign configuration.
+    ///
+    /// Operational knobs — `exec_timeout`, `summary_only`, `transport`, the
+    /// worker/connection count — are deliberately excluded: they never
+    /// change the report, so a checkpoint resumes across any of them (a
+    /// TCP-recorded checkpoint resumes in-process bit-exactly).
     #[must_use]
     pub fn for_campaign(target: &str, config: &CampaignConfig) -> Self {
         Self {

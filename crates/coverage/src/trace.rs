@@ -333,6 +333,28 @@ impl SparseTrace {
     pub fn copy_from(&mut self, other: &SparseTrace) {
         self.hits.clone_from(&other.hits);
     }
+
+    /// Rebuilds a snapshot from `(slot, hit count)` pairs — the
+    /// deserialisation counterpart of [`iter_hits`](SparseTrace::iter_hits)
+    /// for consumers that receive a trace over a wire (a framed-TCP
+    /// transport reply) rather than from a live [`TraceMap`].
+    ///
+    /// Pairs are sorted into ascending slot order, zero-count entries are
+    /// dropped and duplicate slots keep their first count, so a round trip
+    /// through `iter_hits` → `from_hits` is exactly the identity: the
+    /// rebuilt snapshot is `==` to the original, with the same
+    /// [`path_id`](SparseTrace::path_id). (A `u16` slot is always in range —
+    /// the map holds `1 << 16` slots.)
+    #[must_use]
+    pub fn from_hits(pairs: impl IntoIterator<Item = (u16, u8)>) -> Self {
+        let mut hits: Vec<(u16, u8)> = pairs
+            .into_iter()
+            .filter(|&(_, count)| count != 0)
+            .collect();
+        hits.sort_by_key(|&(slot, _)| slot);
+        hits.dedup_by_key(|&mut (slot, _)| slot);
+        Self { hits }
+    }
 }
 
 impl fmt::Debug for TraceMap {
@@ -410,6 +432,17 @@ impl TraceContext {
     pub fn reset(&mut self) {
         self.prev_location = 0;
         self.trace.clear();
+    }
+
+    /// Replaces the context's trace with a snapshot recorded elsewhere —
+    /// the dense-side counterpart of [`TraceMap::load_sparse`] for executors
+    /// whose edges were recorded remotely (a framed-TCP transport client
+    /// re-materialising the server's reply trace). The previous-location
+    /// register is cleared: the loaded trace represents a *finished*
+    /// execution, not one to be extended.
+    pub fn load_sparse(&mut self, sparse: &SparseTrace) {
+        self.prev_location = 0;
+        self.trace.load_sparse(sparse);
     }
 }
 
@@ -615,5 +648,48 @@ mod tests {
         assert!(sparse.is_empty());
         assert_eq!(sparse.edges_hit(), 0);
         assert_eq!(sparse.path_id(), TraceMap::new().path_id());
+    }
+
+    #[test]
+    fn from_hits_round_trips_iter_hits() {
+        let mut ctx = TraceContext::new();
+        for id in [900u32, 3, 77, 3, 12, 65_535] {
+            ctx.edge(EdgeId::new(id));
+        }
+        let original = ctx.trace().to_sparse();
+        let pairs: Vec<(u16, u8)> = original
+            .iter_hits()
+            .map(|(slot, count)| (slot as u16, count))
+            .collect();
+        let rebuilt = SparseTrace::from_hits(pairs);
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.path_id(), original.path_id());
+        // Unsorted input, zero counts and duplicate slots are normalised.
+        let messy = SparseTrace::from_hits([(9, 2), (1, 0), (4, 1), (4, 7), (2, 1)]);
+        let hits: Vec<(usize, u8)> = messy.iter_hits().collect();
+        assert_eq!(hits, vec![(2, 1), (4, 1), (9, 2)]);
+        assert!(SparseTrace::from_hits([]).is_empty());
+    }
+
+    #[test]
+    fn context_load_sparse_rematerialises_a_finished_execution() {
+        let mut recorder = TraceContext::new();
+        for id in [41u32, 8, 19, 8] {
+            recorder.edge(EdgeId::new(id));
+        }
+        let sparse = recorder.trace().to_sparse();
+        let mut ctx = TraceContext::new();
+        ctx.edge(EdgeId::new(5)); // stale state the load must replace
+        ctx.load_sparse(&sparse);
+        assert_eq!(ctx.trace().to_sparse(), sparse);
+        assert_eq!(ctx.trace().path_id(), recorder.trace().path_id());
+        // The prev-location register was cleared: a subsequent edge starts
+        // the slot chain from zero, exactly like after reset().
+        let mut fresh = TraceContext::new();
+        fresh.edge(EdgeId::new(123));
+        let mut loaded = TraceContext::new();
+        loaded.load_sparse(&SparseTrace::new());
+        loaded.edge(EdgeId::new(123));
+        assert_eq!(loaded.trace().to_sparse(), fresh.trace().to_sparse());
     }
 }

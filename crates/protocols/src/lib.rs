@@ -40,6 +40,7 @@
 
 pub mod chaos;
 pub mod common;
+pub mod containment;
 pub mod dnp3;
 pub mod iccp;
 pub mod iec104;
@@ -47,7 +48,9 @@ pub mod iec61850;
 pub mod lib60870;
 pub mod modbus;
 pub mod prescan;
+pub mod server;
 pub mod sink;
+pub mod wire;
 
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
@@ -56,7 +59,9 @@ use peachstar_coverage::{SparseTrace, TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
 
 pub use prescan::{FrameSpec, PrescanScratch};
+pub use server::{serve, ServerHandle};
 pub use sink::DecodeSink;
+pub use wire::{FrameReassembler, MessageStream, WireFraming};
 
 /// The memory-safety-analogue failure classes reported by targets.
 ///

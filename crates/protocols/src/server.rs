@@ -1,0 +1,270 @@
+//! Socket-server mode: run any [`Target`] behind a real TCP listener.
+//!
+//! [`serve`] spawns an accept loop; every accepted connection gets its own
+//! handler thread with its own fresh target instance (built with
+//! [`Target::clone_fresh`] from the server's blueprint), its own spare for
+//! panic rebuilds, and its own [`TraceContext`] — exactly the ownership
+//! model of one in-process executor lane. The handler speaks the
+//! [`wire`](crate::wire) protocol: [`Request::Process`] / [`Request::Batch`]
+//! / [`Request::Reset`] in, [`Response`] with outcomes and sparse traces out,
+//! framed per [`WireFraming::for_target`].
+//!
+//! Server-side semantics replicate the in-process executor bit for bit:
+//!
+//! * **Process**: `ctx.reset()` → [`contained`] `process` → a panic rebuilds
+//!   the target from the spare and becomes a [`panic_fault`] outcome → a
+//!   fault outcome triggers `target.reset()` — the exact sequence of the
+//!   in-process `TargetExecutor` and its watchdog worker.
+//! * **Batch**: the requested [`DecodeSink`](crate::DecodeSink) is armed around a *per-packet
+//!   contained loop* (never a whole-window `process_batch` call). This is
+//!   deliberate: the in-process engines fall back to exactly this per-packet
+//!   contained sequence whenever a window fails (executor rebuild-and-finish,
+//!   sharded failed-window re-execution), and for windows that *don't* fail
+//!   the per-packet results are identical to the batched ones (proven by the
+//!   batch-equivalence tests). Containing per packet server-side means a
+//!   client-visible window never fails, which is what makes TCP campaigns
+//!   reduce to the same records as in-process ones.
+//! * **Panic containment is server-side** ([`crate::containment`]): a target
+//!   panic must become a `Panic` fault on the wire, not a dead handler
+//!   thread and a broken socket.
+//!
+//! The server never calls `target.reset()` on its own schedule: reset policy
+//! (window boundaries, post-fault hygiene beyond the mirrored sequence
+//! above) belongs to the client-side executor, which ships explicit
+//! [`Request::Reset`] messages. That keeps the reset cadence — and therefore
+//! coverage — byte-identical to the in-process path.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use peachstar_coverage::TraceContext;
+
+use crate::containment::{contained, panic_fault};
+use crate::wire::{MessageStream, Request, Response, WireFraming};
+use crate::{Outcome, OutcomeSummary, Target};
+
+/// A running socket server: owns the accept thread and shuts it down on
+/// drop. Connection handler threads are detached — each exits when its
+/// client disconnects.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (use with a port-0 bind to
+    /// discover the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // The accept loop is blocked in `accept()`; a throwaway connect
+            // wakes it so it can observe the flag and exit.
+            let _ = TcpStream::connect(self.addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Runs `target` behind `listener`: every accepted connection is served by
+/// its own thread with its own [`Target::clone_fresh`] instance. Returns a
+/// handle that stops the accept loop on drop.
+///
+/// # Errors
+///
+/// Propagates the listener's local-address lookup failure.
+pub fn serve(listener: TcpListener, target: Box<dyn Target + Send>) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = std::thread::Builder::new()
+        .name(format!("peachstar-serve-{}", target.name()))
+        .spawn(move || {
+            for connection in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = connection else { continue };
+                let connection_target = target.clone_fresh();
+                let spare = target.clone_fresh();
+                let _ = std::thread::Builder::new()
+                    .name("peachstar-serve-conn".to_owned())
+                    .spawn(move || {
+                        // Handler errors mean the client vanished (or the
+                        // stream desynchronised); either way the connection
+                        // is done and the client rebuilds via clone_fresh.
+                        let _ = handle_connection(stream, connection_target, spare);
+                    });
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+/// Serves one connection until EOF: the request/reply loop described in the
+/// module docs.
+fn handle_connection(
+    mut stream: TcpStream,
+    mut target: Box<dyn Target + Send>,
+    spare: Box<dyn Target + Send>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let framing = WireFraming::for_target(target.name());
+    let mut messages = MessageStream::new(framing);
+    let mut ctx = TraceContext::new();
+    let mut payload = Vec::new();
+    let mut records: Vec<(OutcomeSummary, peachstar_coverage::SparseTrace)> = Vec::new();
+    while let Some(message) = messages.recv(&mut stream)? {
+        let request = Request::decode(&message)?;
+        let response = match request {
+            Request::Process(packet) => {
+                let (outcome, trace) = execute_one(&mut target, &*spare, &mut ctx, &packet);
+                Response::Process(outcome, trace)
+            }
+            Request::Batch { sink, packets } => {
+                let _armed = sink.arm();
+                records.clear();
+                for packet in &packets {
+                    let (outcome, trace) = execute_one(&mut target, &*spare, &mut ctx, packet);
+                    records.push((OutcomeSummary::from(&outcome), trace));
+                }
+                Response::Batch(std::mem::take(&mut records))
+            }
+            Request::Reset => {
+                target.reset();
+                Response::ResetDone
+            }
+        };
+        response.encode_into(&mut payload);
+        messages.send(&mut stream, &payload)?;
+    }
+    Ok(())
+}
+
+/// One contained execution: the in-process executor's exact sequence —
+/// trace reset, contained `process`, rebuild-from-spare on panic, post-fault
+/// target reset — returning the outcome with its sparse trace snapshot.
+fn execute_one(
+    target: &mut Box<dyn Target + Send>,
+    spare: &(dyn Target + Send),
+    ctx: &mut TraceContext,
+    packet: &[u8],
+) -> (Outcome, peachstar_coverage::SparseTrace) {
+    ctx.reset();
+    let outcome = match contained(|| target.process(packet, ctx)) {
+        Ok(outcome) => outcome,
+        Err(message) => {
+            *target = spare.clone_fresh();
+            Outcome::Fault(panic_fault(&message))
+        }
+    };
+    if outcome.is_fault() {
+        target.reset();
+    }
+    (outcome, ctx.trace().to_sparse())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modbus::ModbusServer;
+    use crate::wire::FrameReassembler;
+
+    fn roundtrip(stream: &mut TcpStream, messages: &mut MessageStream, request: &Request) -> Response {
+        let mut payload = Vec::new();
+        request.encode_into(&mut payload);
+        messages.send(stream, &payload).expect("send");
+        let reply = messages.recv(stream).expect("recv").expect("reply");
+        Response::decode(&reply).expect("valid response")
+    }
+
+    #[test]
+    fn serves_process_batch_and_reset_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut server = serve(listener, Box::new(ModbusServer::new())).expect("serve");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let framing = WireFraming::for_target("libmodbus");
+        assert_eq!(framing, WireFraming::Raw);
+        let mut messages = MessageStream::new(framing);
+
+        // A syntactically hopeless packet must come back as the same
+        // protocol error the in-process target produces.
+        let mut reference = ModbusServer::new();
+        let mut ctx = TraceContext::new();
+        ctx.reset();
+        let expected = reference.process(&[0x01], &mut ctx);
+        let expected_trace = ctx.trace().to_sparse();
+        let Response::Process(outcome, trace) =
+            roundtrip(&mut stream, &mut messages, &Request::Process(vec![0x01]))
+        else {
+            panic!("expected a process response");
+        };
+        assert_eq!(outcome, expected);
+        assert_eq!(trace, expected_trace);
+
+        // Batch: per-packet summaries in order, matching the sequential
+        // reference loop.
+        let packets = vec![vec![0x01u8], vec![0x02], vec![0x01]];
+        let Response::Batch(records) = roundtrip(
+            &mut stream,
+            &mut messages,
+            &Request::Batch {
+                sink: crate::DecodeSink::Full,
+                packets: packets.clone(),
+            },
+        ) else {
+            panic!("expected a batch response");
+        };
+        assert_eq!(records.len(), packets.len());
+        for (packet, (summary, trace)) in packets.iter().zip(&records) {
+            ctx.reset();
+            let outcome = reference.process(packet, &mut ctx);
+            assert_eq!(*summary, OutcomeSummary::from(&outcome));
+            assert_eq!(*trace, ctx.trace().to_sparse());
+        }
+
+        let reply = roundtrip(&mut stream, &mut messages, &Request::Reset);
+        assert_eq!(reply, Response::ResetDone);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn each_connection_gets_its_own_target_instance() {
+        // Two interleaved connections must not share protocol state: a
+        // session opened on one is invisible to the other. We use the raw
+        // reassembler here only to prove frames survive byte-split delivery
+        // through a real socket.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let server = serve(listener, Box::new(ModbusServer::new())).expect("serve");
+        let mut first = TcpStream::connect(server.addr()).expect("connect");
+        let mut second = TcpStream::connect(server.addr()).expect("connect");
+        let mut messages_first = MessageStream::new(WireFraming::Raw);
+        let mut messages_second = MessageStream::new(WireFraming::Raw);
+        let packet = vec![0x00u8, 0x01, 0x00, 0x00, 0x00, 0x06, 0x11, 0x03, 0x00, 0x6B, 0x00, 0x03];
+        let a = roundtrip(&mut first, &mut messages_first, &Request::Process(packet.clone()));
+        let b = roundtrip(&mut second, &mut messages_second, &Request::Process(packet));
+        assert_eq!(a, b, "independent fresh instances answer identically");
+        let _ = FrameReassembler::new(WireFraming::Raw);
+    }
+}

@@ -17,14 +17,26 @@
 //! 4. **Composition** — checkpoint/resume reproduces a chaos campaign bit
 //!    for bit, and a crash artifact cut from the resumed report still
 //!    replays.
+//! 5. **Transport independence** — the same failures behind the framed-TCP
+//!    transport produce the same deduplicated bugs: server-side panics are
+//!    contained into the same fault records, a stalled connection trips the
+//!    same watchdog, a dead socket is contained for target rebuild, and an
+//!    artifact recorded under TCP replays in-process.
 
 use peachstar::artifact::CrashArtifact;
-use peachstar::campaign::{Campaign, CampaignConfig, SessionConfig, ShardConfig, ShardedCampaign};
+use peachstar::campaign::{
+    Campaign, CampaignConfig, ConnectionCampaign, ConnectionConfig, SessionConfig, ShardConfig,
+    ShardedCampaign, TransportMode,
+};
+use peachstar::engine::transport::FramedTcpTarget;
 use peachstar::strategy::StrategyKind;
 use peachstar::CampaignReport;
+use peachstar_coverage::TraceContext;
 use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
+use peachstar_protocols::containment::contained;
 use peachstar_protocols::{FaultKind, Target, TargetId};
 use std::collections::BTreeSet;
+use std::net::TcpListener;
 
 /// The deterministic fields of a report, in one comparable bundle
 /// (everything except wall-clock timing).
@@ -192,6 +204,153 @@ fn worker_count_never_changes_a_chaos_report() {
             }
         }
     }
+}
+
+#[test]
+fn framed_tcp_chaos_campaign_matches_in_process() {
+    // Server-side injected panics are contained by the socket server with
+    // the executor's own sequence and cross the wire as fault records with
+    // re-interned sites, so the chaos report is bit-identical to in-process
+    // — panics deduplicate to the same bugs at the same executions.
+    for strategy in [StrategyKind::Peach, StrategyKind::PeachStar] {
+        let cfg = config(strategy, 7);
+        let in_process = Campaign::new(chaos_target(TargetId::Modbus), cfg).run();
+        assert_survived(&in_process, &format!("{strategy} in-process"));
+        let over_tcp = Campaign::new(
+            chaos_target(TargetId::Modbus),
+            cfg.transport(TransportMode::FramedTcp),
+        )
+        .run();
+        assert_eq!(
+            deterministic(&in_process),
+            deterministic(&over_tcp),
+            "{strategy}: chaos behind framed TCP diverged from in-process"
+        );
+    }
+}
+
+#[test]
+fn connection_driver_chaos_matches_the_in_process_sharded_engine() {
+    // The same guarantee through the concurrent-connection driver: N live
+    // connections with server-side chaos reduce to the in-process sharded
+    // report at the merge barrier.
+    let cfg = config(StrategyKind::PeachStar, 77);
+    let in_process = deterministic(
+        &ShardedCampaign::new(
+            chaos_target(TargetId::Lib60870),
+            cfg,
+            ShardConfig::with_workers(2).sync_windows(4),
+        )
+        .run(),
+    );
+    for connections in [1, 3] {
+        let live = deterministic(
+            &ConnectionCampaign::new(
+                chaos_target(TargetId::Lib60870),
+                cfg,
+                ConnectionConfig::with_connections(connections).sync_windows(4),
+            )
+            .run(),
+        );
+        assert_eq!(
+            in_process, live,
+            "chaos over {connections} live connections diverged"
+        );
+    }
+}
+
+#[test]
+fn framed_tcp_hangs_trip_the_same_watchdog_bugs() {
+    // A hang injected server-side stalls the connection: the client blocks
+    // in the wire read, the executor's watchdog abandons the stranded
+    // worker (and with it the connection), and the replacement worker's
+    // fresh target is a fresh connection. The deduplicated bug list —
+    // content-keyed panic sites plus the constant hang site — matches
+    // in-process exactly; execution indices are timing-free because
+    // injection is content-hashed.
+    let chaos = ChaosConfig::new(5)
+        .panic_every(0)
+        .garbage_every(0)
+        .hang_every(41)
+        .hang_ms(200);
+    let sites = |transport: TransportMode| {
+        let target = Box::new(ChaosTarget::new(TargetId::Modbus.create_send(), chaos));
+        let cfg = config(StrategyKind::Peach, 9)
+            .exec_timeout_ms(25)
+            .transport(transport);
+        let report = Campaign::new(target, cfg).run();
+        assert_eq!(report.executions, 1_000, "{transport:?}: hangs must not eat budget");
+        assert!(
+            report.bugs.iter().any(|b| b.fault.kind == FaultKind::Hang),
+            "{transport:?}: abandoned executions surface as hang faults"
+        );
+        report
+            .bugs
+            .iter()
+            .map(|b| (b.fault.kind, b.fault.site))
+            .collect::<BTreeSet<_>>()
+    };
+    assert_eq!(
+        sites(TransportMode::InProcess),
+        sites(TransportMode::FramedTcp),
+        "watchdog bugs behind framed TCP diverged from in-process"
+    );
+}
+
+#[test]
+fn a_dead_socket_is_contained_for_target_rebuild() {
+    // When the server side of a connection dies, the client-side
+    // FramedTcpTarget panics with a transport-labelled message instead of
+    // wedging. The executor contains exactly such panics and rebuilds the
+    // target via clone_fresh — which for a framed-TCP target means a fresh
+    // connection.
+    let doomed = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = doomed.local_addr().expect("local addr");
+    // The connection lands in the unaccepted backlog; dropping the listener
+    // resets it, so the next exchange hits a dead socket.
+    let mut target = FramedTcpTarget::connect(TargetId::Modbus.create_send(), addr);
+    drop(doomed);
+    let mut ctx = TraceContext::new();
+    let mut attempt = || {
+        let outcome = target.process(&[0u8; 8], &mut ctx);
+        drop(outcome);
+    };
+    // The first exchange may still see buffered success; the dead socket
+    // surfaces within a couple of round-trips.
+    let message = (0..8)
+        .find_map(|_| contained(&mut attempt).err())
+        .expect("a dead socket must panic, not wedge");
+    assert!(
+        message.contains("framed-tcp transport"),
+        "the panic names the transport so rebuilds are diagnosable: {message}"
+    );
+}
+
+#[test]
+fn tcp_recorded_artifact_replays_in_process() {
+    // A reproducer bundle cut from a framed-TCP chaos campaign normalises
+    // the transport away: replay is always in-process, and reproduces the
+    // same fault because the wire never changed campaign semantics.
+    let cfg = config(StrategyKind::Peach, 3).transport(TransportMode::FramedTcp);
+    let report = Campaign::new(chaos_target(TargetId::Modbus), cfg).run();
+    assert_survived(&report, "tcp chaos");
+    let bug = report.bugs.first().expect("chaos campaign finds bugs");
+    let artifact = CrashArtifact::from_bug(TargetId::Modbus, &cfg, None, Some(chaos()), bug);
+    assert_eq!(
+        artifact.config.transport,
+        TransportMode::InProcess,
+        "artifacts never pin the recording transport"
+    );
+    let dir = std::env::temp_dir().join(format!(
+        "peachstar-tcp-artifact-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let path = artifact.write_atomic(&dir).expect("bundle writes");
+    let decoded = CrashArtifact::read_from(&path).expect("bundle reads back");
+    assert_eq!(decoded, artifact, "bundle round-trips");
+    decoded.replay().expect("TCP-recorded bug replays in-process");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
