@@ -20,21 +20,24 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use peachstar::artifact::CrashArtifact;
 use peachstar::campaign::{
     run_repetitions_shared, Campaign, CampaignConfig, CampaignReport, ConnectionCampaign,
-    ConnectionConfig, PhaseMask, SessionConfig, ShardConfig, ShardedCampaign, TransportMode,
+    ConnectionConfig, PhaseMask, ReconnectPolicy, SessionConfig, ShardConfig, ShardedCampaign,
+    TransportMode,
 };
 use peachstar::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError};
 use peachstar::stats::CoverageSeries;
 use peachstar::strategy::StrategyKind;
+use peachstar::{ControlServer, ServiceHooks};
 use peachstar_protocols::chaos::{ChaosConfig, ChaosTarget};
-use peachstar_protocols::{Target, TargetId};
+use peachstar_protocols::{Target, TargetId, WireChaos};
 
 /// Which fuzzers a run compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +161,32 @@ pub struct CliOptions {
     /// concurrent-connection driver; requires `--transport tcp`). Like
     /// `--shards`, never changes the report — only how it is produced.
     pub connections: usize,
+    /// Run one campaign as a long-lived supervised service (`serve` mode):
+    /// rolling checkpoints into the `--checkpoint` rotation directory, an
+    /// optional `--control` socket, graceful drain on `stop`, and SIGKILL
+    /// recovery via `--resume-latest`.
+    pub serve: bool,
+    /// Bind address for the line-oriented JSON control socket (serve mode):
+    /// one command per line, `status` | `stop`.
+    pub control: Option<String>,
+    /// Rotation depth in serve mode: the newest K snapshots kept in the
+    /// rotation directory, older slots pruned.
+    pub keep_checkpoints: usize,
+    /// Recover a serve-mode rotation: scan this directory newest-first,
+    /// skip truncated or corrupt snapshots, and resume the newest intact
+    /// one (start fresh when none survives).
+    pub resume_latest: Option<PathBuf>,
+    /// Reconnect attempts per lost framed-TCP connection before it is
+    /// declared dead (`None` = the default bounded-backoff schedule).
+    pub reconnect_retries: Option<u32>,
+    /// Deterministic server-side chaos: drop the serving connection before
+    /// every Nth frame (requires `--transport tcp`).
+    pub wire_drop_every: Option<u64>,
+    /// With `--wire-drop-every`: accept-and-close this many dials after
+    /// each drop, exhausting reconnect budgets deterministically.
+    pub wire_reject_accepts: Option<u64>,
+    /// With `--wire-drop-every`: cap the number of drop incidents.
+    pub wire_drop_limit: Option<u64>,
 }
 
 impl Default for CliOptions {
@@ -191,6 +220,14 @@ impl Default for CliOptions {
             chaos_hang_every: None,
             transport: TransportMode::InProcess,
             connections: 1,
+            serve: false,
+            control: None,
+            keep_checkpoints: Self::DEFAULT_KEEP_CHECKPOINTS,
+            resume_latest: None,
+            reconnect_retries: None,
+            wire_drop_every: None,
+            wire_reject_accepts: None,
+            wire_drop_limit: None,
         }
     }
 }
@@ -198,6 +235,8 @@ impl Default for CliOptions {
 impl CliOptions {
     /// Default checkpoint cadence: every 8 completed windows.
     pub const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
+    /// Default serve-mode rotation depth: keep the 4 newest snapshots.
+    pub const DEFAULT_KEEP_CHECKPOINTS: usize = 4;
 }
 
 /// What the command line asked for.
@@ -310,6 +349,36 @@ OPTIONS:
                              execution order. Like --shards, N never changes
                              the report. Incompatible with --shards.
                              [default: 1]
+    --reconnect-retries <N>  With --transport tcp: reconnect attempts per
+                             lost connection (bounded exponential backoff,
+                             journal replay restores the session; 0 fails on
+                             the first socket error). A connection that
+                             exhausts its budget is declared dead; with
+                             --connections its windows redistribute onto the
+                             survivors. [default: 4]
+    --wire-drop-every <N>    With --transport tcp: deterministic server-side
+                             failure injection — the server drops the serving
+                             connection before every Nth frame. The campaign
+                             recovers by reconnect + journal replay, so
+                             reports stay bit-identical to a healthy wire.
+    --wire-reject-accepts <N> With --wire-drop-every: after each drop the
+                             server accepts-and-closes this many dials,
+                             deterministically exhausting reconnect budgets.
+    --wire-drop-limit <N>    With --wire-drop-every: cap the number of drop
+                             incidents (default: unlimited).
+    --control <ADDR>         serve: answer a line-oriented JSON control
+                             socket on ADDR — one command per line, `status`
+                             (live progress document) or `stop` (graceful
+                             drain: finish the current window, write a final
+                             checkpoint, exit 0).
+    --keep-checkpoints <K>   serve: rotation depth — keep the K newest
+                             snapshots in the rotation directory, pruning
+                             older slots [default: 4]
+    --resume-latest <DIR>    serve: recover a rotation — scan DIR newest
+                             first, skip truncated or corrupt snapshots, and
+                             resume the newest intact one (or start fresh).
+                             DIR doubles as the rotation directory when
+                             --checkpoint is not given.
     --artifacts <DIR>        Write one crash reproducer bundle per unique bug
                              into DIR (atomic, checksummed, deterministic file
                              names). Re-run a bundle with `replay <FILE>`.
@@ -332,6 +401,16 @@ OPTIONS:
     -h, --help               Print this help and exit
 
 MODES:
+    serve                    Run one campaign as a long-lived supervised
+                             service: rolling checkpoints into the
+                             --checkpoint rotation directory (atomic temp +
+                             rename, oldest slots pruned beyond
+                             --keep-checkpoints), an optional --control
+                             socket, and bit-exact SIGKILL recovery via
+                             serve --resume-latest <dir>. Takes the same
+                             campaign flags as a plain run; like
+                             --checkpoint it requires exactly one target,
+                             one fuzzer and --repetitions 1.
     replay <FILE>            Re-run a crash reproducer bundle written by
                              --artifacts: repeats the recorded campaign up to
                              the recorded execution and exits 0 only if the
@@ -349,6 +428,10 @@ EXAMPLES:
         --artifacts crashes/ --fail-on-fault       # chaos run + reproducers
     peachstar-cli --target modbus --transport tcp --connections 4 \\
         --batch 250                                # real-wire campaign
+    peachstar-cli serve --target modbus --strategy peach --checkpoint rot/ \\
+        --keep-checkpoints 4 --control 127.0.0.1:4455   # supervised service
+    peachstar-cli serve --target modbus --strategy peach \\
+        --resume-latest rot/                       # recover after a SIGKILL
     peachstar-cli replay crashes/libmodbus-panic-0123456789abcdef.peachart
 ";
 
@@ -364,6 +447,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut session_payload: Option<u64> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut connections: Option<usize> = None;
+    let mut keep_checkpoints: Option<usize> = None;
     let mut iter = args.iter();
 
     fn value<'a>(
@@ -389,6 +473,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     return Err(format!("replay takes exactly one bundle path (got `{extra}`)"));
                 }
                 return Ok(Command::Replay(PathBuf::from(path)));
+            }
+            "serve" => options.serve = true,
+            "--control" => {
+                options.control = Some(value("--control", &mut iter)?.clone());
+            }
+            "--keep-checkpoints" => {
+                let keep = number("--keep-checkpoints", value("--keep-checkpoints", &mut iter)?)?;
+                if keep == 0 {
+                    return Err("--keep-checkpoints must be at least 1".into());
+                }
+                keep_checkpoints = Some(usize::try_from(keep).unwrap_or(1));
+            }
+            "--resume-latest" => {
+                options.resume_latest = Some(PathBuf::from(value("--resume-latest", &mut iter)?));
+            }
+            "--reconnect-retries" => {
+                let retries =
+                    number("--reconnect-retries", value("--reconnect-retries", &mut iter)?)?;
+                let retries = u32::try_from(retries)
+                    .map_err(|_| "--reconnect-retries: value too large".to_string())?;
+                options.reconnect_retries = Some(retries);
+            }
+            "--wire-drop-every" => {
+                let every = number("--wire-drop-every", value("--wire-drop-every", &mut iter)?)?;
+                if every == 0 {
+                    return Err("--wire-drop-every must be at least 1".into());
+                }
+                options.wire_drop_every = Some(every);
+            }
+            "--wire-reject-accepts" => {
+                options.wire_reject_accepts = Some(number(
+                    "--wire-reject-accepts",
+                    value("--wire-reject-accepts", &mut iter)?,
+                )?);
+            }
+            "--wire-drop-limit" => {
+                options.wire_drop_limit = Some(number(
+                    "--wire-drop-limit",
+                    value("--wire-drop-limit", &mut iter)?,
+                )?);
             }
             "--target" => {
                 let raw = value("--target", &mut iter)?;
@@ -573,6 +697,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             ));
         }
     }
+    if !options.serve {
+        if options.control.is_some() {
+            return Err("--control answers a supervised service; enable it with serve".into());
+        }
+        if keep_checkpoints.is_some() {
+            return Err("--keep-checkpoints rotates serve-mode snapshots; enable it with serve".into());
+        }
+        if options.resume_latest.is_some() {
+            return Err("--resume-latest recovers a serve-mode rotation; enable it with serve".into());
+        }
+    }
+    if let Some(keep) = keep_checkpoints {
+        options.keep_checkpoints = keep;
+    }
+    if options.serve {
+        if options.stop_after.is_some() {
+            return Err("serve drains via the control socket (`stop`); drop --stop-after".into());
+        }
+        if options.resume.is_some() {
+            return Err(
+                "serve recovers its own rotation: use --resume-latest <dir> instead of --resume"
+                    .into(),
+            );
+        }
+        if options.checkpoint.is_none() {
+            match &options.resume_latest {
+                Some(dir) => options.checkpoint = Some(dir.clone()),
+                None => {
+                    return Err(
+                        "serve needs a rotation directory: --checkpoint <dir> (or \
+                         --resume-latest <dir>)"
+                            .into(),
+                    )
+                }
+            }
+        }
+    }
     if let Some(every) = checkpoint_every {
         if options.checkpoint.is_none() {
             return Err("--checkpoint-every requires --checkpoint".into());
@@ -660,6 +821,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
              --batch <N>"
                 .into(),
         );
+    }
+    if options.reconnect_retries.is_some() && options.transport != TransportMode::FramedTcp {
+        return Err(
+            "--reconnect-retries tunes the framed-TCP reconnect budget; enable the wire \
+             with --transport tcp"
+                .into(),
+        );
+    }
+    match options.wire_drop_every {
+        None => {
+            if options.wire_reject_accepts.is_some() {
+                return Err("--wire-reject-accepts requires --wire-drop-every".into());
+            }
+            if options.wire_drop_limit.is_some() {
+                return Err("--wire-drop-limit requires --wire-drop-every".into());
+            }
+        }
+        Some(_) if options.transport != TransportMode::FramedTcp => {
+            return Err(
+                "--wire-drop-every injects server-side connection drops; enable the wire \
+                 with --transport tcp"
+                    .into(),
+            );
+        }
+        Some(_) => {}
     }
     if let Some(count) = connections {
         if options.transport != TransportMode::FramedTcp {
@@ -852,6 +1038,19 @@ fn build_config(
     if let Some(millis) = options.exec_timeout_ms {
         config = config.exec_timeout_ms(millis);
     }
+    if let Some(retries) = options.reconnect_retries {
+        config = config.reconnect(ReconnectPolicy::DEFAULT.retries(retries));
+    }
+    if let Some(every) = options.wire_drop_every {
+        let mut chaos = WireChaos::drop_every(every);
+        if let Some(rejects) = options.wire_reject_accepts {
+            chaos = chaos.reject_after_drop(rejects);
+        }
+        if let Some(limit) = options.wire_drop_limit {
+            chaos = chaos.limit(limit);
+        }
+        config = config.wire_chaos(chaos);
+    }
     config.transport(options.transport)
 }
 
@@ -957,6 +1156,9 @@ fn run_inner(options: &CliOptions) -> Result<RunOutcome, String> {
     let kinds = options.strategy.kinds(options.no_baseline);
     let sample_interval = effective_sample_interval(options);
 
+    if options.serve {
+        return run_serve(options, kinds[0], sample_interval, start);
+    }
     if options.checkpoint.is_some() || options.resume.is_some() {
         return run_checkpointable(options, kinds[0], sample_interval, start);
     }
@@ -1184,6 +1386,99 @@ fn run_checkpointable(
     })
 }
 
+/// The `serve` mode: one supervised campaign (parse-time validated, like
+/// `--checkpoint`) with rolling checkpoints into the rotation directory, an
+/// optional control socket answering `status`/`stop`, and startup recovery
+/// from the newest intact rotation slot (`--resume-latest`).
+fn run_serve(
+    options: &CliOptions,
+    strategy: StrategyKind,
+    sample_interval: u64,
+    start: Instant,
+) -> Result<RunOutcome, String> {
+    let target = options.targets[0];
+    let config = build_config(options, strategy, options.seed, sample_interval);
+    let dir = options
+        .checkpoint
+        .as_ref()
+        .expect("parse_args gives serve a rotation directory");
+    let checkpoint =
+        CheckpointConfig::new(dir.clone(), options.checkpoint_every).rotation(options.keep_checkpoints);
+
+    // Startup recovery: the newest rotation slot that still decodes wins;
+    // truncated or corrupt slots (a SIGKILL mid-write) are skipped, and an
+    // empty or missing rotation starts the campaign fresh.
+    let resumed = match &options.resume_latest {
+        Some(rotation) => CampaignSnapshot::resume_latest(rotation)
+            .map_err(|error| format!("--resume-latest {}: {error}", rotation.display()))?,
+        None => None,
+    };
+
+    let hooks = ServiceHooks::new(options.executions);
+    let mut control = match &options.control {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)
+                .map_err(|error| format!("--control {addr}: {error}"))?;
+            let server = ControlServer::start(listener, Arc::clone(&hooks))
+                .map_err(|error| format!("--control {addr}: {error}"))?;
+            eprintln!("control socket listening on {}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    let campaign_error = |error: SnapshotError| format!("supervised campaign: {error}");
+    let report = if options.connections >= 2 {
+        let campaign = ConnectionCampaign::new(
+            make_target(options, target),
+            config,
+            ConnectionConfig::with_connections(options.connections),
+        );
+        match &resumed {
+            Some(from) => campaign.resume_supervised(from, &checkpoint, &hooks),
+            None => campaign.run_supervised(&checkpoint, &hooks),
+        }
+    } else if options.shards >= 2 {
+        let campaign = ShardedCampaign::new(
+            make_target(options, target),
+            config,
+            ShardConfig::with_workers(options.shards),
+        );
+        match &resumed {
+            Some(from) => campaign.resume_supervised(from, &checkpoint, &hooks),
+            None => campaign.run_supervised(&checkpoint, &hooks),
+        }
+    } else {
+        let campaign = Campaign::new(make_target(options, target), config);
+        match &resumed {
+            Some(from) => campaign.resume_supervised(from, &checkpoint, &hooks),
+            None => campaign.run_supervised(&checkpoint, &hooks),
+        }
+    }
+    .map_err(campaign_error)?;
+
+    if let Some(control) = control.as_mut() {
+        control.shutdown();
+    }
+
+    // A graceful drain stops at a window boundary short of the budget; the
+    // final checkpoint covering it already sits in the rotation.
+    let stopped_at = (report.executions < options.executions).then_some(report.executions);
+    let merged = MergedCampaign {
+        target,
+        strategy,
+        merged_series: report.series.clone(),
+        reports: vec![report],
+    };
+    Ok(RunOutcome {
+        options: options.clone(),
+        campaigns: vec![merged],
+        wall_seconds: start.elapsed().as_secs_f64(),
+        stopped_at,
+        artifacts: Vec::new(),
+    })
+}
+
 /// The first reset-aligned boundary at or past `stop` — where a
 /// `--stop-after` interruption can actually land.
 fn first_boundary(boundaries: &[u64], stop: u64) -> Result<u64, String> {
@@ -1312,10 +1607,17 @@ pub fn render_report(outcome: &RunOutcome) -> String {
             .checkpoint
             .as_ref()
             .map_or_else(String::new, |p| p.display().to_string());
-        out.push_str(&format!(
-            "stopped at execution {stopped}; snapshot written to {path} \
-             (continue with --resume {path})\n"
-        ));
+        if options.serve {
+            out.push_str(&format!(
+                "service drained at execution {stopped}; rotation at {path} \
+                 (continue with serve --resume-latest {path})\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "stopped at execution {stopped}; snapshot written to {path} \
+                 (continue with --resume {path})\n"
+            ));
+        }
         out.push_str(&format!(
             "\ntotal wall time: {:.1}s\n",
             outcome.wall_seconds
@@ -2738,6 +3040,162 @@ mod tests {
                 path.display()
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let Command::Run(options) = parse_args(&args(&[
+            "serve",
+            "--target",
+            "modbus",
+            "--strategy",
+            "peach",
+            "--checkpoint",
+            "rot",
+            "--keep-checkpoints",
+            "2",
+            "--control",
+            "127.0.0.1:0",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert!(options.serve);
+        assert_eq!(options.checkpoint, Some(PathBuf::from("rot")));
+        assert_eq!(options.keep_checkpoints, 2);
+        assert_eq!(options.control, Some("127.0.0.1:0".to_string()));
+
+        // --resume-latest doubles as the rotation directory.
+        let Command::Run(options) = parse_args(&args(&[
+            "serve", "--strategy", "peach", "--resume-latest", "rot",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.resume_latest, Some(PathBuf::from("rot")));
+        assert_eq!(options.checkpoint, Some(PathBuf::from("rot")));
+        assert_eq!(options.keep_checkpoints, CliOptions::DEFAULT_KEEP_CHECKPOINTS);
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        // Serve needs a rotation directory from somewhere.
+        assert!(parse_args(&args(&["serve", "--strategy", "peach"])).is_err());
+        // The serve knobs are meaningless outside serve mode.
+        assert!(parse_args(&args(&["--control", "127.0.0.1:0"])).is_err());
+        assert!(parse_args(&args(&["--keep-checkpoints", "2"])).is_err());
+        assert!(parse_args(&args(&["--resume-latest", "rot"])).is_err());
+        assert!(parse_args(&args(&[
+            "serve", "--strategy", "peach", "--checkpoint", "rot", "--keep-checkpoints", "0"
+        ]))
+        .is_err());
+        // Serve drains via the control socket and recovers its own rotation.
+        assert!(parse_args(&args(&[
+            "serve", "--strategy", "peach", "--checkpoint", "rot", "--stop-after", "500"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "serve", "--strategy", "peach", "--checkpoint", "rot", "--resume", "x"
+        ]))
+        .is_err());
+        // The one-campaign rules of --checkpoint apply to serve too.
+        assert!(parse_args(&args(&["serve", "--checkpoint", "rot"])).is_err(), "both fuzzers");
+        assert!(parse_args(&args(&[
+            "serve", "--strategy", "peach", "--checkpoint", "rot", "--repetitions", "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn wire_chaos_flags_are_validated() {
+        // The wire knobs need the wire.
+        assert!(parse_args(&args(&["--reconnect-retries", "2"])).is_err());
+        assert!(parse_args(&args(&["--wire-drop-every", "50"])).is_err());
+        assert!(parse_args(&args(&["--wire-reject-accepts", "3"])).is_err());
+        assert!(parse_args(&args(&["--wire-drop-limit", "1"])).is_err());
+        assert!(parse_args(&args(&["--transport", "tcp", "--wire-drop-every", "0"])).is_err());
+        assert!(
+            parse_args(&args(&["--transport", "tcp", "--wire-reject-accepts", "3"])).is_err(),
+            "reject-accepts modifies a drop schedule"
+        );
+        let Command::Run(options) = parse_args(&args(&[
+            "--transport",
+            "tcp",
+            "--reconnect-retries",
+            "2",
+            "--wire-drop-every",
+            "50",
+            "--wire-reject-accepts",
+            "3",
+            "--wire-drop-limit",
+            "1",
+        ]))
+        .unwrap() else {
+            panic!("expected a run command");
+        };
+        assert_eq!(options.reconnect_retries, Some(2));
+        assert_eq!(options.wire_drop_every, Some(50));
+        assert_eq!(options.wire_reject_accepts, Some(3));
+        assert_eq!(options.wire_drop_limit, Some(1));
+    }
+
+    #[test]
+    fn serve_completes_and_resume_latest_recovers_the_rotation() {
+        let dir = std::env::temp_dir().join(format!(
+            "peachstar-cli-serve-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let options = CliOptions {
+            targets: vec![TargetId::Modbus],
+            strategy: StrategyChoice::Peach,
+            // Four reset windows (default interval 2000): enough boundaries
+            // for the 2-deep rotation to actually prune.
+            executions: 8_000,
+            jobs: 1,
+            serve: true,
+            checkpoint: Some(dir.clone()),
+            checkpoint_every: 1,
+            keep_checkpoints: 2,
+            ..CliOptions::default()
+        };
+        let plain = run(&CliOptions {
+            serve: false,
+            checkpoint: None,
+            ..options.clone()
+        })
+        .expect("plain run");
+
+        // An unstopped service runs to completion with the plain report and
+        // leaves exactly the rotation depth behind.
+        let served = run(&options).expect("serve run");
+        assert!(served.stopped_at.is_none());
+        let a = &plain.campaigns[0].reports[0];
+        let b = &served.campaigns[0].reports[0];
+        assert_eq!(a.series.final_paths(), b.series.final_paths());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.bugs, b.bugs);
+        let slots: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("rotation dir")
+            .flatten()
+            .map(|entry| entry.path())
+            .collect();
+        assert_eq!(slots.len(), 2, "rotation pruned to --keep-checkpoints");
+
+        // Corrupt the newest slot (a simulated kill mid-write): resume-latest
+        // skips it, restores the older one, and still converges.
+        let newest = slots.iter().max().expect("slots").clone();
+        std::fs::write(&newest, b"torn").expect("corrupt slot");
+        let recovered = run(&CliOptions {
+            resume_latest: Some(dir.clone()),
+            ..options
+        })
+        .expect("recovered serve run");
+        let c = &recovered.campaigns[0].reports[0];
+        assert_eq!(a.series.final_paths(), c.series.final_paths());
+        assert_eq!(a.responses, c.responses);
+        assert_eq!(a.bugs, c.bugs);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,15 +14,16 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use peachstar_protocols::{DecodeSink, Fault, Target, WindowResults};
+use peachstar_protocols::{DecodeSink, Fault, Target, WindowResults, WireChaos};
 
 use crate::corpus::PuzzleCorpus;
 use crate::engine::batch::{windows_for_policy, PacketArena};
 use crate::engine::session::session_setup;
 use crate::engine::{
-    CampaignMonitor, CoverageObserver, Engine, Executor, Feedback, NewCoverageFeedback,
+    CampaignMonitor, CoverageObserver, Engine, Executor, Feedback, NewCoverageFeedback, Observer,
     ResetPolicy, Schedule, SessionPlan, StrategySchedule, TargetExecutor,
 };
+use crate::service::ServiceHooks;
 use crate::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError, SnapshotMeta};
 use crate::stats::CoverageSeries;
 use crate::strategy::{
@@ -32,7 +33,7 @@ use crate::strategy::{
 pub use crate::engine::connections::{ConnectionCampaign, ConnectionConfig};
 pub use crate::engine::session::{PhaseMask, SessionConfig};
 pub use crate::engine::shard::{run_sharded, ShardConfig, ShardedCampaign};
-pub use crate::engine::transport::TransportMode;
+pub use crate::engine::transport::{ReconnectPolicy, TransportMode};
 
 /// Configuration of one fuzzing campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +100,26 @@ pub struct CampaignConfig {
     /// deliberately excluded from the snapshot fingerprint: a checkpoint
     /// recorded under TCP resumes in-process bit-exactly.
     pub transport: TransportMode,
+    /// Reconnect schedule for the framed-TCP transport
+    /// ([`ReconnectPolicy`]): how many times a lost connection is
+    /// re-dialled and with what bounded exponential backoff. Ignored
+    /// in-process.
+    ///
+    /// Operational knob, not campaign semantics: a recovered connection
+    /// replays its journal and produces the records a healthy one would, so
+    /// — like [`transport`](CampaignConfig::transport) itself — the policy
+    /// is deliberately excluded from the snapshot fingerprint.
+    pub reconnect: ReconnectPolicy,
+    /// Deterministic server-side failure injection for the framed-TCP
+    /// transport's spawned socket server ([`WireChaos`]): connections
+    /// dropped every N frames, reconnects rejected for a window. Ignored
+    /// in-process. The default injects nothing.
+    ///
+    /// Operational knob, not campaign semantics: injected drops are
+    /// recovered by journal replay before the dropped request is processed,
+    /// so reports stay bit-identical and the field is deliberately excluded
+    /// from the snapshot fingerprint.
+    pub wire_chaos: WireChaos,
 }
 
 impl CampaignConfig {
@@ -118,6 +139,8 @@ impl CampaignConfig {
             exec_timeout: None,
             summary_only: false,
             transport: TransportMode::InProcess,
+            reconnect: ReconnectPolicy::DEFAULT,
+            wire_chaos: WireChaos::default(),
         }
     }
 
@@ -185,6 +208,22 @@ impl CampaignConfig {
     #[must_use]
     pub fn transport(mut self, transport: TransportMode) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Sets the framed-TCP reconnect schedule (see
+    /// [`reconnect`](CampaignConfig::reconnect)).
+    #[must_use]
+    pub fn reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// Arms deterministic server-side failure injection on the framed-TCP
+    /// transport (see [`wire_chaos`](CampaignConfig::wire_chaos)).
+    #[must_use]
+    pub fn wire_chaos(mut self, chaos: WireChaos) -> Self {
+        self.wire_chaos = chaos;
         self
     }
 }
@@ -457,6 +496,50 @@ impl Campaign {
         Ok(out.expect("a validated stop boundary always yields a snapshot"))
     }
 
+    /// Runs under service supervision: like
+    /// [`run_checkpointed`](Campaign::run_checkpointed), but live progress is
+    /// published to `hooks` at every window boundary and a graceful stop
+    /// ([`ServiceHooks::request_stop`]) finishes the current window, writes a
+    /// final checkpoint, and returns early — the report's `executions` then
+    /// names the boundary the campaign stopped at.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint write failures.
+    pub fn run_supervised(
+        self,
+        checkpoint: &CheckpointConfig,
+        hooks: &ServiceHooks,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            checkpoint: Some(checkpoint),
+            service: Some(hooks),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Resumes a snapshot under service supervision (see
+    /// [`run_supervised`](Campaign::run_supervised)).
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched snapshots; propagates checkpoint write failures.
+    pub fn resume_supervised(
+        self,
+        snapshot: &CampaignSnapshot,
+        checkpoint: &CheckpointConfig,
+        hooks: &ServiceHooks,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            resume: Some(snapshot),
+            checkpoint: Some(checkpoint),
+            service: Some(hooks),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
     /// Dispatches to the session-shaped or classic engine and drives it
     /// window by window under the given snapshot options.
     fn launch(
@@ -474,7 +557,12 @@ impl Campaign {
         // with the engine, before the guard drops. `meta` is computed after
         // deployment but is transport-invariant: the framed target reports
         // its blueprint's name, and the fingerprint excludes the transport.
-        let (target, _transport) = crate::engine::transport::deploy(target, config.transport);
+        let (target, _transport) = crate::engine::transport::deploy(
+            target,
+            config.transport,
+            config.reconnect,
+            config.wire_chaos,
+        );
         let meta = SnapshotMeta::for_campaign(target.name(), &config);
         let session = config
             .session
@@ -513,6 +601,10 @@ pub(crate) struct DriveOptions<'a> {
     pub(crate) stop_after: Option<u64>,
     /// Capture (and return) a snapshot of the completed campaign.
     pub(crate) capture_final: bool,
+    /// Service supervision: publish live status at every boundary and honor
+    /// graceful-stop requests there (the stop finishes the current window
+    /// and writes a final checkpoint, like a dynamic `stop_after`).
+    pub(crate) service: Option<&'a ServiceHooks>,
 }
 
 /// Drives the assembled engine window by window and folds the seams into a
@@ -570,6 +662,10 @@ fn drive_engine<S: Schedule>(
         }
     }
 
+    if let Some(checkpoint) = opts.checkpoint {
+        checkpoint.prepare()?;
+    }
+
     let mut arena = PacketArena::default();
     let mut results = WindowResults::new();
     let mut out_snapshot = None;
@@ -595,16 +691,28 @@ fn drive_engine<S: Schedule>(
         }
         completed = end;
 
+        if let Some(service) = opts.service {
+            service.observe(
+                end,
+                engine.observer.paths_covered(),
+                engine.observer.edges_covered(),
+                engine.monitor.bugs().len(),
+            );
+        }
         let windows_done = (index + 1) as u64;
-        let stop_here = opts.stop_after == Some(end);
         let final_window = end == config.executions;
+        let stop_here = opts.stop_after == Some(end)
+            || (!final_window && opts.service.is_some_and(ServiceHooks::stop_requested));
         let write_checkpoint = opts.checkpoint.is_some_and(|checkpoint| {
             windows_done.is_multiple_of(checkpoint.every_windows) || final_window || stop_here
         });
         if write_checkpoint || stop_here || (opts.capture_final && final_window) {
             let snapshot = engine.checkpoint(meta.clone(), end, &rng);
             if let Some(checkpoint) = opts.checkpoint.filter(|_| write_checkpoint) {
-                snapshot.write_atomic(&checkpoint.path)?;
+                checkpoint.store(&snapshot)?;
+                if let Some(service) = opts.service {
+                    service.checkpointed(end);
+                }
             }
             if stop_here || (opts.capture_final && final_window) {
                 out_snapshot = Some(snapshot);

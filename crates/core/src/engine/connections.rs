@@ -33,6 +33,7 @@ use peachstar_protocols::Target;
 use crate::campaign::{CampaignConfig, CampaignReport};
 use crate::engine::shard::{ShardConfig, ShardedCampaign};
 use crate::engine::transport::TransportMode;
+use crate::service::ServiceHooks;
 use crate::snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError};
 use crate::strategy::GenerationStrategy;
 
@@ -195,6 +196,39 @@ impl ConnectionCampaign {
         stop_after: u64,
     ) -> Result<CampaignSnapshot, SnapshotError> {
         self.inner.resume_to_boundary(snapshot, stop_after)
+    }
+
+    /// Runs under service supervision: live progress published to `hooks`
+    /// at every merge barrier, rolling checkpoints per `checkpoint`, and a
+    /// graceful stop that finishes the current round and writes a final
+    /// checkpoint. A connection that exhausts its reconnect budget
+    /// mid-service degrades onto the survivors exactly as in
+    /// [`run`](ConnectionCampaign::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint write failures.
+    pub fn run_supervised(
+        self,
+        checkpoint: &CheckpointConfig,
+        hooks: &ServiceHooks,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.inner.run_supervised(checkpoint, hooks)
+    }
+
+    /// Resumes a snapshot under service supervision (see
+    /// [`run_supervised`](ConnectionCampaign::run_supervised)).
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched snapshots; propagates checkpoint write failures.
+    pub fn resume_supervised(
+        self,
+        snapshot: &CampaignSnapshot,
+        checkpoint: &CheckpointConfig,
+        hooks: &ServiceHooks,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.inner.resume_supervised(snapshot, checkpoint, hooks)
     }
 }
 

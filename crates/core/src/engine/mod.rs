@@ -48,7 +48,7 @@ pub use observer::{CoverageObserver, Feedback, NewCoverageFeedback, Observer};
 pub use schedule::{FeedbackEvent, Schedule, ScheduleState, StrategySchedule};
 pub use session::{PhaseMask, SessionConfig, SessionPlan, SessionSchedule};
 pub use shard::{run_sharded, ShardConfig, ShardedCampaign};
-pub use transport::{FramedTcpTarget, TransportMode};
+pub use transport::{error_class, FramedTcpTarget, ReconnectPolicy, TransportMode};
 
 use peachstar_datamodel::DataModelSet;
 use rand::rngs::SmallRng;

@@ -50,6 +50,8 @@ use crate::campaign::{CampaignConfig, CampaignReport, DriveOptions};
 use crate::engine::batch::windows_for_policy;
 use crate::engine::session::session_setup;
 use crate::engine::supervisor::{contained, Watchdog};
+use crate::engine::transport::is_connection_loss;
+use crate::service::ServiceHooks;
 use crate::engine::{
     CampaignMonitor, CoverageObserver, Executor, Feedback, FeedbackEvent, Monitor,
     NewCoverageFeedback, Observer, OutcomeSummary, ResetPolicy, Schedule, SessionPlan,
@@ -64,6 +66,12 @@ use crate::strategy::{GeneratedPacket, GenerationStrategy};
 /// succeeds; the bound defends against targets whose `clone_fresh`/`reset`
 /// themselves misbehave.
 const WINDOW_RETRIES: usize = 3;
+
+/// The terminal failure when every connection of a framed-TCP campaign has
+/// exhausted its reconnect budget while windows remain unexecuted. Stable
+/// (no counts, no addresses) so operators and tests can match it.
+const ALL_CONNECTIONS_LOST: &str =
+    "connection campaign: every connection exhausted its reconnect budget";
 
 /// How a sharded campaign spreads its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +146,22 @@ struct ShardWorker {
     target: Box<dyn Target + Send>,
     spare: Box<dyn Target + Send>,
     watchdog: Option<Watchdog>,
+    /// Set when the worker's connection exhausted its reconnect budget
+    /// (framed-TCP transport): the worker is retired for the rest of the
+    /// campaign and its windows degrade onto the survivors.
+    dead: bool,
+}
+
+/// What a worker hands back for one window.
+enum WindowOutcome {
+    /// The window executed (or failed over to the barrier's re-execution
+    /// path with its packets intact).
+    Done(WindowResult),
+    /// The worker's connection died mid-window with its reconnect budget
+    /// exhausted: the window is returned untouched — every window starts
+    /// from a reset, so any surviving connection can run it from scratch —
+    /// and the worker retires.
+    ConnectionLost(WindowWork),
 }
 
 /// The fast (unsupervised) window path: chunked [`Target::process_batch`]
@@ -166,12 +190,20 @@ fn execute_window_fast(
     work: WindowWork,
     ctx: &mut TraceContext,
     results: &mut WindowResults,
-) -> WindowResult {
+) -> WindowOutcome {
     // Every window begins from the just-started target state: the
     // sequential campaign either created the target right before the
     // first window or reset it at the window boundary, and `reset` is
-    // documented to restore exactly that state.
-    target.reset();
+    // documented to restore exactly that state. Over framed TCP the reset
+    // is a wire exchange, so it is where an exhausted reconnect budget can
+    // first surface — with the window still untouched.
+    if let Err(message) = contained(|| target.reset()) {
+        if is_connection_loss(&message) {
+            return WindowOutcome::ConnectionLost(work);
+        }
+        panic!("{message}");
+    }
+    let start = work.start;
     // In summary mode, debug builds re-prove the full/summary bit-identity
     // claim on the first packet of every window, against fresh clones (the
     // stateful worker target below is untouched).
@@ -192,18 +224,33 @@ fn execute_window_fast(
             let refs: Vec<&[u8]> = remaining.iter().map(|p| p.bytes.as_slice()).collect();
             target.process_batch(&refs, ctx, results, sink);
         });
-        if attempt.is_err() {
-            *target = spare.clone_fresh();
+        if let Err(message) = attempt {
+            // Reassemble the intact packet list: both the failed and the
+            // connection-lost path ship whole windows onward.
             let mut packets: Vec<GeneratedPacket> =
                 records.into_iter().map(|record| record.packet).collect();
             packets.append(&mut remaining);
             packets.append(&mut rest);
-            return WindowResult {
-                start: work.start,
+            if is_connection_loss(&message) {
+                return WindowOutcome::ConnectionLost(WindowWork { start, packets });
+            }
+            // A target panic: rebuild from the pristine spare and declare
+            // the window failed so the merge barrier re-executes it. The
+            // rebuild itself reconnects over framed TCP, so it too can
+            // exhaust the budget.
+            match contained(|| spare.clone_fresh()) {
+                Ok(fresh) => *target = fresh,
+                Err(rebuild) if is_connection_loss(&rebuild) => {
+                    return WindowOutcome::ConnectionLost(WindowWork { start, packets });
+                }
+                Err(rebuild) => panic!("{rebuild}"),
+            }
+            return WindowOutcome::Done(WindowResult {
+                start,
                 records: Vec::new(),
                 failed: true,
                 packets,
-            };
+            });
         }
         // Draining moves the snapshots straight into the records headed for
         // the merge barrier.
@@ -216,12 +263,12 @@ fn execute_window_fast(
         ));
         remaining = rest;
     }
-    WindowResult {
-        start: work.start,
+    WindowOutcome::Done(WindowResult {
+        start,
         records,
         failed: false,
         packets: Vec::new(),
-    }
+    })
 }
 
 /// The supervised window path, used when `--exec-timeout-ms` arms a
@@ -263,18 +310,33 @@ fn shard_worker(
         target,
         spare,
         watchdog,
+        dead,
     } = worker;
     loop {
         let Some(work) = queue.lock().expect("window queue poisoned").pop_front() else {
             return;
         };
-        let result = match watchdog {
-            Some(watchdog) => execute_window_supervised(watchdog, work),
+        let outcome = match watchdog {
+            // Under a watchdog every execution is contained per packet, so a
+            // connection loss surfaces as a recorded fault, never as worker
+            // death — degradation is a fast-path concern.
+            Some(watchdog) => WindowOutcome::Done(execute_window_supervised(watchdog, work)),
             None => {
                 execute_window_fast(target, spare.as_ref(), chunk, sink, work, &mut ctx, &mut results)
             }
         };
-        done.lock().expect("window results poisoned").push(result);
+        match outcome {
+            WindowOutcome::Done(result) => {
+                done.lock().expect("window results poisoned").push(result);
+            }
+            WindowOutcome::ConnectionLost(work) => {
+                // The window is intact; put it back at the head of the
+                // queue for a surviving connection and retire this worker.
+                queue.lock().expect("window queue poisoned").push_front(work);
+                *dead = true;
+                return;
+            }
+        }
     }
 }
 
@@ -473,6 +535,41 @@ impl ShardedCampaign {
         Ok(out.expect("a validated stop boundary always yields a snapshot"))
     }
 
+    /// Runs under service supervision: like
+    /// [`run_checkpointed`](ShardedCampaign::run_checkpointed), but live
+    /// progress is published to `hooks` at every merge barrier and a
+    /// graceful stop ([`ServiceHooks::request_stop`]) finishes the current
+    /// round, writes a final checkpoint, and returns early.
+    pub fn run_supervised(
+        self,
+        checkpoint: &CheckpointConfig,
+        hooks: &ServiceHooks,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            checkpoint: Some(checkpoint),
+            service: Some(hooks),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
+    /// Resumes a snapshot under service supervision (see
+    /// [`run_supervised`](ShardedCampaign::run_supervised)).
+    pub fn resume_supervised(
+        self,
+        snapshot: &CampaignSnapshot,
+        checkpoint: &CheckpointConfig,
+        hooks: &ServiceHooks,
+    ) -> Result<CampaignReport, SnapshotError> {
+        self.launch(DriveOptions {
+            resume: Some(snapshot),
+            checkpoint: Some(checkpoint),
+            service: Some(hooks),
+            ..DriveOptions::default()
+        })
+        .map(|(report, _)| report)
+    }
+
     /// Dispatches to the session-shaped or classic sharded engine under the
     /// given snapshot options.
     fn launch(
@@ -491,7 +588,12 @@ impl ShardedCampaign {
         // server) must outlive the engine run. Reports stay bit-identical
         // because the wire relays (outcome, trace) pairs verbatim and the
         // snapshot fingerprint excludes the transport.
-        let (target, _transport) = crate::engine::transport::deploy(target, config.transport);
+        let (target, _transport) = crate::engine::transport::deploy(
+            target,
+            config.transport,
+            config.reconnect,
+            config.wire_chaos,
+        );
         let meta = SnapshotMeta::for_campaign(target.name(), &config)
             .sharded(shard.sync_windows.max(1) as u64);
         let session = config
@@ -582,6 +684,7 @@ fn run_sharded_engine<S: Schedule>(
             target: target.clone_fresh(),
             spare: target.clone_fresh(),
             watchdog: exec_timeout.map(|timeout| Watchdog::new(target.clone_fresh(), timeout)),
+            dead: false,
         })
         .collect();
     // The per-worker dispatch granularity: `--batch N` caps each
@@ -598,6 +701,10 @@ fn run_sharded_engine<S: Schedule>(
     } else {
         DecodeSink::Full
     };
+
+    if let Some(checkpoint) = opts.checkpoint {
+        checkpoint.prepare()?;
+    }
 
     let mut out_snapshot = None;
     let mut completed = resumed_from;
@@ -623,15 +730,30 @@ fn run_sharded_engine<S: Schedule>(
 
         // Phase 2 — execute: workers drain the window queue in
         // parallel. Which worker runs which window is scheduling noise;
-        // the buffered results are re-ordered below.
+        // the buffered results are re-ordered below. A worker whose
+        // connection exhausts its reconnect budget requeues its window and
+        // retires; the loop re-enters the scope so surviving workers drain
+        // whatever the casualties left behind (normally the survivors pick
+        // the window up within the first scope already). The campaign
+        // fails only when no live connection remains and windows are still
+        // queued.
         let queue = Mutex::new(work);
         let done: Mutex<Vec<WindowResult>> = Mutex::new(Vec::with_capacity(round.len()));
         let (queue_ref, done_ref) = (&queue, &done);
-        std::thread::scope(|scope| {
-            for worker in &mut worker_states {
-                scope.spawn(move || shard_worker(worker, chunk, sink, queue_ref, done_ref));
+        loop {
+            std::thread::scope(|scope| {
+                for worker in worker_states.iter_mut().filter(|worker| !worker.dead) {
+                    scope.spawn(move || shard_worker(worker, chunk, sink, queue_ref, done_ref));
+                }
+            });
+            if queue.lock().expect("window queue poisoned").is_empty() {
+                break;
             }
-        });
+            assert!(
+                worker_states.iter().any(|worker| !worker.dead),
+                "{ALL_CONNECTIONS_LOST}"
+            );
+        }
 
         // Phase 3 — reduce (the merge barrier): fold every window back
         // in global execution order through the same seams the
@@ -675,8 +797,17 @@ fn run_sharded_engine<S: Schedule>(
         // windows from the campaign start ("crossed a multiple of
         // `every_windows` within this round"), so it is invariant under
         // interruption and worker count.
-        let stop_here = opts.stop_after == Some(round_end);
+        if let Some(service) = opts.service {
+            service.observe(
+                round_end,
+                observer.paths_covered(),
+                observer.edges_covered(),
+                monitor.bugs().len(),
+            );
+        }
         let final_round = round_end == config.executions;
+        let stop_here = opts.stop_after == Some(round_end)
+            || (!final_round && opts.service.is_some_and(ServiceHooks::stop_requested));
         let write_checkpoint = opts.checkpoint.is_some_and(|checkpoint| {
             let every = checkpoint.every_windows.max(1);
             let before = windows_done - round_windows;
@@ -693,7 +824,10 @@ fn run_sharded_engine<S: Schedule>(
                 &schedule,
             );
             if let Some(checkpoint) = opts.checkpoint.filter(|_| write_checkpoint) {
-                snapshot.write_atomic(&checkpoint.path)?;
+                checkpoint.store(&snapshot)?;
+                if let Some(service) = opts.service {
+                    service.checkpointed(round_end);
+                }
             }
             if stop_here || (opts.capture_final && final_round) {
                 out_snapshot = Some(snapshot);

@@ -23,18 +23,36 @@
 //! bit-identical to an in-process one — `tests/transport_equivalence.rs`
 //! holds the proof across all six targets and both strategies.
 //!
-//! Fault recovery falls out of [`Target::clone_fresh`]: a dead socket makes
-//! the next exchange panic, the executor's containment records it and
-//! rebuilds the target from its spare, and rebuilding a [`FramedTcpTarget`]
-//! *is* reconnecting. The watchdog composes the same way — an abandoned
-//! (hung) supervised worker strands its connection, and the replacement
-//! worker built from the factory opens a fresh one.
+//! # Connection recovery
+//!
+//! A lost connection is *recovered*, not reported: every exchange failure
+//! classifies the OS error ([`error_class`]), reconnects under the
+//! deterministic bounded-exponential [`ReconnectPolicy`], and replays the
+//! packet journal — every packet sent since the last `Reset` — on the fresh
+//! connection so the brand-new server-side target instance deterministically
+//! re-derives the lost one's state. Only then is the failed request retried.
+//! Because the executor's reset cadence clears the journal at every window
+//! boundary, a mid-window reconnect reproduces exactly the state a healthy
+//! connection would hold, and the campaign report is bit-identical to an
+//! undisturbed run (`tests/service_robustness.rs` pins this under the
+//! deterministic server-side chaos injector, which drops connections before
+//! processing the dropped frame).
+//!
+//! Only when the retry budget is exhausted does the target panic — with a
+//! stable, attempt-count-free message that carries the error class
+//! ("connection-refused" dedups apart from "connection-reset"), so the
+//! executor's containment records one bug per failure class and
+//! [`ShardedCampaign`](super::shard::ShardedCampaign) can recognise the
+//! prefix (`is_connection_loss`) and degrade the dead connection instead
+//! of failing the campaign.
 
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 use peachstar_coverage::TraceContext;
 use peachstar_datamodel::DataModelSet;
-use peachstar_protocols::server::{serve, ServerHandle};
+use peachstar_protocols::server::{serve_with_chaos, ServerHandle, WireChaos};
 use peachstar_protocols::wire::{MessageStream, Request, Response, WireFraming};
 use peachstar_protocols::{DecodeSink, Outcome, Target, WindowResults};
 
@@ -71,6 +89,116 @@ impl TransportMode {
 /// drained by then.
 pub type TransportGuard = ServerHandle;
 
+/// The deterministic reconnect schedule of a [`FramedTcpTarget`]: how many
+/// times a lost connection is re-dialled, and the bounded exponential
+/// backoff between attempts (`base_delay_ms << attempt`, capped at
+/// `max_delay_ms`).
+///
+/// Operational knob, not campaign semantics: a recovered connection replays
+/// its journal and produces the exact records a healthy one would, so the
+/// policy is deliberately excluded from the snapshot fingerprint (like
+/// `--exec-timeout-ms` and the transport itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Reconnect attempts per incident before the connection is declared
+    /// lost (0 = fail on the first socket error, the pre-recovery
+    /// behaviour).
+    pub retries: u32,
+    /// Backoff before the first reconnect attempt, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl ReconnectPolicy {
+    /// The default schedule: 4 attempts at 10 → 20 → 40 → 80 ms.
+    pub const DEFAULT: Self = Self {
+        retries: 4,
+        base_delay_ms: 10,
+        max_delay_ms: 250,
+    };
+
+    /// No recovery: the first socket error exhausts the budget immediately.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            retries: 0,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// A schedule with `retries` attempts and no backoff — deterministic
+    /// tests and drills that should not sleep.
+    #[must_use]
+    pub const fn immediate(retries: u32) -> Self {
+        Self {
+            retries,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Sets the number of reconnect attempts per incident.
+    #[must_use]
+    pub const fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The backoff before attempt `attempt` (0-based): bounded exponential.
+    #[must_use]
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        let shift = attempt.min(20);
+        let millis = self
+            .base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms);
+        Duration::from_millis(millis)
+    }
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// The dedup class of a transport-level socket error: coarse enough to be
+/// stable across runs, fine enough that a refused connection (server gone)
+/// files apart from a reset one (server dropped us mid-stream).
+#[must_use]
+pub fn error_class(kind: io::ErrorKind) -> &'static str {
+    match kind {
+        io::ErrorKind::ConnectionRefused => "connection-refused",
+        io::ErrorKind::ConnectionReset => "connection-reset",
+        io::ErrorKind::ConnectionAborted => "connection-aborted",
+        io::ErrorKind::BrokenPipe => "broken-pipe",
+        io::ErrorKind::UnexpectedEof => "eof",
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => "timed-out",
+        _ => "io-error",
+    }
+}
+
+/// The stable prefix of every budget-exhaustion panic message — the marker
+/// the sharded engine uses to tell a dead connection from a target bug.
+pub(crate) const CONNECTION_LOSS_PREFIX: &str = "framed-tcp transport: connection lost";
+
+/// Whether a contained panic message reports an exhausted reconnect budget
+/// (as opposed to a genuine target fault relayed over a healthy wire).
+#[must_use]
+pub(crate) fn is_connection_loss(message: &str) -> bool {
+    message.starts_with(CONNECTION_LOSS_PREFIX)
+}
+
+/// The budget-exhaustion panic message for one error class. Deliberately
+/// free of addresses and attempt counts: the message text *is* the interned
+/// dedup site, so it must be identical across runs, ports and retry
+/// schedules.
+fn connection_loss_message(class: &'static str) -> String {
+    format!("{CONNECTION_LOSS_PREFIX} ({class}): reconnect budget exhausted")
+}
+
 /// Wraps `target` in the requested transport.
 ///
 /// For [`TransportMode::InProcess`] this is the identity. For
@@ -87,11 +215,13 @@ pub type TransportGuard = ServerHandle;
 pub fn deploy(
     target: Box<dyn Target>,
     mode: TransportMode,
+    policy: ReconnectPolicy,
+    chaos: WireChaos,
 ) -> (Box<dyn Target>, Option<TransportGuard>) {
     match mode {
         TransportMode::InProcess => (target, None),
         TransportMode::FramedTcp => {
-            let (client, guard) = deploy_tcp(target.as_ref());
+            let (client, guard) = deploy_tcp(target.as_ref(), policy, chaos);
             (Box::new(client), Some(guard))
         }
     }
@@ -102,22 +232,28 @@ pub fn deploy(
 pub fn deploy_send(
     target: Box<dyn Target + Send>,
     mode: TransportMode,
+    policy: ReconnectPolicy,
+    chaos: WireChaos,
 ) -> (Box<dyn Target + Send>, Option<TransportGuard>) {
     match mode {
         TransportMode::InProcess => (target, None),
         TransportMode::FramedTcp => {
-            let (client, guard) = deploy_tcp(target.as_ref());
+            let (client, guard) = deploy_tcp(target.as_ref(), policy, chaos);
             (Box::new(client), Some(guard))
         }
     }
 }
 
-fn deploy_tcp(target: &dyn Target) -> (FramedTcpTarget, TransportGuard) {
+fn deploy_tcp(
+    target: &dyn Target,
+    policy: ReconnectPolicy,
+    chaos: WireChaos,
+) -> (FramedTcpTarget, TransportGuard) {
     let listener = TcpListener::bind("127.0.0.1:0")
         .expect("framed-tcp transport: binding a loopback listener");
-    let guard = serve(listener, target.clone_fresh())
+    let guard = serve_with_chaos(listener, target.clone_fresh(), chaos)
         .expect("framed-tcp transport: spawning the socket server");
-    let client = FramedTcpTarget::connect(target.clone_fresh(), guard.addr());
+    let client = FramedTcpTarget::connect_with(target.clone_fresh(), guard.addr(), policy);
     (client, guard)
 }
 
@@ -131,9 +267,15 @@ pub struct FramedTcpTarget {
     /// locally (they are static per target) and seeds reconnect clones.
     blueprint: Box<dyn Target + Send>,
     addr: SocketAddr,
+    policy: ReconnectPolicy,
     stream: TcpStream,
     messages: MessageStream,
     payload: Vec<u8>,
+    /// Every packet sent since the last successful `Reset`, in order —
+    /// replayed onto a fresh connection so the replacement server-side
+    /// target re-derives the lost one's state. Cleared on reset, so the
+    /// executor's window cadence bounds its size.
+    journal: Vec<Vec<u8>>,
 }
 
 impl std::fmt::Debug for FramedTcpTarget {
@@ -141,51 +283,159 @@ impl std::fmt::Debug for FramedTcpTarget {
         f.debug_struct("FramedTcpTarget")
             .field("target", &self.blueprint.name())
             .field("addr", &self.addr)
+            .field("policy", &self.policy)
             .finish()
     }
 }
 
 impl FramedTcpTarget {
-    /// Connects to the socket server at `addr` serving `blueprint`'s target.
+    /// Connects to the socket server at `addr` serving `blueprint`'s
+    /// target, under the default reconnect policy.
     ///
     /// # Panics
     ///
-    /// Panics when the connection cannot be established. During a campaign
-    /// this panic lands inside the executor's containment, which records it
-    /// and rebuilds — but at deploy time a refused connection is fatal.
+    /// Panics when the connection cannot be established within the policy's
+    /// retry budget (a stable, errno-classed message — see the module
+    /// docs).
     #[must_use]
     pub fn connect(blueprint: Box<dyn Target + Send>, addr: SocketAddr) -> Self {
-        let stream = TcpStream::connect(addr)
-            .unwrap_or_else(|e| panic!("framed-tcp transport: connect to {addr}: {e}"));
-        stream
-            .set_nodelay(true)
-            .expect("framed-tcp transport: enabling TCP_NODELAY");
+        Self::connect_with(blueprint, addr, ReconnectPolicy::default())
+    }
+
+    /// [`connect`](Self::connect) with an explicit reconnect policy. The
+    /// initial dial runs under the same backoff schedule as mid-campaign
+    /// recovery, so a server that is still coming up does not kill the
+    /// deploy.
+    #[must_use]
+    pub fn connect_with(
+        blueprint: Box<dyn Target + Send>,
+        addr: SocketAddr,
+        policy: ReconnectPolicy,
+    ) -> Self {
+        let stream = match open_stream(addr, policy) {
+            Ok(stream) => stream,
+            Err(class) => panic!("{}", connection_loss_message(class)),
+        };
         let framing = WireFraming::for_target(blueprint.name());
         Self {
             blueprint,
             addr,
+            policy,
             stream,
             messages: MessageStream::new(framing),
             payload: Vec::new(),
+            journal: Vec::new(),
         }
     }
 
-    /// One request/response exchange. Any socket or framing error panics
-    /// with a `framed-tcp transport:` message: the executor's containment
-    /// turns that into a fault and a rebuild, and rebuilding reconnects.
-    fn exchange(&mut self, request: &Request) -> Response {
+    /// One send/recv/decode round on the current connection. A socket or
+    /// framing-stream error comes back as its dedup class for the recovery
+    /// loop; a *decodable but malformed* response still panics — that is a
+    /// protocol bug, not a flapping wire.
+    fn try_exchange(&mut self, request: &Request) -> Result<Response, &'static str> {
         request.encode_into(&mut self.payload);
-        if let Err(error) = self.messages.send(&mut self.stream, &self.payload) {
-            panic!("framed-tcp transport: send failed: {error}");
-        }
+        self.messages
+            .send(&mut self.stream, &self.payload)
+            .map_err(|error| error_class(error.kind()))?;
         let reply = match self.messages.recv(&mut self.stream) {
             Ok(Some(reply)) => reply,
-            Ok(None) => panic!("framed-tcp transport: server closed the connection"),
-            Err(error) => panic!("framed-tcp transport: receive failed: {error}"),
+            // A clean server-side close mid-campaign is still a lost
+            // connection; class it with the EOF family.
+            Ok(None) => return Err("eof"),
+            Err(error) => return Err(error_class(error.kind())),
         };
         match Response::decode(&reply) {
-            Ok(response) => response,
+            Ok(response) => Ok(response),
             Err(error) => panic!("framed-tcp transport: {error}"),
+        }
+    }
+
+    /// Opens a replacement connection and replays the journal so the fresh
+    /// server-side target re-derives the lost connection's state. The
+    /// replayed window uses the summary sink — decode output is discarded,
+    /// only the state transitions matter, and the summary path is pinned
+    /// bit-identical to the full one.
+    fn reopen_and_replay(&mut self) -> Result<(), &'static str> {
+        let stream = TcpStream::connect(self.addr).map_err(|e| error_class(e.kind()))?;
+        stream.set_nodelay(true).map_err(|e| error_class(e.kind()))?;
+        self.stream = stream;
+        self.messages = MessageStream::new(WireFraming::for_target(self.blueprint.name()));
+        if self.journal.is_empty() {
+            return Ok(());
+        }
+        let replay = Request::Batch {
+            sink: DecodeSink::Summary,
+            packets: self.journal.clone(),
+        };
+        match self.try_exchange(&replay)? {
+            Response::Batch(_) => Ok(()),
+            other => panic!("framed-tcp transport: unexpected reply {other:?}"),
+        }
+    }
+
+    /// One request/response exchange with recovery: a lost connection is
+    /// re-dialled under the backoff schedule, the journal replayed, and the
+    /// request retried. Only an exhausted retry budget panics — with the
+    /// stable errno-classed message the containment layer records and the
+    /// sharded engine recognises ([`is_connection_loss`]).
+    fn exchange(&mut self, request: &Request) -> Response {
+        let mut class = match self.try_exchange(request) {
+            Ok(response) => {
+                self.journal_success(request);
+                return response;
+            }
+            Err(class) => class,
+        };
+        let mut attempt = 0u32;
+        loop {
+            if attempt >= self.policy.retries {
+                panic!("{}", connection_loss_message(class));
+            }
+            std::thread::sleep(self.policy.delay_before(attempt));
+            attempt += 1;
+            let retried = self
+                .reopen_and_replay()
+                .and_then(|()| self.try_exchange(request));
+            match retried {
+                Ok(response) => {
+                    self.journal_success(request);
+                    return response;
+                }
+                Err(next) => class = next,
+            }
+        }
+    }
+
+    /// Journal bookkeeping after a request was answered: processed packets
+    /// append (they advanced the server-side state), a reset clears (the
+    /// server-side target is back at its origin).
+    fn journal_success(&mut self, request: &Request) {
+        match request {
+            Request::Process(packet) => self.journal.push(packet.clone()),
+            Request::Batch { packets, .. } => self.journal.extend(packets.iter().cloned()),
+            Request::Reset => self.journal.clear(),
+        }
+    }
+}
+
+/// Dials `addr` under `policy`: the initial attempt plus `policy.retries`
+/// backed-off re-dials, returning the last error class when all fail.
+fn open_stream(addr: SocketAddr, policy: ReconnectPolicy) -> Result<TcpStream, &'static str> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).map_err(|e| error_class(e.kind()))?;
+                return Ok(stream);
+            }
+            Err(error) => {
+                let class = error_class(error.kind());
+                if attempt >= policy.retries {
+                    return Err(class);
+                }
+                std::thread::sleep(policy.delay_before(attempt));
+                attempt += 1;
+            }
         }
     }
 }
@@ -255,7 +505,11 @@ impl Target for FramedTcpTarget {
     }
 
     fn clone_fresh(&self) -> Box<dyn Target + Send> {
-        Box::new(FramedTcpTarget::connect(self.blueprint.clone_fresh(), self.addr))
+        Box::new(FramedTcpTarget::connect_with(
+            self.blueprint.clone_fresh(),
+            self.addr,
+            self.policy,
+        ))
     }
 }
 
@@ -267,7 +521,7 @@ mod tests {
     #[test]
     fn framed_tcp_target_matches_the_in_process_target() {
         for id in [TargetId::Modbus, TargetId::Iec61850] {
-            let (mut tcp, _guard) = deploy_tcp(id.create().as_ref());
+            let (mut tcp, _guard) = deploy_tcp(id.create().as_ref(), ReconnectPolicy::default(), WireChaos::default());
             let mut reference = id.create();
             let mut tcp_ctx = TraceContext::new();
             let mut ref_ctx = TraceContext::new();
@@ -290,7 +544,8 @@ mod tests {
 
     #[test]
     fn framed_tcp_windows_match_the_default_batch_impl() {
-        let (mut tcp, _guard) = deploy_tcp(TargetId::Lib60870.create().as_ref());
+        let (mut tcp, _guard) =
+            deploy_tcp(TargetId::Lib60870.create().as_ref(), ReconnectPolicy::default(), WireChaos::default());
         let mut reference = TargetId::Lib60870.create();
         let window: Vec<&[u8]> = vec![&[0x68, 0x04, 0x07, 0x00, 0x00, 0x00], &[0xFF], &[]];
         let mut tcp_ctx = TraceContext::new();
@@ -308,7 +563,7 @@ mod tests {
 
     #[test]
     fn clone_fresh_reconnects_to_the_same_server() {
-        let (tcp, _guard) = deploy_tcp(TargetId::Iec104.create().as_ref());
+        let (tcp, _guard) = deploy_tcp(TargetId::Iec104.create().as_ref(), ReconnectPolicy::default(), WireChaos::default());
         let mut clone = tcp.clone_fresh();
         assert_eq!(clone.name(), "IEC104");
         let mut ctx = TraceContext::new();
@@ -316,5 +571,105 @@ mod tests {
         // A fresh connection serves from a fresh server-side instance.
         let outcome = clone.process(&[0x68, 0x04, 0x43, 0x00, 0x00, 0x00], &mut ctx);
         assert!(!outcome.is_fault());
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_exponential() {
+        let policy = ReconnectPolicy::DEFAULT;
+        assert_eq!(policy.delay_before(0), Duration::from_millis(10));
+        assert_eq!(policy.delay_before(1), Duration::from_millis(20));
+        assert_eq!(policy.delay_before(2), Duration::from_millis(40));
+        assert_eq!(policy.delay_before(10), Duration::from_millis(250), "capped");
+        assert_eq!(
+            ReconnectPolicy::immediate(3).delay_before(2),
+            Duration::ZERO,
+            "immediate schedules never sleep"
+        );
+        assert_eq!(ReconnectPolicy::none().retries, 0);
+        assert_eq!(ReconnectPolicy::default(), ReconnectPolicy::DEFAULT);
+    }
+
+    #[test]
+    fn error_classes_keep_refused_and_reset_dedup_sites_apart() {
+        use peachstar_protocols::intern_site;
+        assert_eq!(error_class(io::ErrorKind::ConnectionRefused), "connection-refused");
+        assert_eq!(error_class(io::ErrorKind::ConnectionReset), "connection-reset");
+        assert_eq!(error_class(io::ErrorKind::BrokenPipe), "broken-pipe");
+        assert_eq!(error_class(io::ErrorKind::UnexpectedEof), "eof");
+        assert_eq!(error_class(io::ErrorKind::Other), "io-error");
+        // The exhaustion messages — the interned dedup sites — differ per
+        // class and never mention ports or attempt counts, so the same
+        // failure class dedups into one bug across runs while refused and
+        // reset file separately.
+        let refused = connection_loss_message("connection-refused");
+        let reset = connection_loss_message("connection-reset");
+        assert_ne!(refused, reset);
+        assert!(intern_site(&refused) != intern_site(&reset));
+        assert_eq!(intern_site(&refused), intern_site(&connection_loss_message("connection-refused")));
+        for message in [&refused, &reset] {
+            assert!(is_connection_loss(message), "{message}");
+            assert!(!message.contains("attempt"), "{message}");
+            assert!(!message.contains(':') || !message.contains("127."), "{message}");
+        }
+        assert!(!is_connection_loss("chaos: injected panic #7"));
+    }
+
+    #[test]
+    fn a_dead_server_exhausts_the_budget_with_a_classed_panic() {
+        // Bind then drop a listener: the port is closed, so every dial is
+        // refused and the zero-backoff policy exhausts instantly.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr")
+        };
+        let result = peachstar_protocols::containment::contained(|| {
+            FramedTcpTarget::connect_with(
+                TargetId::Modbus.create_send(),
+                addr,
+                ReconnectPolicy::immediate(1),
+            )
+        });
+        let message = result.expect_err("connect must fail against a closed port");
+        assert_eq!(message, connection_loss_message("connection-refused"));
+    }
+
+    #[test]
+    fn a_flapping_server_is_survived_by_journal_replay() {
+        // Open a session-stateful connection against a server that drops
+        // the connection on the third frame (before processing it), then
+        // keep processing: the recovery layer reconnects, replays the
+        // journal (which re-opens the session on the fresh server-side
+        // instance) and retries the dropped request, so the outcomes match
+        // an undisturbed reference run bit for bit.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _server = serve_with_chaos(
+            listener,
+            TargetId::Iec104.create_send(),
+            WireChaos::drop_every(3).limit(1),
+        )
+        .expect("serve");
+
+        let startdt = [0x68u8, 0x04, 0x07, 0x00, 0x00, 0x00];
+        let testfr = [0x68u8, 0x04, 0x43, 0x00, 0x00, 0x00];
+        let mut reference = TargetId::Iec104.create();
+        let mut tcp = FramedTcpTarget::connect_with(
+            TargetId::Iec104.create_send(),
+            addr,
+            ReconnectPolicy::immediate(5),
+        );
+        let mut ref_ctx = TraceContext::new();
+        let mut tcp_ctx = TraceContext::new();
+        // Frames 1–2 are served; frame 3 hits the injector: the connection
+        // dies before the request is processed, recovery replays the two
+        // journaled session packets and retries the third.
+        for packet in [&startdt[..], &testfr[..], &testfr[..], &startdt[..], &[0xFFu8][..]] {
+            ref_ctx.reset();
+            tcp_ctx.reset();
+            let over_wire = tcp.process(packet, &mut tcp_ctx);
+            let direct = reference.process(packet, &mut ref_ctx);
+            assert_eq!(over_wire, direct, "journal replay restores session state");
+            assert_eq!(tcp_ctx.trace().to_sparse(), ref_ctx.trace().to_sparse());
+        }
     }
 }

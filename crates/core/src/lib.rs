@@ -46,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod mutator;
 pub mod seed;
+pub mod service;
 pub mod snapshot;
 pub mod stats;
 pub mod strategy;
@@ -57,6 +58,7 @@ pub use corpus::PuzzleCorpus;
 pub use cracker::FileCracker;
 pub use error::FuzzError;
 pub use seed::{Seed, SeedPool};
+pub use service::{ControlServer, ServiceHooks, ServiceStatus};
 pub use snapshot::{CampaignSnapshot, CheckpointConfig, SnapshotError, SnapshotMeta};
 pub use stats::{CoverageSeries, SeriesPoint};
 pub use strategy::{

@@ -174,9 +174,12 @@ impl SnapshotMeta {
     /// The fingerprint of a (sequential) campaign configuration.
     ///
     /// Operational knobs — `exec_timeout`, `summary_only`, `transport`, the
-    /// worker/connection count — are deliberately excluded: they never
-    /// change the report, so a checkpoint resumes across any of them (a
-    /// TCP-recorded checkpoint resumes in-process bit-exactly).
+    /// worker/connection count, the `reconnect` policy, server-side
+    /// `wire_chaos` injection, and the service flags (`--control`,
+    /// `--keep-checkpoints`) — are deliberately excluded: they never change
+    /// the report, so a checkpoint resumes across any of them (a
+    /// TCP-recorded checkpoint resumes in-process bit-exactly, and a
+    /// chaos-recorded one resumes on a healthy wire).
     #[must_use]
     pub fn for_campaign(target: &str, config: &CampaignConfig) -> Self {
         Self {
@@ -376,14 +379,19 @@ impl CampaignSnapshot {
 
     /// Writes the snapshot to `path` atomically: the bytes go to a sibling
     /// `.tmp` file first and are renamed into place, so a crash mid-write
-    /// can never leave a torn snapshot at `path`.
+    /// can never leave a torn snapshot at `path`. A failed write removes
+    /// its own temp file (best-effort); temps orphaned by a hard kill are
+    /// swept by [`CheckpointConfig::prepare`] at the next startup.
     pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.encode())?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        let result = std::fs::write(&tmp, self.encode())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result.map_err(SnapshotError::from)
     }
 
     /// Reads and decodes a snapshot file.
@@ -391,6 +399,47 @@ impl CampaignSnapshot {
         let bytes = std::fs::read(path)?;
         Self::decode(&bytes)
     }
+
+    /// Scans a rotation directory newest-first and restores the newest
+    /// snapshot that still decodes, skipping truncated / bit-flipped /
+    /// wrong-magic files (the trailing checksum rejects them). Returns
+    /// `Ok(None)` when the directory is missing, empty, or holds no valid
+    /// snapshot — the caller starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures other than "not found".
+    pub fn resume_latest(dir: &Path) -> Result<Option<Self>, SnapshotError> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(SnapshotError::Io(err)),
+        };
+        let mut slots: Vec<(u64, std::path::PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if let Some(completed) = rotation_slot(&path) {
+                slots.push((completed, path));
+            }
+        }
+        slots.sort_unstable_by_key(|slot| std::cmp::Reverse(slot.0));
+        for (_, path) in slots {
+            if let Ok(snapshot) = Self::read_from(&path) {
+                return Ok(Some(snapshot));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The completed-execution index a rotation file name encodes, when `path`
+/// names one (`ckpt-<completed>.peachsnp`).
+fn rotation_slot(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".peachsnp")?
+        .parse()
+        .ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -880,14 +929,28 @@ fn decode_schedule(reader: &mut Reader<'_>) -> Result<ScheduleState, SnapshotErr
 }
 
 /// Where (and how often) a campaign writes checkpoints.
+///
+/// Two layouts:
+///
+/// * **single file** (`keep == None`): every checkpoint atomically replaces
+///   `path` — the classic `--checkpoint run.snap` shape;
+/// * **rotation** (`keep == Some(k)`): `path` is a directory; each
+///   checkpoint lands as `ckpt-<completed>.peachsnp` (atomic temp + rename)
+///   and the oldest slots beyond `k` are pruned, so a service always holds
+///   its last `k` good boundaries and
+///   [`CampaignSnapshot::resume_latest`] can recover from any prefix of
+///   torn ones.
 #[derive(Debug, Clone)]
 pub struct CheckpointConfig {
-    /// Snapshot file path; each checkpoint atomically replaces it.
+    /// Snapshot file path (or rotation directory when `keep` is set).
     pub path: std::path::PathBuf,
     /// Write a checkpoint every this many completed windows (clamped to at
     /// least 1). A final checkpoint is always written when the budget
     /// completes, whatever the cadence.
     pub every_windows: u64,
+    /// Rotation depth: keep this many newest snapshots in the `path`
+    /// directory (`None` = the single-file layout).
+    pub keep: Option<usize>,
 }
 
 impl CheckpointConfig {
@@ -897,7 +960,72 @@ impl CheckpointConfig {
         Self {
             path: path.into(),
             every_windows: every_windows.max(1),
+            keep: None,
         }
+    }
+
+    /// Switches to the rotation layout: `path` becomes a directory holding
+    /// the `keep` newest snapshots (clamped to at least 1).
+    #[must_use]
+    pub fn rotation(mut self, keep: usize) -> Self {
+        self.keep = Some(keep.max(1));
+        self
+    }
+
+    /// Startup hygiene, run once before a campaign writes its first
+    /// checkpoint: creates the rotation directory and sweeps `*.tmp` files
+    /// orphaned beside the checkpoint path by a previous hard kill
+    /// mid-write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rotation-directory creation failures; temp removal is
+    /// best-effort.
+    pub fn prepare(&self) -> Result<(), SnapshotError> {
+        let dir = if self.keep.is_some() {
+            std::fs::create_dir_all(&self.path)?;
+            self.path.as_path()
+        } else {
+            self.path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."))
+        };
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|ext| ext == "tmp") {
+                    std::fs::remove_file(&path).ok();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists one checkpoint: atomically replaces the single file, or
+    /// writes the rotation slot for `snapshot.completed` and prunes slots
+    /// beyond the rotation depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot write failures; pruning is best-effort.
+    pub fn store(&self, snapshot: &CampaignSnapshot) -> Result<(), SnapshotError> {
+        let Some(keep) = self.keep else {
+            return snapshot.write_atomic(&self.path);
+        };
+        let slot = self.path.join(format!("ckpt-{:012}.peachsnp", snapshot.completed));
+        snapshot.write_atomic(&slot)?;
+        let mut slots: Vec<(u64, std::path::PathBuf)> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.path) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if let Some(completed) = rotation_slot(&path) {
+                    slots.push((completed, path));
+                }
+            }
+        }
+        slots.sort_unstable_by_key(|slot| std::cmp::Reverse(slot.0));
+        for (_, stale) in slots.into_iter().skip(keep) {
+            std::fs::remove_file(&stale).ok();
+        }
+        Ok(())
     }
 }
 
@@ -1042,6 +1170,40 @@ mod tests {
     }
 
     #[test]
+    fn operational_knobs_stay_out_of_the_fingerprint() {
+        // Service and transport-recovery flags must never fence a resume:
+        // configs differing only in reconnect schedule, wire chaos, exec
+        // timeout, summary mode or transport fingerprint identically (the
+        // rotation depth and `--control` address never even reach the
+        // config).
+        use crate::campaign::{CampaignConfig, ReconnectPolicy, TransportMode};
+        use crate::strategy::StrategyKind;
+        let base = CampaignConfig::new(StrategyKind::PeachStar)
+            .executions(2_000)
+            .rng_seed(9);
+        let baseline = SnapshotMeta::for_campaign("libmodbus", &base);
+        let variants = [
+            base.reconnect(ReconnectPolicy::none()),
+            base.reconnect(ReconnectPolicy::immediate(7)),
+            base.wire_chaos(peachstar_protocols::WireChaos::drop_every(5).reject_after_drop(3)),
+            base.transport(TransportMode::FramedTcp),
+            base.exec_timeout_ms(50),
+            base.summary_only(),
+        ];
+        for (index, variant) in variants.iter().enumerate() {
+            let meta = SnapshotMeta::for_campaign("libmodbus", variant);
+            assert_eq!(
+                meta, baseline,
+                "variant {index} must fingerprint identically"
+            );
+            assert!(baseline.ensure_matches(&meta).is_ok());
+        }
+        // Sanity: a knob that IS campaign semantics still fences.
+        let different = SnapshotMeta::for_campaign("libmodbus", &base.executions(2_001));
+        assert!(baseline.ensure_matches(&different).is_err());
+    }
+
+    #[test]
     fn atomic_write_and_read_back() {
         let dir = std::env::temp_dir().join("peachstar-snapshot-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
@@ -1051,5 +1213,96 @@ mod tests {
         let read = CampaignSnapshot::read_from(&path).expect("read");
         assert_eq!(read.encode(), snapshot.encode());
         std::fs::remove_file(&path).ok();
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "peachstar-snapshot-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn rotation_keeps_newest_slots_and_resume_latest_picks_the_top() {
+        let dir = scratch_dir("rotation");
+        let config = CheckpointConfig::new(&dir, 1).rotation(2);
+        config.prepare().expect("prepare");
+        let mut snapshot = sample_snapshot();
+        for completed in [250u64, 500, 750, 1_000] {
+            snapshot.completed = completed;
+            config.store(&snapshot).expect("store");
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["ckpt-000000000750.peachsnp", "ckpt-000000001000.peachsnp"],
+            "only the two newest slots survive"
+        );
+        let restored = CampaignSnapshot::resume_latest(&dir)
+            .expect("scan")
+            .expect("a valid snapshot");
+        assert_eq!(restored.completed, 1_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_latest_skips_corrupt_slots_and_tolerates_missing_dirs() {
+        let dir = scratch_dir("fallback");
+        assert!(
+            CampaignSnapshot::resume_latest(&dir).expect("missing dir is fine").is_none(),
+            "a missing rotation directory means a fresh start"
+        );
+        let config = CheckpointConfig::new(&dir, 1).rotation(4);
+        config.prepare().expect("prepare");
+        let mut snapshot = sample_snapshot();
+        snapshot.completed = 250;
+        config.store(&snapshot).expect("store");
+        // Newer slots exist but are torn: one truncated, one bit-flipped,
+        // one with the wrong magic. resume_latest must skip all three.
+        let good = snapshot.encode();
+        std::fs::write(dir.join("ckpt-000000000500.peachsnp"), &good[..good.len() / 2])
+            .expect("truncated slot");
+        let mut flipped = good.clone();
+        flipped[good.len() / 2] ^= 0x40;
+        std::fs::write(dir.join("ckpt-000000000750.peachsnp"), &flipped).expect("flipped slot");
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        std::fs::write(dir.join("ckpt-000000001000.peachsnp"), &bad_magic)
+            .expect("bad-magic slot");
+        let restored = CampaignSnapshot::resume_latest(&dir)
+            .expect("scan")
+            .expect("falls back to the valid slot");
+        assert_eq!(restored.completed, 250);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prepare_sweeps_stale_temp_files() {
+        // Single-file layout: a `.tmp` orphaned beside the checkpoint path
+        // by a kill mid-write is swept at the next startup.
+        let dir = scratch_dir("stale-temps");
+        std::fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("run.snap");
+        let stale = dir.join("run.snap.tmp");
+        std::fs::write(&stale, b"torn half-write").expect("stale temp");
+        CheckpointConfig::new(&path, 1).prepare().expect("prepare");
+        assert!(!stale.exists(), "single-file prepare removes the orphan");
+
+        // Rotation layout: same sweep inside the rotation directory.
+        let rotation = dir.join("rotation");
+        let config = CheckpointConfig::new(&rotation, 1).rotation(2);
+        config.prepare().expect("create rotation dir");
+        let stale = rotation.join("ckpt-000000000250.peachsnp.tmp");
+        std::fs::write(&stale, b"torn").expect("stale temp");
+        config.prepare().expect("prepare again");
+        assert!(!stale.exists(), "rotation prepare removes the orphan");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

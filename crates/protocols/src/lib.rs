@@ -59,7 +59,7 @@ use peachstar_coverage::{SparseTrace, TraceContext, TraceMap};
 use peachstar_datamodel::DataModelSet;
 
 pub use prescan::{FrameSpec, PrescanScratch};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with_chaos, ServerHandle, WireChaos};
 pub use sink::DecodeSink;
 pub use wire::{FrameReassembler, MessageStream, WireFraming};
 

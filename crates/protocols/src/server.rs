@@ -36,7 +36,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -45,6 +45,102 @@ use peachstar_coverage::TraceContext;
 use crate::containment::{contained, panic_fault};
 use crate::wire::{MessageStream, Request, Response, WireFraming};
 use crate::{Outcome, OutcomeSummary, Target};
+
+/// Deterministic server-side failure injection for [`serve_with_chaos`]:
+/// the wire-level counterpart of [`ChaosTarget`](crate::chaos::ChaosTarget).
+/// Where the chaos *target* fails inside `process`, wire chaos fails the
+/// *connection* — the shapes a flapping production endpoint actually shows
+/// a fuzzer.
+///
+/// Frames are counted globally across all connections; on every
+/// `drop_every_frames`-th received frame the handler drops its connection
+/// *before processing that frame* (so the client-side journal replay plus
+/// request retry reproduces the undisturbed packet sequence exactly — the
+/// basis of the bit-identical-report guarantee), then the accept loop
+/// rejects the next `reject_accepts_after_drop` connection attempts
+/// (accept-and-close), modelling a server that goes away for a window and
+/// comes back. `max_drops` bounds the total injected incidents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireChaos {
+    /// Drop the handling connection on every Nth received frame (`None`
+    /// disables wire chaos entirely).
+    pub drop_every_frames: Option<u64>,
+    /// After each drop, accept-and-immediately-close this many incoming
+    /// connections before serving again.
+    pub reject_accepts_after_drop: u64,
+    /// Stop injecting after this many drops (`None` = unbounded).
+    pub max_drops: Option<u64>,
+}
+
+impl WireChaos {
+    /// Drops a connection on every `frames`-th received frame.
+    #[must_use]
+    pub const fn drop_every(frames: u64) -> Self {
+        Self {
+            drop_every_frames: Some(if frames == 0 { 1 } else { frames }),
+            reject_accepts_after_drop: 0,
+            max_drops: None,
+        }
+    }
+
+    /// After each drop, also reject this many reconnect attempts.
+    #[must_use]
+    pub const fn reject_after_drop(mut self, rejects: u64) -> Self {
+        self.reject_accepts_after_drop = rejects;
+        self
+    }
+
+    /// Bounds the total number of injected drops.
+    #[must_use]
+    pub const fn limit(mut self, drops: u64) -> Self {
+        self.max_drops = Some(drops);
+        self
+    }
+}
+
+/// The shared mutable side of [`WireChaos`]: global frame/drop counters plus
+/// the pending accept-rejection budget.
+#[derive(Debug, Default)]
+struct WireChaosState {
+    frames: AtomicU64,
+    drops: AtomicU64,
+    pending_rejects: AtomicU64,
+}
+
+impl WireChaosState {
+    /// Counts one received frame and decides whether the handler must drop
+    /// its connection before processing it.
+    fn should_drop(&self, config: &WireChaos) -> bool {
+        let Some(every) = config.drop_every_frames else {
+            return false;
+        };
+        let frame = self.frames.fetch_add(1, Ordering::SeqCst) + 1;
+        if !frame.is_multiple_of(every) {
+            return false;
+        }
+        if let Some(max) = config.max_drops {
+            // Claim a drop slot; back off once the budget is spent.
+            if self.drops.fetch_add(1, Ordering::SeqCst) >= max {
+                return false;
+            }
+        } else {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+        self.pending_rejects
+            .store(config.reject_accepts_after_drop, Ordering::SeqCst);
+        true
+    }
+
+    /// Whether the accept loop should reject (accept-and-close) the next
+    /// incoming connection.
+    fn should_reject_accept(&self) -> bool {
+        self.pending_rejects
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |pending| {
+                pending.checked_sub(1)
+            })
+            .is_ok()
+    }
+}
 
 /// A running socket server: owns the accept thread and shuts it down on
 /// drop. Connection handler threads are detached — each exits when its
@@ -91,9 +187,25 @@ impl Drop for ServerHandle {
 ///
 /// Propagates the listener's local-address lookup failure.
 pub fn serve(listener: TcpListener, target: Box<dyn Target + Send>) -> io::Result<ServerHandle> {
+    serve_with_chaos(listener, target, WireChaos::default())
+}
+
+/// [`serve`] with deterministic server-side failure injection: connections
+/// are dropped mid-stream and reconnects rejected per `chaos` (see
+/// [`WireChaos`]). With the default (no-op) config this is exactly `serve`.
+///
+/// # Errors
+///
+/// Propagates the listener's local-address lookup failure.
+pub fn serve_with_chaos(
+    listener: TcpListener,
+    target: Box<dyn Target + Send>,
+    chaos: WireChaos,
+) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept_shutdown = Arc::clone(&shutdown);
+    let state = Arc::new(WireChaosState::default());
     let accept = std::thread::Builder::new()
         .name(format!("peachstar-serve-{}", target.name()))
         .spawn(move || {
@@ -102,15 +214,28 @@ pub fn serve(listener: TcpListener, target: Box<dyn Target + Send>) -> io::Resul
                     break;
                 }
                 let Ok(stream) = connection else { continue };
+                if state.should_reject_accept() {
+                    // "Server went away": accept-and-close, so the client
+                    // sees an immediate reset and must burn a retry.
+                    drop(stream);
+                    continue;
+                }
                 let connection_target = target.clone_fresh();
                 let spare = target.clone_fresh();
+                let connection_state = Arc::clone(&state);
                 let _ = std::thread::Builder::new()
                     .name("peachstar-serve-conn".to_owned())
                     .spawn(move || {
                         // Handler errors mean the client vanished (or the
                         // stream desynchronised); either way the connection
                         // is done and the client rebuilds via clone_fresh.
-                        let _ = handle_connection(stream, connection_target, spare);
+                        let _ = handle_connection(
+                            stream,
+                            connection_target,
+                            spare,
+                            chaos,
+                            &connection_state,
+                        );
                     });
             }
         })?;
@@ -127,6 +252,8 @@ fn handle_connection(
     mut stream: TcpStream,
     mut target: Box<dyn Target + Send>,
     spare: Box<dyn Target + Send>,
+    chaos: WireChaos,
+    chaos_state: &WireChaosState,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let framing = WireFraming::for_target(target.name());
@@ -135,6 +262,12 @@ fn handle_connection(
     let mut payload = Vec::new();
     let mut records: Vec<(OutcomeSummary, peachstar_coverage::SparseTrace)> = Vec::new();
     while let Some(message) = messages.recv(&mut stream)? {
+        if chaos_state.should_drop(&chaos) {
+            // Drop BEFORE processing: the request was never executed, so the
+            // client's journal replay plus retry reproduces the healthy
+            // sequence with no at-least-once ambiguity.
+            return Ok(());
+        }
         let request = Request::decode(&message)?;
         let response = match request {
             Request::Process(packet) => {
@@ -247,6 +380,77 @@ mod tests {
         assert_eq!(reply, Response::ResetDone);
 
         server.shutdown();
+    }
+
+    #[test]
+    fn wire_chaos_drops_the_connection_before_processing_the_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let server = serve_with_chaos(
+            listener,
+            Box::new(ModbusServer::new()),
+            WireChaos::drop_every(3).limit(1),
+        )
+        .expect("serve");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut messages = MessageStream::new(WireFraming::Raw);
+
+        // Frames 1 and 2 are answered; frame 3 hits the injector and the
+        // connection dies without a reply.
+        for _ in 0..2 {
+            let reply = roundtrip(&mut stream, &mut messages, &Request::Process(vec![0x01]));
+            assert!(matches!(reply, Response::Process(..)));
+        }
+        let mut payload = Vec::new();
+        Request::Process(vec![0x01]).encode_into(&mut payload);
+        messages.send(&mut stream, &payload).expect("send");
+        assert_eq!(
+            messages.recv(&mut stream).expect("clean close"),
+            None,
+            "the chaos frame is dropped before processing, closing the stream"
+        );
+
+        // `limit(1)` spent the budget: a fresh connection serves normally.
+        let mut retry = TcpStream::connect(server.addr()).expect("reconnect");
+        let mut retry_messages = MessageStream::new(WireFraming::Raw);
+        let reply = roundtrip(&mut retry, &mut retry_messages, &Request::Process(vec![0x01]));
+        assert!(matches!(reply, Response::Process(..)));
+    }
+
+    #[test]
+    fn wire_chaos_rejects_reconnects_after_a_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let server = serve_with_chaos(
+            listener,
+            Box::new(ModbusServer::new()),
+            WireChaos::drop_every(1).limit(1).reject_after_drop(2),
+        )
+        .expect("serve");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut messages = MessageStream::new(WireFraming::Raw);
+
+        // The very first frame is dropped and arms two accept-rejections.
+        let mut payload = Vec::new();
+        Request::Process(vec![0x01]).encode_into(&mut payload);
+        messages.send(&mut stream, &payload).expect("send");
+        assert_eq!(messages.recv(&mut stream).expect("clean close"), None);
+
+        // The next two connection attempts are accepted-and-closed: the
+        // socket opens but dies before answering a request.
+        for _ in 0..2 {
+            let mut rejected = TcpStream::connect(server.addr()).expect("connect");
+            let mut rejected_messages = MessageStream::new(WireFraming::Raw);
+            rejected_messages.send(&mut rejected, &payload).ok();
+            match rejected_messages.recv(&mut rejected) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(_)) => panic!("rejected connection must not be served"),
+            }
+        }
+
+        // The third attempt is served again (and chaos is out of budget).
+        let mut healthy = TcpStream::connect(server.addr()).expect("connect");
+        let mut healthy_messages = MessageStream::new(WireFraming::Raw);
+        let reply = roundtrip(&mut healthy, &mut healthy_messages, &Request::Process(vec![0x01]));
+        assert!(matches!(reply, Response::Process(..)));
     }
 
     #[test]
